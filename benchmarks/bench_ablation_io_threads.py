@@ -1,0 +1,47 @@
+"""Ablation — IO-thread count (the paper's Section V-B throttling study).
+
+"After extensive experimental runs we find that 4 IO threads generally
+yield the best throughput for most of the situations... too many IO
+threads tend to generate high level of contentions when they
+concurrently write chunks to backend filesystems, while too few IO
+threads cannot unleash the full potentials of the filesystem."
+
+The paper omits the detailed numbers for space; this ablation
+regenerates the study: LU.C.128 over ext3 and Lustre through CRFS at
+1..16 IO threads.
+"""
+
+from repro.experiments.common import run_cell
+from repro.util.tables import TextTable
+
+THREADS = (1, 2, 4, 8, 16)
+
+
+def sweep():
+    rows = {}
+    for fs in ("ext3", "lustre"):
+        rows[fs] = {
+            n: run_cell(
+                "MVAPICH2", "C", fs, use_crfs=True, io_threads=n
+            ).avg_local_time
+            for n in THREADS
+        }
+    return rows
+
+
+def test_io_thread_throttling_sweep(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = TextTable(
+        ["io threads"] + [str(n) for n in THREADS],
+        title="Ablation: CRFS checkpoint time (s) vs IO-thread count, LU.C.128",
+    )
+    for fs in rows:
+        table.add_row([fs] + [f"{rows[fs][n]:.2f}" for n in THREADS])
+    print()
+    print(table.render())
+    for fs in rows:
+        best = min(rows[fs], key=rows[fs].get)
+        # one thread cannot unleash the backend: never the best choice
+        assert rows[fs][1] >= rows[fs][best]
+        # the paper's operating point is within 25% of the sweep's best
+        assert rows[fs][4] <= rows[fs][best] * 1.25, (fs, rows[fs])

@@ -1,0 +1,6 @@
+"""Figure 10 — block IO layer trace on one node (LU.C.64, ext3):
+native randomness vs CRFS sequentiality."""
+
+
+def test_fig10_block_io_trace(artifact):
+    artifact("fig10")

@@ -1,0 +1,6 @@
+"""Figure 11 — cumulative write time: native ext3 vs ext3+CRFS
+(LU.C.64): the spread collapses under CRFS."""
+
+
+def test_fig11_cumulative_native_vs_crfs(artifact):
+    artifact("fig11")

@@ -1,0 +1,8 @@
+"""Figure 3 — cumulative write time per process (LU.C.64, native ext3).
+
+Regenerates the per-process completion-time spread (paper: 4 s .. 8 s).
+"""
+
+
+def test_fig3_cumulative_write_time(artifact):
+    artifact("fig3")

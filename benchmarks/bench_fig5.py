@@ -1,0 +1,9 @@
+"""Figure 5 — CRFS raw write bandwidth (8 writers, null backend).
+
+Regenerates the pool-size x chunk-size bandwidth grid (paper: >700 MB/s
+at a 16 MiB pool, rising with pool size, flattening past 32 MiB).
+"""
+
+
+def test_fig5_raw_write_bandwidth(artifact):
+    artifact("fig5")

@@ -1,0 +1,6 @@
+"""Figure 6 — checkpoint writing time with MVAPICH2
+(ext3/Lustre/NFS x LU classes B/C/D, native vs CRFS)."""
+
+
+def test_fig6_mvapich2_checkpoint_time(artifact):
+    artifact("fig6")

@@ -1,0 +1,5 @@
+"""Figure 7 — checkpoint writing time with MPICH2 (TCP transport)."""
+
+
+def test_fig7_mpich2_checkpoint_time(artifact):
+    artifact("fig7")

@@ -1,0 +1,5 @@
+"""Figure 8 — checkpoint writing time with OpenMPI."""
+
+
+def test_fig8_openmpi_checkpoint_time(artifact):
+    artifact("fig8")

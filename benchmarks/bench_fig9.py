@@ -1,0 +1,6 @@
+"""Figure 9 — CRFS scalability vs process multiplexing
+(LU.D on Lustre, 16 nodes x {1,2,4,8} processes per node)."""
+
+
+def test_fig9_multiplexing_scalability(artifact):
+    artifact("fig9")

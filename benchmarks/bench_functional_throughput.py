@@ -1,0 +1,79 @@
+"""Functional-plane throughput: the real threaded CRFS implementation.
+
+Unlike the simulation benches, these time actual Python execution —
+useful for tracking regressions in the library's own hot paths (chunk
+copying, pool cycling, queue handoff).  Numbers are not comparable to
+the paper's hardware.
+"""
+
+import pytest
+
+from repro.backends import MemBackend, NullBackend
+from repro.config import CRFSConfig
+from repro.core import CRFS
+from repro.units import KiB, MiB
+
+
+@pytest.mark.parametrize("chunk_kib", [128, 1024, 4096])
+def test_aggregation_throughput_null_backend(benchmark, chunk_kib):
+    """Fig-5-style raw aggregation: one writer streams into CRFS over a
+    null backend (chunks discarded)."""
+    cfg = CRFSConfig(
+        chunk_size=chunk_kib * KiB, pool_size=16 * MiB, io_threads=4
+    )
+    payload = b"x" * (128 * KiB)
+    total = 32 * MiB
+
+    def run():
+        fs = CRFS(NullBackend(), cfg).mount()
+        with fs.open("/stream") as f:
+            written = 0
+            while written < total:
+                f.write(payload)
+                written += len(payload)
+        fs.unmount()
+        return total
+
+    nbytes = benchmark(run)
+    assert nbytes == total
+
+
+def test_checkpoint_writes_through_crfs_mem(benchmark):
+    """A BLCR-like write mix through CRFS into a Mem backend."""
+    from repro.checkpoint import WriteSizeDistribution
+    from repro.util.rng import rng_for
+
+    sizes = WriteSizeDistribution().plan(8_000_000, rng_for(1, "bench"))
+    cfg = CRFSConfig(chunk_size=1 * MiB, pool_size=8 * MiB, io_threads=4)
+    blobs = {s: b"y" * s for s in set(sizes)}
+
+    def run():
+        backend = MemBackend()
+        fs = CRFS(backend, cfg).mount()
+        with fs.open("/ckpt") as f:
+            for s in sizes:
+                f.write(blobs[s])
+        fs.unmount()
+        return backend.total_bytes_written
+
+    written = benchmark(run)
+    assert written == sum(sizes)
+
+
+def test_simulation_engine_event_rate(benchmark):
+    """DES engine microbenchmark: events dispatched per second."""
+    from repro.sim import Simulator
+
+    def run():
+        sim = Simulator()
+
+        def proc():
+            for _ in range(5000):
+                yield sim.timeout(0.001)
+
+        for _ in range(4):
+            sim.spawn(proc())
+        sim.run()
+        return sim.now
+
+    benchmark(run)

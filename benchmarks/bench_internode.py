@@ -1,0 +1,7 @@
+"""Inter-node write coordination (paper Section VII future work,
+prototyped): file-affine IO scheduling + cluster-wide flush tokens over
+Lustre at class D."""
+
+
+def test_internode_coordination(artifact):
+    artifact("internode")

@@ -1,0 +1,6 @@
+"""Restart (paper Section V-F): reads pass through CRFS untouched —
+restart time with CRFS mounted equals native restart time."""
+
+
+def test_restart_read_passthrough(artifact):
+    artifact("restart")

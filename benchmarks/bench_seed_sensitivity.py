@@ -1,0 +1,23 @@
+"""Robustness — the reproduced shapes must not be artifacts of one RNG
+seed.  Re-runs the headline grid (Fig 6, classes B/C in fast mode) under
+three seeds and requires every shape check to pass each time.
+"""
+
+from repro.experiments import run_experiment
+
+SEEDS = (2011, 7, 99)
+
+
+def run_seeds():
+    return {seed: run_experiment("fig6", seed=seed, fast=True) for seed in SEEDS}
+
+
+def test_fig6_shape_stable_across_seeds(benchmark):
+    results = benchmark.pedantic(run_seeds, rounds=1, iterations=1)
+    print()
+    for seed, result in results.items():
+        failing = [c for c in result.checks if not c.passed]
+        status = "ok" if not failing else "; ".join(str(c) for c in failing)
+        print(f"seed {seed}: {status}")
+    for seed, result in results.items():
+        assert result.ok, f"seed {seed} broke the shape:\n{result.render()}"

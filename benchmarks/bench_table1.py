@@ -1,0 +1,9 @@
+"""Table I — checkpoint write profile (LU.C.64, native ext3).
+
+Regenerates the paper's three-column profile: % of writes / % of data /
+% of time per write-size bucket.
+"""
+
+
+def test_table1_checkpoint_write_profile(artifact):
+    artifact("table1")

@@ -1,0 +1,5 @@
+"""Table II — checkpoint sizes for LU.{B,C,D}.128 x three MPI stacks."""
+
+
+def test_table2_checkpoint_sizes(artifact):
+    artifact("table2")

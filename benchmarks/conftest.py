@@ -1,0 +1,32 @@
+"""Shared benchmark plumbing.
+
+Each paper artifact gets one benchmark that (a) regenerates the same
+rows/series the paper reports, (b) prints them, and (c) asserts the
+shape checks.  The simulations are deterministic, so benches run
+``pedantic`` with a single round — the recorded time is the cost of
+reproducing the artifact, and the printed table is the deliverable.
+"""
+
+import pytest
+
+
+def run_artifact(benchmark, name: str, fast: bool = False, seed: int = 2011):
+    """Run one experiment under pytest-benchmark and report it."""
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment, args=(name,), kwargs={"seed": seed, "fast": fast},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    assert result.ok, f"{name} shape checks failed:\n{result.render()}"
+    return result
+
+
+@pytest.fixture
+def artifact(benchmark):
+    def _run(name: str, fast: bool = False, seed: int = 2011):
+        return run_artifact(benchmark, name, fast=fast, seed=seed)
+
+    return _run

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Tune CRFS: sweep chunk size, pool size and IO threads.
+
+Reproduces the paper's Section V-B methodology on both planes:
+
+* the *timing plane* sweep mirrors Figure 5 — 8 simulated writers,
+  chunks discarded by a null backend, virtual-clock bandwidth;
+* the *functional plane* sweep times the real threaded implementation
+  on this machine (numbers depend on your hardware, the shape should
+  hold: bigger chunks amortize per-chunk costs).
+
+Run:  python examples/tuning_sweep.py
+"""
+
+import time
+
+from repro import CRFS, CRFSConfig, NullBackend
+from repro.experiments.fig5 import measure
+from repro.units import KiB, MB, MiB, format_bandwidth
+
+
+def timing_plane_sweep() -> None:
+    print("timing plane (paper Fig 5 rig: 8 writers, null backend)")
+    pools = [4 * MiB, 16 * MiB, 64 * MiB]
+    chunks = [128 * KiB, 1 * MiB, 4 * MiB]
+    header = "chunk \\ pool" + "".join(f"{p // MiB:>8}M" for p in pools)
+    print(f"  {header}")
+    for chunk in chunks:
+        label = f"{chunk // KiB}K" if chunk < MiB else f"{chunk // MiB}M"
+        cells = []
+        for pool in pools:
+            bw = measure(pool, chunk, bytes_per_proc=64 * MiB, seed=7)
+            cells.append(f"{bw / MB:>8.0f}" if bw == bw else "       -")
+        print(f"  {label:>12}{''.join(cells)} MB/s")
+
+
+def functional_plane_sweep() -> None:
+    print("\nfunctional plane (real threads on this machine)")
+    total = 64 * MiB
+    payload = b"z" * (128 * KiB)
+    for chunk in (128 * KiB, 1 * MiB, 4 * MiB):
+        cfg = CRFSConfig(chunk_size=chunk, pool_size=16 * MiB, io_threads=4)
+        fs = CRFS(NullBackend(), cfg).mount()
+        start = time.perf_counter()
+        with fs.open("/stream") as f:
+            written = 0
+            while written < total:
+                f.write(payload)
+                written += len(payload)
+        elapsed = time.perf_counter() - start
+        fs.unmount()
+        label = f"{chunk // KiB}K" if chunk < MiB else f"{chunk // MiB}M"
+        print(f"  chunk {label:>5}: {format_bandwidth(total / elapsed)}")
+
+
+def io_thread_sweep() -> None:
+    print("\nIO-thread throttling (timing plane, LU.C.128 over ext3 + CRFS)")
+    from repro.experiments.common import run_cell
+
+    for n in (1, 2, 4, 8):
+        t = run_cell("MVAPICH2", "C", "ext3", use_crfs=True, io_threads=n)
+        print(f"  {n:>2} io threads: {t.avg_local_time:.2f} s avg local checkpoint")
+    print("  (the paper settles on 4)")
+
+
+def main() -> None:
+    timing_plane_sweep()
+    functional_plane_sweep()
+    io_thread_sweep()
+
+
+if __name__ == "__main__":
+    main()

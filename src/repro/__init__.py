@@ -1,0 +1,65 @@
+"""CRFS reproduction — a user-level write-aggregating checkpoint
+filesystem, with a discrete-event model of the paper's testbed.
+
+Reproduces "CRFS: A Lightweight User-Level Filesystem for Generic
+Checkpoint/Restart" (Ouyang et al., ICPP 2011).
+
+Two planes, one aggregation logic:
+
+* **functional plane** — :class:`CRFS` is a real, thread-based
+  implementation of the paper's pipeline (buffer pool, work queue, IO
+  threads, drain-on-close) over pluggable backends; bytes written through
+  it are stored for real and restartable without CRFS;
+* **timing plane** — :mod:`repro.sim` / :mod:`repro.simio` /
+  :mod:`repro.simcrfs` model the paper's 64-node testbed (rotational
+  disks, page caches, NFS server, Lustre OSTs) on a virtual clock;
+  :mod:`repro.experiments` regenerates every table and figure.
+
+Quickstart::
+
+    from repro import CRFS, CRFSConfig, MemBackend
+
+    with CRFS(MemBackend(), CRFSConfig.from_sizes("4M", "16M")) as fs:
+        with fs.open("/ckpt/rank0.img") as f:
+            f.write(checkpoint_bytes)
+"""
+
+from .config import CRFSConfig, DEFAULT_CONFIG
+from .core import CRFS, CRFSFile, WritePlanner
+from .backends import (
+    Backend,
+    FaultyBackend,
+    InstrumentedBackend,
+    LocalDirBackend,
+    MemBackend,
+    NullBackend,
+)
+from .errors import BackendIOError, CRFSError, ConfigError
+from .units import GiB, KiB, MB, MiB, format_bandwidth, format_size, parse_size
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CRFS",
+    "CRFSFile",
+    "CRFSConfig",
+    "DEFAULT_CONFIG",
+    "WritePlanner",
+    "Backend",
+    "MemBackend",
+    "LocalDirBackend",
+    "NullBackend",
+    "InstrumentedBackend",
+    "FaultyBackend",
+    "CRFSError",
+    "ConfigError",
+    "BackendIOError",
+    "KiB",
+    "MiB",
+    "GiB",
+    "MB",
+    "parse_size",
+    "format_size",
+    "format_bandwidth",
+    "__version__",
+]

@@ -1,0 +1,115 @@
+"""Backend interface: the slice of POSIX a stackable filesystem needs.
+
+Offsets are explicit (pwrite/pread) because CRFS's IO threads write
+chunks positionally and concurrently; there is no shared file cursor.
+Handles are opaque; each backend chooses its own representation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+__all__ = ["Backend", "BackendStat"]
+
+
+@dataclass(frozen=True)
+class BackendStat:
+    """Minimal stat result (what checkpoint tooling actually consults)."""
+
+    size: int
+    is_dir: bool
+    nlink: int = 1
+
+
+class Backend(ABC):
+    """Abstract backing store.
+
+    Methods mirror the operations CRFS routes down (Section IV): data ops
+    via handles, namespace ops via paths, everything else passthrough.
+    Implementations must be thread-safe: CRFS's IO threads call
+    :meth:`pwrite` concurrently with application threads calling
+    namespace ops.
+    """
+
+    name = "backend"
+
+    # -- data plane ---------------------------------------------------------
+
+    @abstractmethod
+    def open(self, path: str, create: bool = True, truncate: bool = False) -> Any:
+        """Open (optionally create/truncate) a file; returns a handle."""
+
+    @abstractmethod
+    def pwrite(self, handle: Any, data: bytes | memoryview, offset: int) -> int:
+        """Write ``data`` at ``offset``; returns bytes written (all of it)."""
+
+    @abstractmethod
+    def pread(self, handle: Any, size: int, offset: int) -> bytes:
+        """Read up to ``size`` bytes at ``offset`` (short read at EOF)."""
+
+    @abstractmethod
+    def fsync(self, handle: Any) -> None:
+        """Flush the file's data to stable storage."""
+
+    @abstractmethod
+    def close(self, handle: Any) -> None:
+        """Release the handle."""
+
+    @abstractmethod
+    def file_size(self, handle: Any) -> int:
+        """Current size of the open file."""
+
+    # -- namespace plane ------------------------------------------------------
+
+    @abstractmethod
+    def exists(self, path: str) -> bool: ...
+
+    @abstractmethod
+    def stat(self, path: str) -> BackendStat: ...
+
+    @abstractmethod
+    def unlink(self, path: str) -> None: ...
+
+    @abstractmethod
+    def mkdir(self, path: str) -> None: ...
+
+    @abstractmethod
+    def rmdir(self, path: str) -> None: ...
+
+    @abstractmethod
+    def listdir(self, path: str) -> list[str]: ...
+
+    @abstractmethod
+    def rename(self, old: str, new: str) -> None: ...
+
+    @abstractmethod
+    def truncate(self, path: str, size: int) -> None: ...
+
+
+def normalize_path(path: str) -> str:
+    """Canonical form: absolute, no '.', no '..', no duplicate slashes.
+
+    Shared by backends and the CRFS mount so the open-file hash table and
+    the backend agree on keys.
+    """
+    parts: list[str] = []
+    for part in path.split("/"):
+        if part in ("", "."):
+            continue
+        if part == "..":
+            if parts:
+                parts.pop()
+            continue
+        parts.append(part)
+    return "/" + "/".join(parts)
+
+
+def split_path(path: str) -> tuple[str, str]:
+    """(parent, name) of a normalized path; root has parent '/' name ''."""
+    norm = normalize_path(path)
+    if norm == "/":
+        return "/", ""
+    parent, _, name = norm.rpartition("/")
+    return (parent or "/", name)

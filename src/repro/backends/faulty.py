@@ -1,0 +1,132 @@
+"""Fault-injecting backend: scripted errors and delays.
+
+Exercises the CRFS error paths the paper's design implies but does not
+evaluate: an asynchronous chunk write that fails must be latched in the
+file's metadata entry and surfaced at close()/fsync() — the only places
+a POSIX application can observe writeback errors.  Also injects delays,
+to drive the buffer pool into backpressure deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import BackendIOError
+from .base import Backend, BackendStat
+
+__all__ = ["FaultyBackend", "FaultRule"]
+
+
+@dataclass
+class FaultRule:
+    """Fire on the Nth matching op (1-based), optionally repeatedly.
+
+    ``op`` matches the backend method name ('pwrite', 'fsync', ...);
+    ``error`` is raised when the rule fires; ``delay`` seconds are slept
+    before the op proceeds (or before raising).
+    """
+
+    op: str
+    nth: int = 1
+    every: bool = False
+    error: BaseException | None = None
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.nth < 1:
+            raise ValueError("nth is 1-based")
+
+
+class FaultyBackend(Backend):
+    """Delegating wrapper that applies :class:`FaultRule` schedules."""
+
+    name = "faulty"
+
+    def __init__(self, inner: Backend, rules: list[FaultRule] | None = None,
+                 sleep: Callable[[float], None] = time.sleep):
+        self.inner = inner
+        self.rules = list(rules or [])
+        self._sleep = sleep
+        self._counts: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self.faults_fired = 0
+
+    def add_rule(self, rule: FaultRule) -> None:
+        with self._lock:
+            self.rules.append(rule)
+
+    def _check(self, op: str) -> None:
+        with self._lock:
+            self._counts[op] = self._counts.get(op, 0) + 1
+            count = self._counts[op]
+            to_fire = [
+                r
+                for r in self.rules
+                if r.op == op and (count == r.nth or (r.every and count >= r.nth))
+            ]
+        for rule in to_fire:
+            if rule.delay:
+                self._sleep(rule.delay)
+            if rule.error is not None:
+                with self._lock:
+                    self.faults_fired += 1
+                raise rule.error
+
+    # -- data plane ----------------------------------------------------------
+
+    def open(self, path: str, create: bool = True, truncate: bool = False) -> Any:
+        self._check("open")
+        return self.inner.open(path, create=create, truncate=truncate)
+
+    def pwrite(self, handle: Any, data: bytes | memoryview, offset: int) -> int:
+        self._check("pwrite")
+        return self.inner.pwrite(handle, data, offset)
+
+    def pread(self, handle: Any, size: int, offset: int) -> bytes:
+        self._check("pread")
+        return self.inner.pread(handle, size, offset)
+
+    def fsync(self, handle: Any) -> None:
+        self._check("fsync")
+        self.inner.fsync(handle)
+
+    def close(self, handle: Any) -> None:
+        self._check("close")
+        self.inner.close(handle)
+
+    def file_size(self, handle: Any) -> int:
+        return self.inner.file_size(handle)
+
+    # -- namespace plane ------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        return self.inner.exists(path)
+
+    def stat(self, path: str) -> BackendStat:
+        return self.inner.stat(path)
+
+    def unlink(self, path: str) -> None:
+        self._check("unlink")
+        self.inner.unlink(path)
+
+    def mkdir(self, path: str) -> None:
+        self._check("mkdir")
+        self.inner.mkdir(path)
+
+    def rmdir(self, path: str) -> None:
+        self._check("rmdir")
+        self.inner.rmdir(path)
+
+    def listdir(self, path: str) -> list[str]:
+        return self.inner.listdir(path)
+
+    def rename(self, old: str, new: str) -> None:
+        self._check("rename")
+        self.inner.rename(old, new)
+
+    def truncate(self, path: str, size: int) -> None:
+        self._check("truncate")
+        self.inner.truncate(path, size)

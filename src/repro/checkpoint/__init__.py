@@ -1,0 +1,31 @@
+"""BLCR-like checkpoint substrate.
+
+* :mod:`repro.checkpoint.sizedist` — the write-size mix of paper
+  Table I, fit as a sampleable distribution that scales to any process
+  image size (the traffic model that drives the timing plane);
+* :mod:`repro.checkpoint.image` — synthetic process images (VM regions
+  + metadata) for the functional plane;
+* :mod:`repro.checkpoint.blcr` — a checkpoint writer that serializes an
+  image through any file-like object with BLCR's small-header /
+  region-data write pattern;
+* :mod:`repro.checkpoint.restart` — the restart reader: restores and
+  verifies an image from its checkpoint file.
+"""
+
+from .sizedist import BucketSpec, TABLE1_BUCKETS, WriteSizeDistribution
+from .image import MemoryRegion, ProcessImage
+from .blcr import BLCRWriter, CheckpointStats
+from .restart import restore_image, verify_roundtrip, RestartError
+
+__all__ = [
+    "BucketSpec",
+    "TABLE1_BUCKETS",
+    "WriteSizeDistribution",
+    "MemoryRegion",
+    "ProcessImage",
+    "BLCRWriter",
+    "CheckpointStats",
+    "restore_image",
+    "verify_roundtrip",
+    "RestartError",
+]

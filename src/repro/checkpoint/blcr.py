@@ -1,0 +1,86 @@
+"""BLCR-like checkpoint writer (functional plane).
+
+Serializes a :class:`~repro.checkpoint.image.ProcessImage` through any
+file-like object exposing ``write(bytes)`` — a :class:`~repro.core.CRFSFile`,
+a plain ``open(..., "wb")`` handle, anything.  The write pattern mimics
+what the paper profiles out of BLCR (Table I): a tiny header, a burst of
+small fixed-size metadata records (registers, descriptors, signal
+state), then per-region [small header write + raw data writes].
+
+Large regions are emitted in bounded data writes (BLCR walks VM areas),
+so the stream of sizes hitting the filesystem is many-small +
+some-medium + few-large — the traffic CRFS aggregates.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from ..units import KiB, MiB
+from .image import MemoryRegion, ProcessImage
+
+__all__ = ["BLCRWriter", "CheckpointStats", "MAGIC", "VERSION"]
+
+MAGIC = b"CRCK"
+VERSION = 1
+
+#: Fixed-size per-process metadata records written up front (register
+#: file, fpu state, descriptor table entries...), sized like the <64 B
+#: writes dominating Table I's count column.
+_N_METADATA_RECORDS = 48
+_METADATA_RECORD = 40  # bytes each
+
+#: Max bytes per region-data write call (BLCR's vm-area walk granularity).
+_DATA_WRITE_MAX = 8 * MiB
+
+
+@dataclass
+class CheckpointStats:
+    """What one checkpoint did — sizes of every write() issued."""
+
+    write_sizes: list[int] = field(default_factory=list)
+    total_bytes: int = 0
+    regions: int = 0
+
+    @property
+    def write_count(self) -> int:
+        return len(self.write_sizes)
+
+
+class BLCRWriter:
+    """Checkpoint serializer."""
+
+    def __init__(self, data_write_max: int = _DATA_WRITE_MAX):
+        if data_write_max < 4 * KiB:
+            raise ValueError("data_write_max below a page makes no sense")
+        self.data_write_max = data_write_max
+
+    def checkpoint(self, image: ProcessImage, out) -> CheckpointStats:
+        """Write ``image`` to ``out`` (file-like); returns write stats."""
+        stats = CheckpointStats()
+
+        def emit(payload: bytes) -> None:
+            out.write(payload)
+            stats.write_sizes.append(len(payload))
+            stats.total_bytes += len(payload)
+
+        # -- file header
+        emit(MAGIC + struct.pack("<HHiiI", VERSION, 0, image.rank, image.pid,
+                                 len(image.regions)))
+        # -- process metadata records (registers, fds, ... as small writes)
+        for i in range(_N_METADATA_RECORDS):
+            emit(struct.pack("<I", i) + bytes(_METADATA_RECORD - 4))
+        # -- regions
+        for region in image.iter_regions():
+            stats.regions += 1
+            name = region.name.encode("utf-8")[:255]
+            emit(
+                struct.pack("<HQQ", len(name), region.start, region.size) + name
+            )
+            offset = 0
+            while offset < region.size:
+                end = min(offset + self.data_write_max, region.size)
+                emit(region.data[offset:end])
+                offset = end
+        return stats

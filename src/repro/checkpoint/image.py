@@ -1,0 +1,99 @@
+"""Synthetic process images for the functional plane.
+
+A :class:`ProcessImage` stands in for what BLCR snapshots: the register
+file / descriptor metadata plus the process's VM regions (text, data,
+heap, stack, and — for MPI processes — communication buffers, which is
+why InfiniBand stacks produce bigger images than TCP ones, paper
+Table II).
+
+Region contents are generated deterministically from a seed so restart
+verification is exact and images never need to be kept around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from ..units import KiB, MiB
+from ..util.rng import rng_for
+
+__all__ = ["MemoryRegion", "ProcessImage"]
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """One VM region: name, virtual start address, byte contents."""
+
+    name: str
+    start: int
+    data: bytes
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+#: (region name, share of the image) — a plausible MPI-process layout:
+#: a few big segments plus assorted small mappings.
+_LAYOUT = (
+    ("text", 0.02),
+    ("data", 0.08),
+    ("heap", 0.55),
+    ("comm-buffers", 0.20),
+    ("mmap-libs", 0.08),
+    ("stack", 0.04),
+    ("misc", 0.03),
+)
+
+
+@dataclass
+class ProcessImage:
+    """A process snapshot: identity + regions."""
+
+    rank: int
+    pid: int
+    regions: list[MemoryRegion] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.size for r in self.regions)
+
+    @classmethod
+    def synthesize(cls, rank: int, image_size: int, seed: int = 0) -> "ProcessImage":
+        """Build a deterministic image of ~``image_size`` bytes for ``rank``.
+
+        Content is pseudo-random (incompressible, like real memory) and
+        fully reproducible from (rank, seed).
+        """
+        rng = rng_for(seed, f"image/rank{rank}")
+        regions: list[MemoryRegion] = []
+        addr = 0x400000
+        remaining = image_size
+        for i, (name, share) in enumerate(_LAYOUT):
+            if remaining <= 0:
+                break
+            last = i == len(_LAYOUT) - 1
+            size = remaining if last else min(remaining, max(1, int(image_size * share)))
+            # page-align all but the final region
+            if not last and size >= 4 * KiB:
+                size -= size % (4 * KiB)
+            data = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+            regions.append(MemoryRegion(name=name, start=addr, data=data))
+            addr += size + 64 * KiB  # guard gap
+            remaining -= size
+        return cls(rank=rank, pid=10_000 + rank, regions=regions)
+
+    def iter_regions(self) -> Iterator[MemoryRegion]:
+        return iter(self.regions)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProcessImage):
+            return NotImplemented
+        return (
+            self.rank == other.rank
+            and self.pid == other.pid
+            and self.regions == other.regions
+        )

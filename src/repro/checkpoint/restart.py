@@ -1,0 +1,66 @@
+"""Restart: read a checkpoint file back into a ProcessImage.
+
+Paper Section V-F: CRFS forwards reads untouched and never changes file
+layout, so "an application can be restarted directly from the back-end
+filesystem, without the need to mount CRFS."  The tests exercise exactly
+that: checkpoint through CRFS, restart straight from the backend.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import CRFSError
+from .blcr import MAGIC, VERSION
+from .image import MemoryRegion, ProcessImage
+
+__all__ = ["RestartError", "restore_image", "verify_roundtrip"]
+
+
+class RestartError(CRFSError):
+    """Corrupt or truncated checkpoint file."""
+
+
+def _read_exact(f, n: int) -> bytes:
+    data = f.read(n)
+    if len(data) != n:
+        raise RestartError(f"truncated checkpoint: wanted {n} bytes, got {len(data)}")
+    return data
+
+
+def restore_image(f) -> ProcessImage:
+    """Parse a checkpoint from a file-like object (``read(n)``)."""
+    header = _read_exact(f, len(MAGIC) + struct.calcsize("<HHiiI"))
+    if header[: len(MAGIC)] != MAGIC:
+        raise RestartError("bad magic: not a checkpoint file")
+    version, _pad, rank, pid, nregions = struct.unpack_from("<HHiiI", header, len(MAGIC))
+    if version != VERSION:
+        raise RestartError(f"unsupported checkpoint version {version}")
+    # skip metadata records
+    from .blcr import _METADATA_RECORD, _N_METADATA_RECORDS
+
+    _read_exact(f, _N_METADATA_RECORDS * _METADATA_RECORD)
+    regions: list[MemoryRegion] = []
+    for _ in range(nregions):
+        rec = _read_exact(f, struct.calcsize("<HQQ"))
+        name_len, start, size = struct.unpack("<HQQ", rec)
+        name = _read_exact(f, name_len).decode("utf-8")
+        data = _read_exact(f, size)
+        regions.append(MemoryRegion(name=name, start=start, data=data))
+    return ProcessImage(rank=rank, pid=pid, regions=regions)
+
+
+def verify_roundtrip(original: ProcessImage, restored: ProcessImage) -> None:
+    """Raise RestartError on any divergence (used by tests and examples)."""
+    if restored.rank != original.rank or restored.pid != original.pid:
+        raise RestartError(
+            f"identity mismatch: rank {restored.rank}/pid {restored.pid} "
+            f"!= rank {original.rank}/pid {original.pid}"
+        )
+    if len(restored.regions) != len(original.regions):
+        raise RestartError(
+            f"region count mismatch: {len(restored.regions)} != {len(original.regions)}"
+        )
+    for got, want in zip(restored.regions, original.regions):
+        if got != want:
+            raise RestartError(f"region {want.name!r} diverged after restart")

@@ -1,0 +1,257 @@
+"""The checkpoint write-size distribution of paper Table I.
+
+The paper profiles BLCR checkpointing LU.C.64 to ext3: per node, 8
+processes issue ~7800 write() calls for 8 x 23 MB of snapshot data, with
+a very characteristic mix — half the *calls* are tiny (<64 B) register /
+descriptor records, a third are page-sized region fragments (4-16 KiB)
+carrying only ~11% of the data, and a handful of giant (>1 MiB) writes
+carry 61% of the bytes.
+
+:class:`WriteSizeDistribution` reproduces that mix for any process-image
+size: bucket *count* fractions are preserved; bucket *data* fractions
+are preserved by scaling mean write sizes within each bucket; the
+open-ended >1 MiB bucket absorbs the residual so the stream sums to the
+image size exactly.  The total call count scales sublinearly with image
+size (regions grow faster than they multiply), anchored to the paper's
+(23 MB, ~975 calls/process) observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..units import KiB, MB, MiB
+
+__all__ = ["BucketSpec", "TABLE1_BUCKETS", "WriteSizeDistribution"]
+
+
+@dataclass(frozen=True)
+class BucketSpec:
+    """One Table I row: [lo, hi) bytes, share of calls, share of data."""
+
+    lo: int
+    hi: int  # 0 = open-ended
+    write_frac: float
+    data_frac: float
+
+    @property
+    def label(self) -> str:
+        def fmt(n: int) -> str:
+            if n >= MiB:
+                return f"{n // MiB}M"
+            if n >= KiB:
+                return f"{n // KiB}K"
+            return str(n)
+
+        if self.hi == 0:
+            return f"> {fmt(self.lo)}"
+        return f"{fmt(self.lo)}-{fmt(self.hi)}"
+
+
+#: Paper Table I (LU.C.64 written to ext3), normalized to fractions.
+TABLE1_BUCKETS: tuple[BucketSpec, ...] = (
+    BucketSpec(0, 64, 0.5086, 0.0004),
+    BucketSpec(64, 256, 0.0061, 0.0000),
+    BucketSpec(256, 1 * KiB, 0.0025, 0.0001),
+    BucketSpec(1 * KiB, 4 * KiB, 0.0946, 0.0153),
+    BucketSpec(4 * KiB, 16 * KiB, 0.3649, 0.1136),
+    BucketSpec(16 * KiB, 64 * KiB, 0.0074, 0.0077),
+    BucketSpec(64 * KiB, 256 * KiB, 0.0049, 0.0379),
+    BucketSpec(256 * KiB, 512 * KiB, 0.0025, 0.0358),
+    BucketSpec(512 * KiB, 1 * MiB, 0.0061, 0.1772),
+    BucketSpec(1 * MiB, 0, 0.0025, 0.6121),
+)
+
+#: The profiling anchor: a 23 MB image produced ~975 writes (7800 per
+#: 8-process node).
+REF_IMAGE_BYTES = 23 * MB
+REF_WRITE_COUNT = 975
+
+
+class WriteSizeDistribution:
+    """Sampleable BLCR write-stream model."""
+
+    def __init__(
+        self,
+        buckets: Sequence[BucketSpec] = TABLE1_BUCKETS,
+        ref_image: int = REF_IMAGE_BYTES,
+        ref_writes: int = REF_WRITE_COUNT,
+        count_exponent: float = 0.45,
+    ):
+        total_w = sum(b.write_frac for b in buckets)
+        total_d = sum(b.data_frac for b in buckets)
+        if not 0.98 <= total_w <= 1.02:
+            raise ValueError(f"write fractions sum to {total_w}, expected ~1")
+        if not 0.98 <= total_d <= 1.02:
+            raise ValueError(f"data fractions sum to {total_d}, expected ~1")
+        # renormalize exactly
+        self.buckets = tuple(
+            BucketSpec(b.lo, b.hi, b.write_frac / total_w, b.data_frac / total_d)
+            for b in buckets
+        )
+        self.ref_image = ref_image
+        self.ref_writes = ref_writes
+        self.count_exponent = count_exponent
+
+    # -- scaling -----------------------------------------------------------
+
+    def write_count(self, image_size: int) -> int:
+        """Total write() calls for an image of ``image_size`` bytes.
+
+        Sublinear: big applications have bigger regions, not
+        proportionally more of them.
+        """
+        if image_size <= 0:
+            return 0
+        scale = (image_size / self.ref_image) ** self.count_exponent
+        return max(8, int(round(self.ref_writes * scale)))
+
+    def bucket_counts(self, image_size: int) -> list[int]:
+        """Per-bucket write counts (largest-remainder apportionment)."""
+        n = self.write_count(image_size)
+        raw = [b.write_frac * n for b in self.buckets]
+        counts = [int(x) for x in raw]
+        remainders = sorted(
+            range(len(raw)), key=lambda i: raw[i] - counts[i], reverse=True
+        )
+        short = n - sum(counts)
+        for i in remainders[:short]:
+            counts[i] += 1
+        # every data-carrying bucket needs at least one write so its data
+        # share has somewhere to go
+        for i, b in enumerate(self.buckets):
+            if b.data_frac > 0.01 and counts[i] == 0:
+                counts[i] = 1
+        return counts
+
+    # -- stream generation ----------------------------------------------------
+
+    def plan(self, image_size: int, rng: np.random.Generator) -> list[int]:
+        """A full write-size stream for one process image.
+
+        Returns write sizes in BLCR-like order (header records leading,
+        small metadata writes interleaved before data writes); sizes sum
+        to ``image_size`` exactly; per-bucket count and byte shares track
+        Table I.
+        """
+        if image_size <= 0:
+            return []
+        counts = self.bucket_counts(image_size)
+        sizes_per_bucket: list[list[int]] = []
+        assigned = 0
+        open_bucket = None
+        for i, (b, cnt) in enumerate(zip(self.buckets, counts)):
+            if cnt == 0:
+                sizes_per_bucket.append([])
+                continue
+            if b.hi == 0:
+                open_bucket = i
+                sizes_per_bucket.append([])  # filled with the residual below
+                continue
+            target = b.data_frac * image_size
+            mean = target / cnt
+            lo, hi = max(b.lo, 1), b.hi - 1
+            mean = min(max(mean, lo), hi)
+            # uniform spread around the mean, clamped into the bucket
+            spread = min(mean - lo, hi - mean)
+            if spread > 0:
+                vals = rng.uniform(mean - spread, mean + spread, size=cnt)
+            else:
+                vals = np.full(cnt, mean)
+            sizes = [int(max(lo, min(hi, v))) for v in vals]
+            sizes_per_bucket.append(sizes)
+            assigned += sum(sizes)
+        residual = image_size - assigned
+        if open_bucket is not None:
+            cnt = max(counts[open_bucket], 1)
+            big_lo = self.buckets[open_bucket].lo
+            if residual >= cnt * (big_lo + 1):
+                base = residual // cnt
+                sizes = [base] * cnt
+                sizes[-1] += residual - base * cnt
+                sizes_per_bucket[open_bucket] = sizes
+                residual = 0
+            # else: image too small for >1 MiB writes; spill below
+        if residual != 0:
+            # Fold any remainder into (or out of) the largest closed bucket
+            # write so the stream still sums exactly.
+            sizes_per_bucket = self._absorb_residual(sizes_per_bucket, residual)
+        return self._order_stream(sizes_per_bucket, rng)
+
+    def _absorb_residual(
+        self, sizes_per_bucket: list[list[int]], residual: int
+    ) -> list[list[int]]:
+        # find the bucket with the largest write to adjust
+        best = None
+        for i, sizes in enumerate(sizes_per_bucket):
+            for j, s in enumerate(sizes):
+                if best is None or s > sizes_per_bucket[best[0]][best[1]]:
+                    best = (i, j)
+        if best is None:
+            # no writes at all: emit one write of the residual
+            if residual > 0:
+                sizes_per_bucket[-1] = [residual]
+            return sizes_per_bucket
+        i, j = best
+        adjusted = sizes_per_bucket[i][j] + residual
+        if adjusted <= 0:
+            # shrink across writes (degenerate tiny images)
+            flat = [s for sizes in sizes_per_bucket for s in sizes]
+            total = sum(flat) + residual
+            return [[max(total, 0)]] if total > 0 else [[]]
+        sizes_per_bucket[i][j] = adjusted
+        return sizes_per_bucket
+
+    def _order_stream(
+        self, sizes_per_bucket: list[list[int]], rng: np.random.Generator
+    ) -> list[int]:
+        """BLCR-like ordering: a burst of small header records up front,
+        then (small-metadata, data...) alternation, big regions last-ish."""
+        smalls: list[int] = []
+        datas: list[int] = []
+        for b, sizes in zip(self.buckets, sizes_per_bucket):
+            if b.hi != 0 and b.hi <= 1 * KiB:
+                smalls.extend(sizes)
+            else:
+                datas.extend(sizes)
+        rng.shuffle(datas)
+        # leading header burst: ~10% of small records
+        lead = len(smalls) // 10
+        stream = smalls[:lead]
+        rest_smalls = smalls[lead:]
+        # interleave the remaining small records among the data writes
+        if datas:
+            per_data = len(rest_smalls) / len(datas)
+            acc = 0.0
+            si = 0
+            for d in datas:
+                acc += per_data
+                while si < len(rest_smalls) and acc >= 1.0:
+                    stream.append(rest_smalls[si])
+                    si += 1
+                    acc -= 1.0
+                stream.append(d)
+            stream.extend(rest_smalls[si:])
+        else:
+            stream.extend(rest_smalls)
+        return stream
+
+    # -- introspection -----------------------------------------------------------
+
+    def describe(self, image_size: int, rng: np.random.Generator) -> dict:
+        """Count/data shares of a generated stream (for tests/reports)."""
+        stream = self.plan(image_size, rng)
+        arr = np.asarray(stream)
+        out = {}
+        for b in self.buckets:
+            hi = b.hi if b.hi else np.inf
+            mask = (arr >= b.lo) & (arr < hi)
+            out[b.label] = {
+                "count": int(mask.sum()),
+                "count_frac": float(mask.sum() / len(arr)) if len(arr) else 0.0,
+                "data_frac": float(arr[mask].sum() / arr.sum()) if arr.sum() else 0.0,
+            }
+        return out

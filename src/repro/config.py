@@ -1,0 +1,107 @@
+"""CRFS mount configuration.
+
+Mirrors the tunables the paper exposes at mount time (Section IV/V-B):
+
+* **chunk size** — the unit of write aggregation.  The paper evaluates
+  128 KiB..4 MiB and fixes 4 MiB for the application experiments.
+* **buffer pool size** — total aggregation memory.  The paper evaluates
+  4..64 MiB and fixes 16 MiB ("CRFS shouldn't occupy too much memory").
+* **io threads** — worker threads draining the work queue.  The paper
+  finds 4 to be the sweet spot and uses it throughout.
+
+The defaults here are the paper's chosen operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from .errors import ConfigError
+from .units import KiB, MiB, parse_size
+
+__all__ = ["CRFSConfig", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True)
+class CRFSConfig:
+    """Tunables for a CRFS mount (both functional and timing planes)."""
+
+    #: Size of each aggregation chunk in bytes (paper default: 4 MiB).
+    chunk_size: int = 4 * MiB
+    #: Total buffer pool size in bytes (paper default: 16 MiB).
+    pool_size: int = 16 * MiB
+    #: Number of IO worker threads draining the work queue (paper: 4).
+    io_threads: int = 4
+    #: Maximum queued chunks in the work queue; 0 means unbounded.  The
+    #: paper's design is implicitly bounded by the pool (a chunk must be
+    #: allocated before it can be queued), so the default keeps that.
+    work_queue_depth: int = 0
+    #: Whether read() passes straight through to the backend (paper
+    #: behaviour: "we directly pass it to the underlying filesystem").
+    #: With False, a read first flushes and drains the file's pending
+    #: chunks, so reads always observe the latest writes — a
+    #: read-your-writes extension for general (non-checkpoint) workloads
+    #: that interleave reads and writes.
+    read_passthrough: bool = True
+    #: Pad the final partial chunk write?  The paper writes only valid
+    #: bytes; padding is an ablation knob (always False for fidelity).
+    pad_partial_chunks: bool = False
+    #: Writes of at least this many bytes bypass aggregation and go
+    #: straight to the backend (after flushing the partial chunk, so
+    #: issue order is preserved).  0 disables write-through — the paper's
+    #: behaviour, since BLCR's large writes still benefit from the
+    #: asynchronous chunk pipeline.  Ablation knob.
+    write_through_threshold: int = 0
+
+    def __post_init__(self) -> None:
+        if self.chunk_size <= 0:
+            raise ConfigError(f"chunk_size must be positive, got {self.chunk_size}")
+        if self.chunk_size % (4 * KiB) != 0:
+            raise ConfigError(
+                f"chunk_size must be a multiple of the 4 KiB page size, got {self.chunk_size}"
+            )
+        if self.pool_size < self.chunk_size:
+            raise ConfigError(
+                f"pool_size ({self.pool_size}) must hold at least one chunk ({self.chunk_size})"
+            )
+        if self.io_threads < 1:
+            raise ConfigError(f"io_threads must be >= 1, got {self.io_threads}")
+        if self.work_queue_depth < 0:
+            raise ConfigError(
+                f"work_queue_depth must be >= 0, got {self.work_queue_depth}"
+            )
+        if self.write_through_threshold < 0:
+            raise ConfigError(
+                f"write_through_threshold must be >= 0, got {self.write_through_threshold}"
+            )
+
+    @property
+    def pool_chunks(self) -> int:
+        """How many whole chunks the pool holds (the pool is chunk-granular)."""
+        return self.pool_size // self.chunk_size
+
+    def with_(self, **changes: Any) -> "CRFSConfig":
+        """Return a copy with the given fields replaced (validated)."""
+        return replace(self, **changes)
+
+    @classmethod
+    def from_sizes(
+        cls,
+        chunk: str | int = "4M",
+        pool: str | int = "16M",
+        io_threads: int = 4,
+        **kw: Any,
+    ) -> "CRFSConfig":
+        """Build a config from human-readable size strings."""
+        return cls(
+            chunk_size=parse_size(chunk),
+            pool_size=parse_size(pool),
+            io_threads=io_threads,
+            **kw,
+        )
+
+
+#: The paper's chosen operating point (Section V-B): 4 MiB chunks,
+#: 16 MiB pool, 4 IO threads.
+DEFAULT_CONFIG = CRFSConfig()

@@ -1,0 +1,96 @@
+"""Buffer pool: fixed-size chunks allocated at mount time.
+
+The paper (Section IV-B): "CRFS manages a buffer pool initialized at
+mount time.  The buffer pool is divided into fixed-sized chunks."  The
+pool is the pipeline's backpressure mechanism: when IO threads fall
+behind the writers, the pool drains and writers block in
+:meth:`acquire` — exactly the stall that makes Figure 5's bandwidth rise
+with pool size.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from ..errors import ConfigError, ShutdownError
+from .chunk import Chunk
+
+__all__ = ["BufferPool"]
+
+
+class BufferPool:
+    """Thread-safe pool of pre-allocated chunks.
+
+    ``acquire()`` blocks while the pool is empty (bounded by
+    ``timeout`` to keep tests debuggable); ``release()`` recycles a chunk
+    and wakes one waiter.
+    """
+
+    def __init__(self, chunk_size: int, pool_size: int):
+        if chunk_size <= 0:
+            raise ConfigError(f"chunk_size must be positive, got {chunk_size}")
+        nchunks = pool_size // chunk_size
+        if nchunks < 1:
+            raise ConfigError(
+                f"pool_size {pool_size} holds no chunk of size {chunk_size}"
+            )
+        self.chunk_size = chunk_size
+        self.nchunks = nchunks
+        self._free: list[Chunk] = [Chunk(i, chunk_size) for i in range(nchunks)]
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._closed = False
+        # -- stats
+        self.total_acquires = 0
+        self.total_waits = 0  # acquires that had to block
+        self.max_in_use = 0
+
+    @property
+    def free_chunks(self) -> int:
+        with self._lock:
+            return len(self._free)
+
+    @property
+    def in_use(self) -> int:
+        with self._lock:
+            return self.nchunks - len(self._free)
+
+    def acquire(self, timeout: float | None = 30.0) -> Chunk:
+        """Take a free chunk, blocking while none are available.
+
+        ``timeout`` guards against pipeline deadlocks in tests; production
+        callers can pass ``None`` to wait forever.
+        """
+        with self._available:
+            self.total_acquires += 1
+            if not self._free and not self._closed:
+                self.total_waits += 1
+            while not self._free:
+                if self._closed:
+                    raise ShutdownError("buffer pool closed")
+                if not self._available.wait(timeout=timeout):
+                    raise ShutdownError(
+                        f"buffer pool exhausted for {timeout}s "
+                        f"({self.nchunks} chunks all in flight) — IO stalled?"
+                    )
+            chunk = self._free.pop()
+            used = self.nchunks - len(self._free)
+            if used > self.max_in_use:
+                self.max_in_use = used
+            return chunk
+
+    def release(self, chunk: Chunk) -> None:
+        """Recycle a chunk (resets its metadata)."""
+        chunk.reset()
+        with self._available:
+            if len(self._free) >= self.nchunks:
+                raise ShutdownError("double release into buffer pool")
+            self._free.append(chunk)
+            self._available.notify()
+
+    def close(self) -> None:
+        """Wake all blocked acquirers with ShutdownError (unmount path)."""
+        with self._available:
+            self._closed = True
+            self._available.notify_all()

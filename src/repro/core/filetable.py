@@ -1,0 +1,130 @@
+"""Open-file table: the hash table of Section IV-A.
+
+"CRFS maintains a hash table to keep track of opened files.  Each opened
+file is associated with an entry that contains metadata to be used in
+later I/O operations... If the file is already opened, the reference
+counter in its table entry is incremented by one."
+
+Each entry also carries the drain counters of Section IV-B/C:
+``write_chunk_count`` (chunks handed to the work queue) and
+``complete_chunk_count`` (chunks the IO threads finished).  close() and
+fsync() block until they match.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from ..errors import BackendIOError, FileStateError
+from .chunk import Chunk
+from .planner import WritePlanner
+
+__all__ = ["FileEntry", "OpenFileTable"]
+
+
+class FileEntry:
+    """Per-open-file metadata: planner state, drain counters, error latch."""
+
+    def __init__(self, path: str, backend_handle: Any, chunk_size: int):
+        self.path = path
+        self.backend_handle = backend_handle
+        self.refcount = 1
+        self.planner = WritePlanner(chunk_size)
+        self.current_chunk: Optional[Chunk] = None
+        # Serializes the write path for this file (writers to *different*
+        # files proceed in parallel, as on the real mount).
+        self.write_lock = threading.Lock()
+        self._drain = threading.Condition()
+        self.write_chunk_count = 0  # "outstanding full chunk writes"
+        self.complete_chunk_count = 0
+        self._error: BaseException | None = None
+
+    # -- drain protocol ------------------------------------------------------
+
+    def note_chunk_queued(self) -> None:
+        with self._drain:
+            self.write_chunk_count += 1
+
+    def note_chunk_complete(self, error: BaseException | None = None) -> None:
+        """IO-thread callback: one outstanding chunk write finished."""
+        with self._drain:
+            self.complete_chunk_count += 1
+            if error is not None and self._error is None:
+                self._error = error
+            self._drain.notify_all()
+
+    @property
+    def outstanding(self) -> int:
+        with self._drain:
+            return self.write_chunk_count - self.complete_chunk_count
+
+    def wait_drained(self, timeout: float | None = 60.0) -> None:
+        """Block until complete_chunk_count == write_chunk_count, then
+        surface any latched writeback error (the POSIX close/fsync
+        error-reporting contract)."""
+        with self._drain:
+            while self.complete_chunk_count < self.write_chunk_count:
+                if not self._drain.wait(timeout=timeout):
+                    raise FileStateError(
+                        f"{self.path}: drain stuck "
+                        f"({self.complete_chunk_count}/{self.write_chunk_count})"
+                    )
+            if self._error is not None:
+                error, self._error = self._error, None
+                raise BackendIOError(
+                    f"{self.path}: async chunk write failed: {error}"
+                ) from error
+
+    def peek_error(self) -> BaseException | None:
+        with self._drain:
+            return self._error
+
+
+class OpenFileTable:
+    """Thread-safe path -> FileEntry map with reference counting."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, FileEntry] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def lookup(self, path: str) -> Optional[FileEntry]:
+        with self._lock:
+            return self._entries.get(path)
+
+    def open(self, path: str, make_entry) -> FileEntry:
+        """Get-or-create the entry for ``path``; bumps the refcount.
+
+        ``make_entry`` is called (under the table lock) only when the path
+        is not already open — it should open the backend file and return a
+        FileEntry.
+        """
+        with self._lock:
+            entry = self._entries.get(path)
+            if entry is not None:
+                entry.refcount += 1
+                return entry
+            entry = make_entry()
+            self._entries[path] = entry
+            return entry
+
+    def close(self, path: str) -> tuple[FileEntry, bool]:
+        """Drop one reference; returns (entry, was_last).  The caller
+        performs the drain/backend close outside the table lock."""
+        with self._lock:
+            entry = self._entries.get(path)
+            if entry is None:
+                raise FileStateError(f"{path} is not open")
+            entry.refcount -= 1
+            last = entry.refcount == 0
+            if last:
+                del self._entries[path]
+            return entry, last
+
+    def paths(self) -> list[str]:
+        with self._lock:
+            return list(self._entries)

@@ -1,0 +1,322 @@
+"""The CRFS mount: POSIX-style facade over the aggregation pipeline.
+
+This is the functional-plane equivalent of the paper's FUSE mount.  An
+application opens files, writes, reads, closes — and behind the facade
+writes coalesce into pooled chunks that IO threads push to the backing
+:class:`~repro.backends.base.Backend` asynchronously (Section IV).
+
+Semantics preserved from the paper:
+
+* **write** returns as soon as the data is copied into a chunk;
+* **close/fsync** flush the partial chunk and block until the file's
+  ``complete_chunk_count`` equals its ``write_chunk_count``;
+* **read and namespace ops pass through** to the backend untouched;
+* the **file layout on the backend is unchanged**, so anything written
+  through CRFS is readable without it (the paper's restart property).
+
+Error contract: an asynchronous chunk-write failure is latched in the
+file entry and raised from the next close()/fsync() on that file — the
+POSIX writeback-error contract.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator
+
+from ..backends.base import Backend, BackendStat, normalize_path
+from ..config import CRFSConfig, DEFAULT_CONFIG
+from ..errors import BackendIOError, FileStateError, MountError
+from .buffer_pool import BufferPool
+from .filetable import FileEntry, OpenFileTable
+from .handle import CRFSFile
+from .iopool import IOThreadPool, WorkItem
+from .planner import Fill, Seal, SealReason
+from .workqueue import WorkQueue
+
+__all__ = ["CRFS"]
+
+
+class CRFS:
+    """A mounted CRFS instance.
+
+    >>> from repro.backends import MemBackend
+    >>> with CRFS(MemBackend()) as fs:
+    ...     with fs.open("/ckpt/rank0.img") as f:
+    ...         _ = f.write(b"snapshot bytes")
+    """
+
+    def __init__(self, backend: Backend, config: CRFSConfig = DEFAULT_CONFIG):
+        self.backend = backend
+        self.config = config
+        self.pool = BufferPool(config.chunk_size, config.pool_size)
+        self.queue = WorkQueue(config.work_queue_depth)
+        self.iopool = IOThreadPool(backend, self.queue, self.pool, config.io_threads)
+        self.table = OpenFileTable()
+        self._mounted = False
+        self._lifecycle = threading.Lock()
+        # -- mount-level stats
+        self.total_writes = 0
+        self.total_bytes_in = 0
+        self.write_through_bytes = 0
+        self.seal_counts: dict[SealReason, int] = {r: 0 for r in SealReason}
+        self._stats_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def mount(self) -> "CRFS":
+        with self._lifecycle:
+            if self._mounted:
+                raise MountError("already mounted")
+            self.iopool.start()
+            self._mounted = True
+        return self
+
+    def unmount(self, timeout: float = 30.0) -> None:
+        """Flush and drain every open file, stop the IO threads.
+
+        Files still open are flushed and their backend handles closed (a
+        forced unmount); their CRFSFile handles become unusable.
+        """
+        with self._lifecycle:
+            if not self._mounted:
+                return
+            for path in self.table.paths():
+                entry = self.table.lookup(path)
+                if entry is None:
+                    continue
+                with entry.write_lock:
+                    self._flush_locked(entry)
+                entry.wait_drained(timeout=timeout)
+                # drop all remaining references
+                last = False
+                while not last:
+                    _, last = self.table.close(path)
+                self.backend.close(entry.backend_handle)
+            self.iopool.shutdown(timeout=timeout)
+            self.pool.close()
+            self._mounted = False
+
+    def __enter__(self) -> "CRFS":
+        return self.mount()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.unmount()
+
+    @property
+    def mounted(self) -> bool:
+        return self._mounted
+
+    def _require_mounted(self) -> None:
+        if not self._mounted:
+            raise MountError("filesystem is not mounted")
+
+    # -- file open/close -------------------------------------------------------
+
+    def open(self, path: str, create: bool = True, truncate: bool = False) -> CRFSFile:
+        """Open (by default create) a file for aggregated writing.
+
+        Mirrors the paper's open path: look up the hash table; bump the
+        refcount if already open, otherwise insert a fresh entry and
+        open/create the backing file.
+        """
+        self._require_mounted()
+        norm = normalize_path(path)
+
+        def make_entry() -> FileEntry:
+            handle = self.backend.open(norm, create=create, truncate=truncate)
+            return FileEntry(norm, handle, self.config.chunk_size)
+
+        entry = self.table.open(norm, make_entry)
+        return CRFSFile(self, entry)
+
+    def _close_entry(self, entry: FileEntry, timeout: float = 60.0) -> None:
+        """close() semantics (Section IV-C): flush the partial chunk, wait
+        for all outstanding chunk writes, then drop the reference."""
+        self._require_mounted()
+        with entry.write_lock:
+            self._flush_locked(entry)
+        try:
+            entry.wait_drained(timeout=timeout)
+        finally:
+            _, last = self.table.close(entry.path)
+            if last:
+                self.backend.close(entry.backend_handle)
+
+    # -- write path ---------------------------------------------------------
+
+    def _write(self, entry: FileEntry, data: bytes | memoryview, offset: int) -> int:
+        """Aggregate one write (Section IV-B).  Returns len(data).
+
+        With ``write_through_threshold`` set, writes at least that large
+        skip aggregation: the partial chunk is sealed first (preserving
+        issue order), then the data goes straight to the backend
+        synchronously.
+        """
+        self._require_mounted()
+        view = memoryview(data)
+        threshold = self.config.write_through_threshold
+        if threshold and len(view) >= threshold:
+            with entry.write_lock:
+                err = entry.peek_error()
+                if err is not None:
+                    raise BackendIOError(
+                        f"{entry.path}: earlier async chunk write failed: {err}"
+                    ) from err
+                for op in entry.planner.note_external_write(offset, len(view)):
+                    assert isinstance(op, Seal)
+                    self._seal_current(entry, op)
+                self.backend.pwrite(entry.backend_handle, view, offset)
+            with self._stats_lock:
+                self.total_writes += 1
+                self.total_bytes_in += len(view)
+                self.write_through_bytes += len(view)
+            return len(view)
+        with entry.write_lock:
+            err = entry.peek_error()
+            if err is not None:
+                # Fail fast: a prior async write already failed; writing
+                # more data into chunks would be silently lost.
+                raise BackendIOError(
+                    f"{entry.path}: earlier async chunk write failed: {err}"
+                ) from err
+            ops = entry.planner.write(offset, len(view))
+            for op in ops:
+                if isinstance(op, Fill):
+                    if entry.current_chunk is None:
+                        chunk = self.pool.acquire()
+                        chunk.open_for(entry, op.file_offset - op.chunk_offset)
+                        entry.current_chunk = chunk
+                    entry.current_chunk.append(
+                        view[op.data_offset : op.data_offset + op.length],
+                        op.chunk_offset,
+                        op.length,
+                    )
+                else:  # Seal
+                    self._seal_current(entry, op)
+        with self._stats_lock:
+            self.total_writes += 1
+            self.total_bytes_in += len(view)
+        return len(view)
+
+    def _seal_current(self, entry: FileEntry, seal: Seal) -> None:
+        chunk = entry.current_chunk
+        if chunk is None:
+            raise FileStateError(f"{entry.path}: seal with no open chunk")
+        if chunk.valid != seal.length or chunk.file_offset != seal.file_offset:
+            raise FileStateError(
+                f"{entry.path}: planner/runtime divergence "
+                f"(chunk {chunk.file_offset}+{chunk.valid}, "
+                f"seal {seal.file_offset}+{seal.length})"
+            )
+        chunk.seal(seal.reason)
+        entry.current_chunk = None
+        entry.note_chunk_queued()
+        with self._stats_lock:
+            self.seal_counts[seal.reason] += 1
+        self.queue.put(WorkItem(chunk=chunk, entry=entry))
+
+    def _flush_locked(self, entry: FileEntry) -> None:
+        """Seal the partial chunk, if any (caller holds write_lock)."""
+        for op in entry.planner.flush():
+            assert isinstance(op, Seal)
+            self._seal_current(entry, op)
+
+    def _fsync(self, entry: FileEntry, timeout: float = 60.0) -> None:
+        """fsync() semantics (Section IV-D2): enqueue the current buffer
+        chunk, wait for all outstanding chunk writes, then fsync the
+        underlying file."""
+        self._require_mounted()
+        with entry.write_lock:
+            self._flush_locked(entry)
+        entry.wait_drained(timeout=timeout)
+        self.backend.fsync(entry.backend_handle)
+
+    # -- read path (passthrough) ----------------------------------------------
+
+    def _read(self, entry: FileEntry, size: int, offset: int) -> bytes:
+        """read(): "we directly pass it to the underlying filesystem
+        without any additional operation" (Section IV-D1).
+
+        With ``read_passthrough=False`` the file's pending chunks are
+        flushed and drained first, so the read observes every prior
+        write (read-your-writes, for non-checkpoint workloads).
+        """
+        self._require_mounted()
+        if not self.config.read_passthrough:
+            with entry.write_lock:
+                self._flush_locked(entry)
+            entry.wait_drained()
+        return self.backend.pread(entry.backend_handle, size, offset)
+
+    # -- namespace passthrough (Section IV-D3) -----------------------------------
+
+    def exists(self, path: str) -> bool:
+        self._require_mounted()
+        return self.backend.exists(normalize_path(path))
+
+    def stat(self, path: str) -> BackendStat:
+        self._require_mounted()
+        return self.backend.stat(normalize_path(path))
+
+    def unlink(self, path: str) -> None:
+        self._require_mounted()
+        norm = normalize_path(path)
+        if self.table.lookup(norm) is not None:
+            # An open CRFS file may still have chunks in flight whose
+            # pwrites would recreate confusion; the paper's workload never
+            # unlinks open checkpoints, so we refuse loudly.
+            raise FileStateError(f"{norm} is open through CRFS; close it first")
+        self.backend.unlink(norm)
+
+    def mkdir(self, path: str) -> None:
+        self._require_mounted()
+        self.backend.mkdir(normalize_path(path))
+
+    def rmdir(self, path: str) -> None:
+        self._require_mounted()
+        self.backend.rmdir(normalize_path(path))
+
+    def listdir(self, path: str) -> list[str]:
+        self._require_mounted()
+        return self.backend.listdir(normalize_path(path))
+
+    def rename(self, old: str, new: str) -> None:
+        self._require_mounted()
+        if self.table.lookup(normalize_path(old)) is not None:
+            raise FileStateError(f"{old} is open through CRFS; close it first")
+        self.backend.rename(normalize_path(old), normalize_path(new))
+
+    def truncate(self, path: str, size: int) -> None:
+        self._require_mounted()
+        if self.table.lookup(normalize_path(path)) is not None:
+            raise FileStateError(f"{path} is open through CRFS; close it first")
+        self.backend.truncate(normalize_path(path), size)
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Pipeline statistics for reports and tuning examples."""
+        with self._stats_lock:
+            seals = {r.value: c for r, c in self.seal_counts.items()}
+        return {
+            "writes": self.total_writes,
+            "bytes_in": self.total_bytes_in,
+            "write_through_bytes": self.write_through_bytes,
+            "chunks_written": self.iopool.chunks_written,
+            "bytes_out": self.iopool.bytes_written,
+            "io_errors": self.iopool.errors,
+            "seals": seals,
+            "open_files": len(self.table),
+            "pool": {
+                "chunks": self.pool.nchunks,
+                "chunk_size": self.pool.chunk_size,
+                "acquires": self.pool.total_acquires,
+                "waits": self.pool.total_waits,
+                "max_in_use": self.pool.max_in_use,
+            },
+            "queue": {
+                "puts": self.queue.total_puts,
+                "max_depth": self.queue.max_depth,
+            },
+        }

@@ -1,0 +1,87 @@
+"""The work queue between writers and the IO thread pool.
+
+The paper (Section IV-B): "Data chunks are eventually handed over to the
+Work Queue for actual writing... Whenever a chunk is enqueued, an IO
+thread wakes up and fetches the chunk off the queue."
+
+Close semantics are drain-then-stop: after :meth:`close`, queued items
+are still handed out, and once empty every getter receives
+:class:`QueueClosed` — that is how the IO threads learn to exit at
+unmount without dropping in-flight chunks.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque
+
+from ..errors import ShutdownError
+
+__all__ = ["WorkQueue", "QueueClosed"]
+
+
+class QueueClosed(ShutdownError):
+    """Raised from get()/put() once the queue has shut down."""
+
+
+class WorkQueue:
+    """Bounded (optionally unbounded) thread-safe FIFO with drain-close."""
+
+    def __init__(self, capacity: int = 0):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity  # 0 = unbounded
+        self._items: Deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+        # -- stats
+        self.total_puts = 0
+        self.max_depth = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def put(self, item: Any, timeout: float | None = 30.0) -> None:
+        with self._not_full:
+            while (
+                self.capacity
+                and len(self._items) >= self.capacity
+                and not self._closed
+            ):
+                if not self._not_full.wait(timeout=timeout):
+                    raise ShutdownError(f"work queue full for {timeout}s — IO stalled?")
+            if self._closed:
+                raise QueueClosed("work queue closed")
+            self._items.append(item)
+            self.total_puts += 1
+            if len(self._items) > self.max_depth:
+                self.max_depth = len(self._items)
+            self._not_empty.notify()
+
+    def get(self, timeout: float | None = None) -> Any:
+        """Take the next item; blocks while empty; raises QueueClosed once
+        closed *and* drained."""
+        with self._not_empty:
+            while not self._items:
+                if self._closed:
+                    raise QueueClosed("work queue closed")
+                if not self._not_empty.wait(timeout=timeout):
+                    raise TimeoutError("work queue get timed out")
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()

@@ -1,0 +1,17 @@
+"""Experiment reproductions — one module per paper table/figure.
+
+Every module exposes a ``run(seed=..., fast=...)`` returning an
+:class:`~repro.experiments.base.ExperimentResult` that carries the
+rendered table (the same rows/series the paper reports), structured
+measurements, the paper's reference numbers, and shape checks.
+
+Run them all from the CLI::
+
+    python -m repro.experiments.registry            # everything
+    python -m repro.experiments.registry fig6 fig9  # a subset
+"""
+
+from .base import Check, ExperimentResult
+from .registry import EXPERIMENTS, run_experiment
+
+__all__ = ["Check", "ExperimentResult", "EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,46 @@
+"""Shared experiment result types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Check", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class Check:
+    """One shape assertion against the paper (who wins / by what factor)."""
+
+    description: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        out = f"[{mark}] {self.description}"
+        if self.detail:
+            out += f" — {self.detail}"
+        return out
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment reproduction produced."""
+
+    name: str  # e.g. "fig6"
+    title: str  # paper artifact title
+    table: str  # rendered report (the paper's rows/series)
+    measured: dict[str, Any] = field(default_factory=dict)
+    paper: dict[str, Any] = field(default_factory=dict)
+    checks: list[Check] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def render(self) -> str:
+        lines = [f"== {self.name}: {self.title} ==", "", self.table, ""]
+        for c in self.checks:
+            lines.append(str(c))
+        return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Figure 11 — cumulative write time, native ext3 vs ext3+CRFS
+(LU.C.64).
+
+The companion to Figure 3: under CRFS all processes' write-time curves
+collapse together and end far lower — aggregation removes both the cost
+and the variance, so the application resumes promptly after the slowest
+writer (which is now barely slower than the fastest).
+"""
+
+from __future__ import annotations
+
+from ..trace.cumulative import completion_spread
+from ..trace.recorder import WriteTrace
+from ..util.tables import TextTable
+from .base import Check, ExperimentResult
+from .common import DEFAULT_SEED, run_cell
+
+PAPER = {
+    "native_range_s": (4.0, 8.0),
+    "narrative": "CRFS curves converge; native curves spread 2x",
+}
+
+
+def _node0_trace(result) -> WriteTrace:
+    ranks = set(result.write_trace.ranks()[: result.job.procs_per_node])
+    return WriteTrace([r for r in result.write_trace if r.rank in ranks])
+
+
+def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
+    native = run_cell("MVAPICH2", "C", "ext3", use_crfs=False, nprocs=64,
+                      nnodes=8, seed=seed, record_writes=True)
+    crfs = run_cell("MVAPICH2", "C", "ext3", use_crfs=True, nprocs=64,
+                    nnodes=8, seed=seed, record_writes=True)
+    sp_nat = completion_spread(_node0_trace(native))
+    sp_crfs = completion_spread(_node0_trace(crfs))
+
+    table = TextTable(
+        ["mode", "min total write (s)", "max total write (s)", "spread (max/min)"],
+        title="Fig 11 reproduction: per-process write-time spread, node 0",
+    )
+    table.add_row(["native ext3", f"{sp_nat['min']:.2f}", f"{sp_nat['max']:.2f}",
+                   f"{sp_nat['spread_ratio']:.2f}"])
+    table.add_row(["ext3+CRFS", f"{sp_crfs['min']:.2f}", f"{sp_crfs['max']:.2f}",
+                   f"{sp_crfs['spread_ratio']:.2f}"])
+
+    checks = [
+        Check(
+            "native spread is wide",
+            sp_nat["spread_ratio"] >= 1.4,
+            f"{sp_nat['spread_ratio']:.2f} (paper ~2)",
+        ),
+        Check(
+            "CRFS curves converge far tighter than native",
+            sp_crfs["spread_ratio"] <= 1.5
+            and sp_crfs["max"] - sp_crfs["min"] < 0.5 * (sp_nat["max"] - sp_nat["min"]),
+            f"CRFS {sp_crfs['spread_ratio']:.2f} vs native {sp_nat['spread_ratio']:.2f}",
+        ),
+        Check(
+            "CRFS write time is far below native",
+            sp_crfs["max"] < 0.6 * sp_nat["max"],
+            f"{sp_crfs['max']:.2f}s vs {sp_nat['max']:.2f}s",
+        ),
+    ]
+    return ExperimentResult(
+        name="fig11",
+        title="Cumulative Write Time for Each Process (LU.C.64, ext3 vs ext3+CRFS)",
+        table=table.render(),
+        measured={"native": sp_nat, "crfs": sp_crfs},
+        paper=PAPER,
+        checks=checks,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

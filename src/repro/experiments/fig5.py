@@ -1,0 +1,125 @@
+"""Figure 5 — CRFS raw write bandwidth (8 processes on a single node).
+
+The paper's rig: 8 processes each stream 1 GB into CRFS; IO threads
+discard filled chunks (null backend), isolating the aggregation
+pipeline.  Swept over buffer pool size (4..64 MiB) x chunk size
+(128 KiB..4 MiB), 4 IO threads.
+
+Shapes to land: >700 MB/s at a 16 MiB pool for every chunk >=128 KiB;
+bandwidth rises with pool size and flattens past ~32 MiB; larger chunks
+are generally faster.
+"""
+
+from __future__ import annotations
+
+from ..config import CRFSConfig
+from ..sim import SharedBandwidth, Simulator
+from ..simcrfs import SimCRFS
+from ..simio.nullfs import NullSimFilesystem
+from ..simio.params import DEFAULT_HW
+from ..units import GiB, KiB, MB, MiB
+from ..util.rng import rng_for
+from ..util.tables import TextTable
+from ..workloads import RawWriteWorkload
+from .base import Check, ExperimentResult
+from .common import DEFAULT_SEED
+
+POOL_SIZES = [4 * MiB, 8 * MiB, 16 * MiB, 32 * MiB, 64 * MiB]
+CHUNK_SIZES = [128 * KiB, 256 * KiB, 512 * KiB, 1 * MiB, 2 * MiB, 4 * MiB]
+
+PAPER = {
+    "min_bw_at_16M_pool_MBps": 700.0,
+    "peak_bw_MBps": 1100.0,
+    "flattens_after_MiB": 32,
+}
+
+
+def measure(pool: int, chunk: int, bytes_per_proc: int, seed: int) -> float:
+    """Aggregated bandwidth (bytes/s) for one (pool, chunk) cell."""
+    if pool < chunk:
+        return float("nan")  # pool cannot hold one chunk; cell undefined
+    sim = Simulator()
+    hw = DEFAULT_HW
+    membus = SharedBandwidth(sim, hw.membus_bandwidth)
+    backend = NullSimFilesystem(sim, hw, rng_for(seed, f"fig5/{pool}/{chunk}"))
+    crfs = SimCRFS(
+        sim, hw, CRFSConfig(chunk_size=chunk, pool_size=pool), backend, membus
+    )
+    workload = RawWriteWorkload(processes=8, bytes_per_process=bytes_per_proc)
+
+    def writer(i: int):
+        f = crfs.open(f"/stream{i}")
+        for size in workload.write_sizes():
+            yield from crfs.write(f, size)
+        yield from crfs.close(f)
+
+    procs = [sim.spawn(writer(i), f"w{i}") for i in range(workload.processes)]
+    sim.run_until_complete(procs)
+    return workload.total_bytes / sim.now
+
+
+def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
+    bytes_per_proc = 64 * MiB if fast else 256 * MiB
+    grid: dict[tuple[int, int], float] = {}
+    for pool in POOL_SIZES:
+        for chunk in CHUNK_SIZES:
+            grid[(pool, chunk)] = measure(pool, chunk, bytes_per_proc, seed)
+
+    table = TextTable(
+        ["chunk \\ pool"] + [f"{p // MiB}M" for p in POOL_SIZES],
+        title="Fig 5 reproduction: CRFS raw aggregation bandwidth (MB/s), 8 writers",
+    )
+    for chunk in CHUNK_SIZES:
+        row = [f"{chunk // KiB}K" if chunk < MiB else f"{chunk // MiB}M"]
+        for pool in POOL_SIZES:
+            bw = grid[(pool, chunk)]
+            row.append("-" if bw != bw else f"{bw / MB:.0f}")
+        table.add_row(row)
+
+    at_16m = [grid[(16 * MiB, c)] for c in CHUNK_SIZES]
+    bw_4m_pools = [grid[(p, 4 * MiB)] for p in POOL_SIZES]
+    rising = all(
+        bw_4m_pools[i + 1] >= bw_4m_pools[i] * 0.98 for i in range(len(bw_4m_pools) - 1)
+    )
+    flattening = (bw_4m_pools[-1] - bw_4m_pools[-2]) / bw_4m_pools[-2] < 0.15
+    bigger_chunks_faster = grid[(16 * MiB, 4 * MiB)] >= grid[(16 * MiB, 128 * KiB)]
+
+    checks = [
+        Check(
+            ">700 MB/s at a 16 MiB pool for all chunk sizes >=128 KiB",
+            min(at_16m) > 700 * MB,
+            f"min {min(at_16m) / MB:.0f} MB/s",
+        ),
+        Check(
+            "bandwidth rises with pool size (4 MiB chunks)",
+            rising,
+            " -> ".join(f"{b / MB:.0f}" for b in bw_4m_pools),
+        ),
+        Check(
+            "bandwidth flattens past 32 MiB pool",
+            flattening,
+            f"64M vs 32M: +{100 * (bw_4m_pools[-1] - bw_4m_pools[-2]) / bw_4m_pools[-2]:.1f}%",
+        ),
+        Check(
+            "larger chunks are faster at a fixed 16 MiB pool",
+            bigger_chunks_faster,
+            f"4M: {grid[(16 * MiB, 4 * MiB)] / MB:.0f} vs 128K: {grid[(16 * MiB, 128 * KiB)] / MB:.0f} MB/s",
+        ),
+    ]
+
+    return ExperimentResult(
+        name="fig5",
+        title="CRFS Raw Write Bandwidth (8 processes on a single node)",
+        table=table.render(),
+        measured={
+            f"pool={p // MiB}M,chunk={c // KiB}K": grid[(p, c)] / MB
+            for p in POOL_SIZES
+            for c in CHUNK_SIZES
+        },
+        paper=PAPER,
+        checks=checks,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

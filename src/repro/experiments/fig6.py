@@ -1,0 +1,22 @@
+"""Figure 6 — checkpoint writing time with MVAPICH2."""
+
+from __future__ import annotations
+
+from .base import ExperimentResult
+from .common import DEFAULT_SEED
+from .figs678 import checkpoint_grid
+
+#: class -> fs -> (native s, CRFS s), read off paper Fig 6.
+PAPER = {
+    "B": {"ext3": (1.9, 0.5), "lustre": (4.0, 0.5), "nfs": (35.5, 10.4)},
+    "C": {"ext3": (2.9, 0.9), "lustre": (6.0, 1.1), "nfs": (45.3, 21.3)},
+    "D": {"ext3": (19.0, 17.2), "lustre": (29.3, 20.7), "nfs": (159.4, 163.4)},
+}
+
+
+def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
+    return checkpoint_grid("fig6", "MVAPICH2", PAPER, seed=seed, fast=fast)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -1,0 +1,22 @@
+"""Figure 7 — checkpoint writing time with MPICH2 (TCP transport)."""
+
+from __future__ import annotations
+
+from .base import ExperimentResult
+from .common import DEFAULT_SEED
+from .figs678 import checkpoint_grid
+
+#: class -> fs -> (native s, CRFS s), read off paper Fig 7.
+PAPER = {
+    "B": {"ext3": (0.8, 0.1), "lustre": (1.2, 0.1), "nfs": (9.3, 1.1)},
+    "C": {"ext3": (1.8, 0.2), "lustre": (2.8, 0.3), "nfs": (18.5, 7.7)},
+    "D": {"ext3": (17.6, 2.2), "lustre": (25.8, 19.7), "nfs": (117.3, 157.3)},
+}
+
+
+def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
+    return checkpoint_grid("fig7", "MPICH2", PAPER, seed=seed, fast=fast)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -1,0 +1,27 @@
+"""Figure 8 — checkpoint writing time with OpenMPI.
+
+Note: the paper could not obtain native-Lustre LU.C.128 with OpenMPI
+("the checkpoint in OpenMPI always failed for these conditions"); that
+cell's paper-native value is None and excluded from comparisons.
+"""
+
+from __future__ import annotations
+
+from .base import ExperimentResult
+from .common import DEFAULT_SEED
+from .figs678 import checkpoint_grid
+
+#: class -> fs -> (native s | None, CRFS s), read off paper Fig 8.
+PAPER = {
+    "B": {"ext3": (1.3, 0.2), "lustre": (2.5, 0.2), "nfs": (17.7, 8.2)},
+    "C": {"ext3": (2.5, 0.4), "lustre": (None, 0.7), "nfs": (27.3, 16.0)},
+    "D": {"ext3": (17.7, 6.8), "lustre": (27.8, 20.5), "nfs": (133.1, 163.3)},
+}
+
+
+def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
+    return checkpoint_grid("fig8", "OpenMPI", PAPER, seed=seed, fast=fast)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

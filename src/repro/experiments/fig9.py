@@ -1,0 +1,88 @@
+"""Figure 9 — CRFS scalability at different levels of process
+multiplexing (LU.D on Lustre, MVAPICH2).
+
+Same problem (LU class D), 16 nodes, with 1, 2, 4 and 8 processes per
+node.  The shape: with 1 ppn there is little intra-node I/O concurrency
+so CRFS barely helps (paper: -7.6%); from 2 ppn up CRFS removes the
+node-level multiplexing contention and the reduction settles near -30%.
+"""
+
+from __future__ import annotations
+
+from ..util.tables import TextTable
+from .base import Check, ExperimentResult
+from .common import DEFAULT_SEED, pct_reduction, run_cell
+
+#: ppn -> (native s, CRFS s, paper % reduction), read off paper Fig 9.
+PAPER = {
+    1: (14.5, 13.4, 7.6),
+    2: (20.5, 14.7, 28.0),
+    4: (22.8, 16.2, 28.7),
+    8: (29.3, 20.7, 29.6),
+}
+
+PPNS = (1, 2, 4, 8)
+
+
+def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
+    ppns = (1, 8) if fast else PPNS
+    measured: dict[int, dict[str, float]] = {}
+    table = TextTable(
+        ["nodes x ppn", "native (s)", "CRFS (s)", "reduction %",
+         "paper native", "paper CRFS", "paper reduction"],
+        title="Fig 9 reproduction: LU.D on Lustre, 16 nodes, varying processes/node",
+    )
+    for ppn in ppns:
+        nprocs = 16 * ppn
+        native = run_cell(
+            "MVAPICH2", "D", "lustre", use_crfs=False, nprocs=nprocs, nnodes=16,
+            seed=seed,
+        )
+        crfs = run_cell(
+            "MVAPICH2", "D", "lustre", use_crfs=True, nprocs=nprocs, nnodes=16,
+            seed=seed,
+        )
+        nat_t, crfs_t = native.avg_local_time, crfs.avg_local_time
+        red = pct_reduction(nat_t, crfs_t)
+        measured[ppn] = {"native": nat_t, "crfs": crfs_t, "reduction_pct": red}
+        p_nat, p_crfs, p_red = PAPER[ppn]
+        table.add_row(
+            [f"16 x {ppn}", f"{nat_t:.1f}", f"{crfs_t:.1f}", f"-{red:.1f}%",
+             p_nat, p_crfs, f"-{p_red:.1f}%"]
+        )
+
+    lo, hi = min(ppns), max(ppns)
+    checks = [
+        Check(
+            "little benefit at 1 ppn (no intra-node concurrency)",
+            measured[lo]["reduction_pct"] < 18.0,
+            f"-{measured[lo]['reduction_pct']:.1f}% (paper -7.6%)",
+        ),
+        Check(
+            "solid benefit at 8 ppn",
+            15.0 <= measured[hi]["reduction_pct"] <= 50.0,
+            f"-{measured[hi]['reduction_pct']:.1f}% (paper -29.6%)",
+        ),
+        Check(
+            "benefit grows with multiplexing",
+            measured[hi]["reduction_pct"] > measured[lo]["reduction_pct"],
+            f"{measured[lo]['reduction_pct']:.1f}% @ {lo} ppn -> "
+            f"{measured[hi]['reduction_pct']:.1f}% @ {hi} ppn",
+        ),
+        Check(
+            "native time grows with multiplexing (contention)",
+            measured[hi]["native"] > measured[lo]["native"],
+        ),
+    ]
+    return ExperimentResult(
+        name="fig9",
+        title="CRFS Scalability at Different Level of Process Multiplexing (LU.D, Lustre)",
+        table=table.render(),
+        measured={str(k): v for k, v in measured.items()},
+        paper={str(k): v for k, v in PAPER.items()},
+        checks=checks,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -1,0 +1,111 @@
+"""Shared machinery for Figures 6, 7 and 8 — checkpoint writing time for
+one MPI stack across {ext3, lustre, nfs} x LU classes {B, C, D}, native
+vs CRFS (16 nodes x 8 ppn = 128 processes).
+
+The shapes that must hold (per the paper's narrative):
+
+* CRFS wins clearly (multi-X) on ext3 and Lustre at classes B and C;
+* at class D gains compress (data volume dominates);
+* NFS inverts at class D: the single server is the bottleneck either
+  way, and CRFS's extra copying makes it slightly *worse* than native.
+"""
+
+from __future__ import annotations
+
+from ..util.tables import TextTable
+from .base import Check, ExperimentResult
+from .common import DEFAULT_SEED, run_cell, speedup
+
+CLASSES = ("B", "C", "D")
+FILESYSTEMS = ("ext3", "lustre", "nfs")
+
+
+def checkpoint_grid(
+    name: str,
+    stack_name: str,
+    paper: dict[str, dict[str, tuple[float | None, float]]],
+    seed: int = DEFAULT_SEED,
+    fast: bool = False,
+) -> ExperimentResult:
+    """Run the full grid for one stack; ``paper`` maps class -> fs ->
+    (native_s | None, crfs_s)."""
+    classes = ("B", "C") if fast else CLASSES
+    measured: dict[str, dict[str, dict[str, float]]] = {}
+    table = TextTable(
+        ["class", "fs", "native (s)", "CRFS (s)", "speedup",
+         "paper native", "paper CRFS", "paper speedup"],
+        title=f"Fig reproduction: avg local checkpoint time, {stack_name}, 128 procs",
+    )
+    for cls in classes:
+        measured[cls] = {}
+        for fs in FILESYSTEMS:
+            native = run_cell(stack_name, cls, fs, use_crfs=False, seed=seed)
+            crfs = run_cell(stack_name, cls, fs, use_crfs=True, seed=seed)
+            nat_t, crfs_t = native.avg_local_time, crfs.avg_local_time
+            measured[cls][fs] = {
+                "native": nat_t,
+                "crfs": crfs_t,
+                "speedup": speedup(nat_t, crfs_t),
+            }
+            p_nat, p_crfs = paper[cls][fs]
+            table.add_row(
+                [
+                    cls,
+                    fs,
+                    f"{nat_t:.2f}",
+                    f"{crfs_t:.2f}",
+                    f"{speedup(nat_t, crfs_t):.1f}x",
+                    "-" if p_nat is None else f"{p_nat:.1f}",
+                    f"{p_crfs:.1f}",
+                    "-" if p_nat is None else f"{p_nat / p_crfs:.1f}x",
+                ]
+            )
+
+    checks = _shape_checks(measured, has_d="D" in measured)
+    return ExperimentResult(
+        name=name,
+        title=f"Checkpoint Writing Time with {stack_name} (Lower is Better)",
+        table=table.render(),
+        measured=measured,
+        paper=paper,
+        checks=checks,
+    )
+
+
+def _shape_checks(measured, has_d: bool) -> list[Check]:
+    checks = []
+    for cls in ("B", "C"):
+        for fs in ("ext3", "lustre"):
+            s = measured[cls][fs]["speedup"]
+            checks.append(
+                Check(
+                    f"class {cls} {fs}: CRFS wins clearly (>=2x)",
+                    s >= 2.0,
+                    f"{s:.1f}x",
+                )
+            )
+    s_nfs_b = measured["B"]["nfs"]["speedup"]
+    checks.append(
+        Check("class B nfs: CRFS wins (per-op-bound server)", s_nfs_b >= 1.5,
+              f"{s_nfs_b:.1f}x")
+    )
+    if has_d:
+        for fs in ("ext3", "lustre"):
+            sd = measured["D"][fs]["speedup"]
+            sc = measured["C"][fs]["speedup"]
+            checks.append(
+                Check(
+                    f"class D {fs}: gains compress vs class C",
+                    sd < sc and sd >= 1.0,
+                    f"D {sd:.1f}x < C {sc:.1f}x",
+                )
+            )
+        d_nfs = measured["D"]["nfs"]
+        checks.append(
+            Check(
+                "class D nfs inversion: CRFS no better than ~native",
+                d_nfs["speedup"] <= 1.15,
+                f"{d_nfs['speedup']:.2f}x (paper: CRFS slightly worse)",
+            )
+        )
+    return checks

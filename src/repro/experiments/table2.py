@@ -1,0 +1,83 @@
+"""Table II — checkpoint sizes of LU.{B,C,D}.128 under the three stacks.
+
+The model: total = nprocs x (app_total(class)/nprocs + stack_overhead).
+Reference totals/images are the paper's measured values; the check is
+that every modelled cell lands within 10%.
+"""
+
+from __future__ import annotations
+
+from ..mpi import ALL_STACKS, MPIJob
+from ..units import MB
+from ..util.tables import TextTable
+from ..workloads import lu_class
+from .base import Check, ExperimentResult
+from .common import DEFAULT_SEED
+
+#: Paper Table II: (total MB, per-process MB) per (class, stack).
+PAPER: dict[tuple[str, str], tuple[float, float]] = {
+    ("B", "MVAPICH2"): (903.2, 7.1),
+    ("B", "OpenMPI"): (909.1, 7.1),
+    ("B", "MPICH2"): (497.8, 3.9),
+    ("C", "MVAPICH2"): (1928.7, 15.1),
+    ("C", "OpenMPI"): (1751.7, 13.7),
+    ("C", "MPICH2"): (1359.6, 10.7),
+    ("D", "MVAPICH2"): (13653.9, 106.7),
+    ("D", "OpenMPI"): (13864.9, 108.3),
+    ("D", "MPICH2"): (13261.2, 103.6),
+}
+
+
+def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
+    table = TextTable(
+        ["Benchmark", "MPI Library", "Total (MB)", "Image (MB)",
+         "Paper Total", "Paper Image", "err %"],
+        title="Table II reproduction: checkpoint sizes, 128 processes",
+    )
+    measured = {}
+    worst_err = 0.0
+    for cls in ("B", "C", "D"):
+        for stack in ALL_STACKS:
+            job = MPIJob(stack=stack, nas=lu_class(cls), nprocs=128, nnodes=16)
+            total_mb = job.total_checkpoint_size / MB
+            image_mb = job.image_size / MB
+            paper_total, paper_image = PAPER[(cls, stack.name)]
+            err = 100.0 * abs(total_mb - paper_total) / paper_total
+            worst_err = max(worst_err, err)
+            measured[f"LU.{cls}.128/{stack.name}"] = {
+                "total_mb": total_mb,
+                "image_mb": image_mb,
+            }
+            table.add_row(
+                [f"LU.{cls}.128", stack.tag, f"{total_mb:.1f}", f"{image_mb:.1f}",
+                 paper_total, paper_image, f"{err:.1f}"]
+            )
+
+    ib_bigger = all(
+        measured[f"LU.{c}.128/MVAPICH2"]["image_mb"]
+        > measured[f"LU.{c}.128/MPICH2"]["image_mb"]
+        for c in ("B", "C", "D")
+    )
+    checks = [
+        Check(
+            "every cell within 10% of the paper",
+            worst_err < 10.0,
+            f"worst error {worst_err:.1f}%",
+        ),
+        Check(
+            "IB stacks produce bigger images than TCP (channel memory)",
+            ib_bigger,
+        ),
+    ]
+    return ExperimentResult(
+        name="table2",
+        title="Checkpoint Sizes of Different Applications with Varied MPI Stacks",
+        table=table.render(),
+        measured=measured,
+        paper={f"LU.{c}.128/{s}": v for (c, s), v in PAPER.items()},
+        checks=checks,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

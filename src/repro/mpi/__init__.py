@@ -1,0 +1,30 @@
+"""MPI job substrate.
+
+Models what the paper's three MPI stacks contribute to the evaluation:
+per-process checkpoint image sizes (Table II — InfiniBand transports
+carry more pinned channel memory than TCP) and the three-phase
+coordinated checkpoint protocol (suspend communication → BLCR-dump every
+rank → resume).
+"""
+
+from .stacks import MPIStack, MVAPICH2, OPENMPI, MPICH2, ALL_STACKS, stack_by_name
+from .job import MPIJob, RankPlacement
+from .coordinator import (
+    CheckpointCoordinator,
+    CheckpointResult,
+    RankTiming,
+)
+
+__all__ = [
+    "MPIStack",
+    "MVAPICH2",
+    "OPENMPI",
+    "MPICH2",
+    "ALL_STACKS",
+    "stack_by_name",
+    "MPIJob",
+    "RankPlacement",
+    "CheckpointCoordinator",
+    "CheckpointResult",
+    "RankTiming",
+]

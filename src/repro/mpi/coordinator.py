@@ -1,0 +1,227 @@
+"""Coordinated checkpoint on the timing plane.
+
+Builds the modelled cluster for a job, runs the paper's three-phase
+protocol, and measures what the paper measures: "the time for BLCR to
+write the checkpointed data and the time to close the file... the
+average checkpoint time among all the processes."
+
+Phases (Section II-C):
+
+1. suspend communication (stack-dependent constant);
+2. every rank dumps its image — a stream of write() calls drawn from the
+   Table I distribution — to its own checkpoint file, natively or
+   through CRFS, then close()s it;
+3. resume communication.
+
+The coordinator exposes everything the figure benches need: per-rank
+timings, the full write trace (optional), and the node-0 disk trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..checkpoint.sizedist import WriteSizeDistribution
+from ..config import CRFSConfig, DEFAULT_CONFIG
+from ..sim import SharedBandwidth, Simulator
+from ..simcrfs import SimCRFS
+from ..simio import (
+    Ext3Filesystem,
+    LustreFilesystem,
+    LustreServers,
+    NFSFilesystem,
+    NFSServer,
+)
+from ..simio.disk import BlockTraceEntry
+from ..simio.params import DEFAULT_HW, HardwareParams
+from ..trace.recorder import WriteTrace
+from ..util.rng import rng_for
+from .job import MPIJob
+
+__all__ = ["RankTiming", "CheckpointResult", "CheckpointCoordinator"]
+
+FS_KINDS = ("ext3", "lustre", "nfs")
+
+
+@dataclass(frozen=True)
+class RankTiming:
+    """One rank's local checkpoint timing (write begin -> close return)."""
+
+    rank: int
+    node: int
+    start: float
+    end: float
+
+    @property
+    def local_time(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class CheckpointResult:
+    """Everything one coordinated checkpoint produced."""
+
+    job: MPIJob
+    fs_kind: str
+    use_crfs: bool
+    timings: list[RankTiming] = field(default_factory=list)
+    write_trace: Optional[WriteTrace] = None
+    node0_disk_trace: list[BlockTraceEntry] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    @property
+    def avg_local_time(self) -> float:
+        if not self.timings:
+            return 0.0
+        return sum(t.local_time for t in self.timings) / len(self.timings)
+
+    @property
+    def max_local_time(self) -> float:
+        return max((t.local_time for t in self.timings), default=0.0)
+
+    @property
+    def min_local_time(self) -> float:
+        return min((t.local_time for t in self.timings), default=0.0)
+
+    @property
+    def mode(self) -> str:
+        return f"CRFS over {self.fs_kind}" if self.use_crfs else f"native {self.fs_kind}"
+
+
+class CheckpointCoordinator:
+    """Builds the cluster model and runs one coordinated checkpoint."""
+
+    def __init__(
+        self,
+        job: MPIJob,
+        fs_kind: str,
+        use_crfs: bool,
+        hw: HardwareParams = DEFAULT_HW,
+        config: CRFSConfig = DEFAULT_CONFIG,
+        seed: int = 2011,
+        record_writes: bool = False,
+        distribution: WriteSizeDistribution | None = None,
+        rank_size_sigma: float = 0.10,
+    ):
+        if fs_kind not in FS_KINDS:
+            raise ValueError(f"fs_kind must be one of {FS_KINDS}, got {fs_kind!r}")
+        self.job = job
+        self.fs_kind = fs_kind
+        self.use_crfs = use_crfs
+        self.hw = hw
+        self.config = config
+        self.seed = seed
+        self.record_writes = record_writes
+        self.dist = distribution or WriteSizeDistribution()
+        self.rank_size_sigma = rank_size_sigma
+
+    # -- cluster construction ---------------------------------------------------
+
+    def _build_node_fs(self, sim: Simulator, node: int, membus, servers):
+        rng = rng_for(self.seed, f"fs/node{node}")
+        app_mem = self.job.app_memory_per_node
+        if self.fs_kind == "ext3":
+            return Ext3Filesystem(
+                sim, self.hw, rng, membus, app_memory=app_mem, node=f"node{node}"
+            )
+        if self.fs_kind == "nfs":
+            return NFSFilesystem(
+                sim, self.hw, rng, membus, servers, app_memory=app_mem,
+                node=f"node{node}",
+            )
+        return LustreFilesystem(
+            sim, self.hw, rng, membus, servers, app_memory=app_mem,
+            node=f"node{node}",
+        )
+
+    def _build_servers(self, sim: Simulator):
+        if self.fs_kind == "nfs":
+            return NFSServer(sim, self.hw)
+        if self.fs_kind == "lustre":
+            return LustreServers(sim, self.hw)
+        return None
+
+    # -- the checkpoint -----------------------------------------------------------
+
+    def run(self) -> CheckpointResult:
+        sim = Simulator()
+        job = self.job
+        servers = self._build_servers(sim)
+        result = CheckpointResult(job=job, fs_kind=self.fs_kind, use_crfs=self.use_crfs)
+        trace = WriteTrace() if self.record_writes else None
+
+        node_fs = []
+        node_crfs: list[Optional[SimCRFS]] = []
+        for node in range(job.nnodes):
+            membus = SharedBandwidth(
+                sim, self.hw.membus_bandwidth, name=f"node{node}-membus"
+            )
+            fs = self._build_node_fs(sim, node, membus, servers)
+            node_fs.append(fs)
+            if self.use_crfs:
+                node_crfs.append(
+                    SimCRFS(sim, self.hw, self.config, fs, membus, node=f"node{node}")
+                )
+            else:
+                node_crfs.append(None)
+
+        timings: list[RankTiming] = []
+
+        def rank_proc(rank: int, node: int):
+            # Phase 1: suspend communication.
+            yield sim.timeout(job.stack.suspend_time)
+            rng = rng_for(self.seed, f"ckpt/node{node}/rank{rank}")
+            # Per-rank image variation: real BLCR images differ a little
+            # rank to rank (heap layout, rank-0 extras); Table II reports
+            # the average.  Mean-preserving lognormal.
+            sigma = self.rank_size_sigma
+            factor = (
+                float(rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma))
+                if sigma > 0
+                else 1.0
+            )
+            sizes = self.dist.plan(max(int(job.image_size * factor), 4096), rng)
+            start = sim.now
+            path = f"/ckpt/rank{rank}.img"
+            crfs = node_crfs[node]
+            fs = node_fs[node]
+            if crfs is not None:
+                f = crfs.open(path)
+                for size in sizes:
+                    t0 = sim.now
+                    yield from crfs.write(f, size)
+                    if trace is not None:
+                        trace.add(rank, size, t0, sim.now - t0)
+                yield from crfs.close(f)
+            else:
+                f = fs.open(path)
+                for size in sizes:
+                    t0 = sim.now
+                    yield from fs.write(f, size)
+                    if trace is not None:
+                        trace.add(rank, size, t0, sim.now - t0)
+                yield from fs.close(f)
+            end = sim.now
+            timings.append(RankTiming(rank=rank, node=node, start=start, end=end))
+            # Phase 3: resume communication.
+            yield sim.timeout(job.stack.resume_time)
+
+        procs = [
+            sim.spawn(rank_proc(p.rank, p.node), name=f"rank{p.rank}")
+            for p in job.placements()
+        ]
+        sim.run_until_complete(procs)
+
+        result.timings = sorted(timings, key=lambda t: t.rank)
+        result.write_trace = trace
+        result.wall_time = sim.now
+        fs0 = node_fs[0]
+        disk = getattr(fs0, "disk", None)
+        if disk is not None:
+            result.node0_disk_trace = list(disk.trace)
+        elif self.fs_kind == "nfs":
+            result.node0_disk_trace = list(servers.disk.trace)
+        elif self.fs_kind == "lustre":
+            result.node0_disk_trace = list(servers.osts[0].trace)
+        return result

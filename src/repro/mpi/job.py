@@ -1,0 +1,74 @@
+"""MPI job layout: ranks placed on nodes, image sizes resolved."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads.nas import NASClass
+from .stacks import MPIStack
+
+__all__ = ["RankPlacement", "MPIJob"]
+
+
+@dataclass(frozen=True)
+class RankPlacement:
+    rank: int
+    node: int
+
+
+@dataclass(frozen=True)
+class MPIJob:
+    """One parallel job: an MPI stack running an LU class on a cluster.
+
+    Block placement (ranks 0..p-1 on node 0, ...) — how mpirun lays out
+    by default and what the paper's "N nodes x P processes per node"
+    phrasing implies.
+    """
+
+    stack: MPIStack
+    nas: NASClass
+    nprocs: int
+    nnodes: int
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1 or self.nnodes < 1:
+            raise ValueError("nprocs and nnodes must be positive")
+        if self.nprocs % self.nnodes != 0:
+            raise ValueError(
+                f"nprocs ({self.nprocs}) must divide evenly over nnodes ({self.nnodes})"
+            )
+
+    @property
+    def procs_per_node(self) -> int:
+        return self.nprocs // self.nnodes
+
+    @property
+    def image_size(self) -> int:
+        """Per-rank checkpoint image size (Table II model)."""
+        return self.stack.image_size(self.nas.app_total, self.nprocs)
+
+    @property
+    def total_checkpoint_size(self) -> int:
+        return self.image_size * self.nprocs
+
+    @property
+    def app_memory_per_node(self) -> int:
+        """Application-resident memory per node (image data lives there)."""
+        return self.image_size * self.procs_per_node
+
+    def placements(self) -> list[RankPlacement]:
+        return [
+            RankPlacement(rank=r, node=r // self.procs_per_node)
+            for r in range(self.nprocs)
+        ]
+
+    def ranks_on(self, node: int) -> list[int]:
+        p = self.procs_per_node
+        return list(range(node * p, (node + 1) * p))
+
+    def describe(self) -> str:
+        return (
+            f"LU.{self.nas.name}.{self.nprocs} with {self.stack.tag}: "
+            f"{self.nnodes} nodes x {self.procs_per_node} ppn, "
+            f"image {self.image_size / 1e6:.1f} MB/proc"
+        )

@@ -1,0 +1,83 @@
+"""MPI stack personalities (paper Table II).
+
+The stacks matter to checkpoint I/O through one number: the per-process
+image size.  IB stacks (MVAPICH2, OpenMPI) pin several MB of channel
+memory per process; MPICH2 over TCP is lean.  The model is
+
+    image(stack, class, nprocs) = app_total(class) / nprocs + overhead(stack)
+
+with ``app_total`` backed out of the paper's MPICH2 rows and per-stack
+overheads fit to the 128-process column (reproduced within a few
+percent — see ``tests/test_mpi.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import MB
+
+__all__ = ["MPIStack", "MVAPICH2", "OPENMPI", "MPICH2", "ALL_STACKS", "stack_by_name"]
+
+
+@dataclass(frozen=True)
+class MPIStack:
+    """One MPI implementation's checkpoint-relevant personality."""
+
+    name: str
+    transport: str  # "IB" or "TCP"
+    #: Per-process image overhead beyond application data (bytes):
+    #: communication channel state, pinned buffers, library footprint.
+    image_overhead: int
+    #: Time to flush/suspend the communication channel before BLCR runs
+    #: (phase 1) and to reconnect after (phase 3).  IB connection
+    #: teardown/re-registration is costlier than TCP.
+    suspend_time: float
+    resume_time: float
+
+    @property
+    def tag(self) -> str:
+        return f"{self.name}-{self.transport}"
+
+    def image_size(self, app_total_bytes: int, nprocs: int) -> int:
+        """Per-process checkpoint image for a job of ``nprocs`` ranks."""
+        if nprocs <= 0:
+            raise ValueError(f"nprocs must be positive, got {nprocs}")
+        return app_total_bytes // nprocs + self.image_overhead
+
+    def job_checkpoint_size(self, app_total_bytes: int, nprocs: int) -> int:
+        return self.image_size(app_total_bytes, nprocs) * nprocs
+
+
+MVAPICH2 = MPIStack(
+    name="MVAPICH2",
+    transport="IB",
+    image_overhead=int(3.62 * MB),
+    suspend_time=0.12,
+    resume_time=0.15,
+)
+
+OPENMPI = MPIStack(
+    name="OpenMPI",
+    transport="IB",
+    image_overhead=int(3.80 * MB),
+    suspend_time=0.14,
+    resume_time=0.17,
+)
+
+MPICH2 = MPIStack(
+    name="MPICH2",
+    transport="TCP",
+    image_overhead=int(0.40 * MB),
+    suspend_time=0.05,
+    resume_time=0.06,
+)
+
+ALL_STACKS = (MVAPICH2, OPENMPI, MPICH2)
+
+
+def stack_by_name(name: str) -> MPIStack:
+    for stack in ALL_STACKS:
+        if stack.name.lower() == name.lower():
+            return stack
+    raise KeyError(f"unknown MPI stack {name!r}; know {[s.name for s in ALL_STACKS]}")

@@ -1,0 +1,31 @@
+"""Discrete-event simulation engine.
+
+A miniature process-based DES (in the spirit of SimPy, built from scratch
+for this reproduction): simulated processes are Python generators that
+``yield`` *waitables* — timeouts, events, lock acquisitions, queue
+operations — and the :class:`Simulator` advances a virtual clock between
+them.  Every timing-plane component (disks, page caches, NFS/Lustre
+servers, the CRFS pipeline model, MPI ranks) is a process on this engine.
+
+Why a DES and not real threads: the paper's numbers come from 8 cores x
+16 nodes of genuinely concurrent writers; CPython threads cannot reproduce
+that contention faithfully (GIL), while a virtual clock reproduces it
+exactly and deterministically.
+"""
+
+from .engine import Simulator, Process, Timeout, Waitable
+from .primitives import SimEvent, SimLock, SimSemaphore, SimQueue
+from .resources import FIFOResource, SharedBandwidth
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Timeout",
+    "Waitable",
+    "SimEvent",
+    "SimLock",
+    "SimSemaphore",
+    "SimQueue",
+    "FIFOResource",
+    "SharedBandwidth",
+]

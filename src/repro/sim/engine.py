@@ -1,0 +1,281 @@
+"""The simulation core: virtual clock, event heap, generator processes.
+
+Execution model
+---------------
+A *process* is a generator.  Each ``yield`` hands the engine a
+:class:`Waitable`; the engine parks the process until the waitable fires,
+then resumes the generator with the waitable's value (or throws its
+exception).  All resumptions are funnelled through the event heap at the
+current time, so process steps never nest — wake-up order is FIFO among
+same-time events, which keeps lock hand-off and queue wake-ups fair and
+deterministic.
+
+The engine detects deadlock: if the heap drains while spawned processes
+are still blocked, :class:`~repro.errors.DeadlockError` is raised — this
+catches model bugs (e.g. a drain-wait that nobody will ever signal)
+instead of silently returning early.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import DeadlockError, SimulationError
+
+__all__ = ["Simulator", "Process", "Timeout", "Waitable", "EventHandle"]
+
+#: Type of a process body: a generator yielding Waitables.
+ProcessGen = Generator["Waitable", Any, Any]
+
+
+class Waitable:
+    """Something a process can ``yield`` on.
+
+    Subclasses implement :meth:`_subscribe`, arranging for
+    ``proc._resume(value)`` or ``proc._throw(exc)`` to be called later.
+    """
+
+    def _subscribe(self, sim: "Simulator", proc: "Process") -> None:
+        raise NotImplementedError
+
+
+class Timeout(Waitable):
+    """Elapse ``delay`` units of virtual time, then resume with ``value``."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = delay
+        self.value = value
+
+    def _subscribe(self, sim: "Simulator", proc: "Process") -> None:
+        sim.schedule(self.delay, proc._resume, self.value)
+
+
+class EventHandle:
+    """Cancellable handle for a scheduled callback."""
+
+    __slots__ = ("_cancelled", "time", "fn", "args")
+
+    def __init__(self, time: float, fn: Callable[..., None], args: tuple):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+class Process(Waitable):
+    """A running simulated process.  Also a waitable (``yield proc`` joins)."""
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str):
+        self.sim = sim
+        self.name = name
+        self._gen = gen
+        self.alive = True
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self._error_observed = False
+        self._joiners: list[Process] = []
+        self.started_at = sim.now
+        self.finished_at: float | None = None
+
+    # -- engine-facing ----------------------------------------------------
+
+    def _resume(self, value: Any = None) -> None:
+        self._step(value, None)
+
+    def _throw(self, exc: BaseException) -> None:
+        self._step(None, exc)
+
+    def _step(self, value: Any, exc: BaseException | None) -> None:
+        if not self.alive:
+            raise SimulationError(f"resuming dead process {self.name!r}")
+        self.sim._blocked -= 1
+        try:
+            if exc is not None:
+                waitable = self._gen.throw(exc)
+            else:
+                waitable = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value, None)
+            return
+        except BaseException as err:  # noqa: BLE001 - propagate to joiners
+            self._finish(None, err)
+            return
+        if not isinstance(waitable, Waitable):
+            self._finish(
+                None,
+                SimulationError(
+                    f"process {self.name!r} yielded {waitable!r}, not a Waitable"
+                ),
+            )
+            return
+        self.sim._blocked += 1
+        waitable._subscribe(self.sim, self)
+
+    def _finish(self, result: Any, error: BaseException | None) -> None:
+        self.alive = False
+        self.result = result
+        self.error = error
+        self.finished_at = self.sim.now
+        joiners, self._joiners = self._joiners, []
+        for j in joiners:
+            if error is not None:
+                self._error_observed = True
+                self.sim.schedule(0.0, j._throw, error)
+            else:
+                self.sim.schedule(0.0, j._resume, result)
+        if error is not None and not joiners:
+            self.sim._failed.append(self)
+
+    # -- waitable (join) ---------------------------------------------------
+
+    def _subscribe(self, sim: "Simulator", proc: "Process") -> None:
+        if not self.alive:
+            if self.error is not None:
+                self._error_observed = True
+                sim.schedule(0.0, proc._throw, self.error)
+            else:
+                sim.schedule(0.0, proc._resume, self.result)
+        else:
+            self._joiners.append(proc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else "done"
+        return f"<Process {self.name} {state}>"
+
+
+class Simulator:
+    """Virtual clock + event heap + process bookkeeping."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, EventHandle]] = []
+        self._seq = itertools.count()
+        self._blocked = 0  # processes parked on a waitable
+        self._nproc = 0
+        self._failed: list[Process] = []  # died with error, no joiner yet
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(delay, value)
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` after ``delay`` virtual time units."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        handle = EventHandle(self._now + delay, fn, args)
+        heapq.heappush(self._heap, (handle.time, next(self._seq), handle))
+        return handle
+
+    def spawn(self, gen: ProcessGen, name: str | None = None) -> Process:
+        """Start a new process; its first step runs at the current time."""
+        if not isinstance(gen, Generator):
+            raise SimulationError(
+                f"spawn() needs a generator (did you forget to call the function?): {gen!r}"
+            )
+        self._nproc += 1
+        proc = Process(self, gen, name or f"proc-{self._nproc}")
+        self._blocked += 1  # spawn parks it until its first step fires
+        self.schedule(0.0, proc._resume, None)
+        return proc
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self, until: float | None = None) -> float:
+        """Run events until the heap drains (or past ``until``).
+
+        Returns the final clock value.  Raises :class:`DeadlockError` if
+        processes remain blocked with nothing scheduled.  A process that
+        died with an exception nobody joined on is re-raised at the end of
+        the run (and takes precedence over a deadlock it may have caused).
+        """
+        while self._heap:
+            time, _, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            if until is not None and time > until:
+                # put it back; caller may continue the run later
+                heapq.heappush(self._heap, (time, next(self._seq), handle))
+                self._now = until
+                return self._now
+            if time < self._now - 1e-12:
+                raise SimulationError("event heap went backwards (engine bug)")
+            self._now = max(self._now, time)
+            handle.fn(*handle.args)
+        unobserved = [p for p in self._failed if not p._error_observed]
+        if unobserved:
+            first = unobserved[0]
+            raise SimulationError(
+                f"process {first.name!r} died with an unobserved error"
+            ) from first.error
+        if self._blocked > 0 and until is None:
+            raise DeadlockError(
+                f"event queue drained with {self._blocked} process(es) still blocked"
+            )
+        return self._now
+
+    def run_until_complete(self, procs: Iterable[Process]) -> list[Any]:
+        """Run until every process in ``procs`` has finished, then stop —
+        even if background processes (flushers, timers) still have events
+        scheduled.  Returns the results; re-raises the first error.
+
+        This is the main entry point for experiments: workloads complete,
+        daemon-style hardware processes are simply abandoned.
+        """
+        procs = list(procs)
+        while any(p.alive for p in procs):
+            if not self._heap:
+                blocked = [p.name for p in procs if p.alive]
+                raise DeadlockError(
+                    f"nothing scheduled but workload processes blocked: {blocked}"
+                )
+            time, _, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            if time < self._now - 1e-12:
+                raise SimulationError("event heap went backwards (engine bug)")
+            self._now = max(self._now, time)
+            handle.fn(*handle.args)
+        for p in procs:
+            if p.error is not None:
+                p._error_observed = True
+                raise p.error
+        return [p.result for p in procs]
+
+    def run_all(self, procs: Iterable[Process]) -> list[Any]:
+        """Convenience: run to completion and return each process's result,
+        re-raising the first process error (which takes precedence over any
+        engine-level complaint the failure caused, e.g. a deadlock)."""
+        procs = list(procs)
+        try:
+            self.run()
+        except (SimulationError, DeadlockError):
+            for p in procs:
+                if p.error is not None:
+                    p._error_observed = True
+                    raise p.error from None
+            raise
+        for p in procs:
+            if p.error is not None:
+                p._error_observed = True
+                raise p.error
+        return [p.result for p in procs]

@@ -1,0 +1,209 @@
+"""Synchronization primitives for simulated processes.
+
+All primitives are FIFO-fair: waiters are released in arrival order, which
+both matches kernel queue behaviour (VFS wait queues, ticket locks) and
+keeps simulations deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from ..errors import ShutdownError, SimulationError
+from .engine import Process, Simulator, Waitable
+
+__all__ = ["SimEvent", "SimLock", "SimSemaphore", "SimQueue"]
+
+
+class SimEvent(Waitable):
+    """One-shot event.  ``yield event`` parks until someone calls
+    :meth:`succeed` (resumes with the value) or :meth:`fail` (throws)."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self.error: BaseException | None = None
+        self._waiters: list[Process] = []
+
+    def succeed(self, value: Any = None) -> None:
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for w in waiters:
+            self.sim.schedule(0.0, w._resume, value)
+
+    def fail(self, error: BaseException) -> None:
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.error = error
+        waiters, self._waiters = self._waiters, []
+        for w in waiters:
+            self.sim.schedule(0.0, w._throw, error)
+
+    def _subscribe(self, sim: Simulator, proc: Process) -> None:
+        if self.triggered:
+            if self.error is not None:
+                sim.schedule(0.0, proc._throw, self.error)
+            else:
+                sim.schedule(0.0, proc._resume, self.value)
+        else:
+            self._waiters.append(proc)
+
+
+class _Acquire(Waitable):
+    __slots__ = ("owner",)
+
+    def __init__(self, owner: "SimSemaphore"):
+        self.owner = owner
+
+    def _subscribe(self, sim: Simulator, proc: Process) -> None:
+        self.owner._enqueue(proc)
+
+
+class SimSemaphore:
+    """Counting semaphore.  ``yield sem.acquire()`` ... ``sem.release()``."""
+
+    def __init__(self, sim: Simulator, capacity: int):
+        if capacity < 1:
+            raise SimulationError(f"semaphore capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Process] = deque()
+        # contention stats, used by models to report queueing behaviour
+        self.total_acquires = 0
+        self.total_waits = 0
+
+    def acquire(self) -> Waitable:
+        return _Acquire(self)
+
+    def _enqueue(self, proc: Process) -> None:
+        self.total_acquires += 1
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            self.sim.schedule(0.0, proc._resume, None)
+        else:
+            self.total_waits += 1
+            self._waiters.append(proc)
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError("release() without matching acquire()")
+        if self._waiters:
+            nxt = self._waiters.popleft()
+            self.sim.schedule(0.0, nxt._resume, None)
+        else:
+            self._in_use -= 1
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+
+class SimLock(SimSemaphore):
+    """Mutex: a semaphore of capacity 1."""
+
+    def __init__(self, sim: Simulator):
+        super().__init__(sim, capacity=1)
+
+
+class _Get(Waitable):
+    __slots__ = ("queue",)
+
+    def __init__(self, queue: "SimQueue"):
+        self.queue = queue
+
+    def _subscribe(self, sim: Simulator, proc: Process) -> None:
+        self.queue._enqueue_getter(proc)
+
+
+class _Put(Waitable):
+    __slots__ = ("queue", "item")
+
+    def __init__(self, queue: "SimQueue", item: Any):
+        self.queue = queue
+        self.item = item
+
+    def _subscribe(self, sim: Simulator, proc: Process) -> None:
+        self.queue._enqueue_putter(proc, self.item)
+
+
+class SimQueue:
+    """Bounded FIFO queue — the work queue of the CRFS model.
+
+    * ``yield q.put(item)`` blocks while the queue is full.
+    * ``yield q.get()`` blocks while it is empty; returns the item.
+    * :meth:`close` wakes all blocked getters with :class:`ShutdownError`
+      and makes further puts fail — the IO-thread shutdown protocol.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 0):
+        if capacity < 0:
+            raise SimulationError(f"queue capacity must be >= 0, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity  # 0 = unbounded
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Process] = deque()
+        self._putters: Deque[tuple[Process, Any]] = deque()
+        self.closed = False
+        self.max_depth = 0
+        self.total_puts = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Waitable:
+        return _Put(self, item)
+
+    def get(self) -> Waitable:
+        return _Get(self)
+
+    def _enqueue_putter(self, proc: Process, item: Any) -> None:
+        if self.closed:
+            self.sim.schedule(0.0, proc._throw, ShutdownError("queue closed"))
+            return
+        self.total_puts += 1
+        if self._getters:
+            getter = self._getters.popleft()
+            self.sim.schedule(0.0, getter._resume, item)
+            self.sim.schedule(0.0, proc._resume, None)
+        elif self.capacity == 0 or len(self._items) < self.capacity:
+            self._items.append(item)
+            self.max_depth = max(self.max_depth, len(self._items))
+            self.sim.schedule(0.0, proc._resume, None)
+        else:
+            self._putters.append((proc, item))
+
+    def _enqueue_getter(self, proc: Process) -> None:
+        if self._items:
+            item = self._items.popleft()
+            if self._putters:
+                putter, pitem = self._putters.popleft()
+                self._items.append(pitem)
+                self.max_depth = max(self.max_depth, len(self._items))
+                self.sim.schedule(0.0, putter._resume, None)
+            self.sim.schedule(0.0, proc._resume, item)
+        elif self.closed:
+            self.sim.schedule(0.0, proc._throw, ShutdownError("queue closed"))
+        else:
+            self._getters.append(proc)
+
+    def close(self) -> None:
+        """Close the queue: blocked getters get ShutdownError once the
+        queue is empty of items (drain-then-stop)."""
+        self.closed = True
+        # Items still queued will be consumed first; only wake getters if
+        # there is nothing left to hand them.
+        if not self._items:
+            getters, self._getters = self._getters, deque()
+            for g in getters:
+                self.sim.schedule(0.0, g._throw, ShutdownError("queue closed"))

@@ -1,0 +1,207 @@
+"""Timed resources: FIFO service centers and processor-sharing bandwidth.
+
+Two queueing disciplines cover every hardware element in the testbed model:
+
+* :class:`FIFOResource` — one request serviced at a time, in arrival order.
+  Used for the disk head, the per-node VFS page-allocation path, and RPC
+  service at the NFS/Lustre servers.  Concurrency shows up as queueing
+  delay — exactly the "severe contentions in the VFS layer" of Section III.
+
+* :class:`SharedBandwidth` — ideal processor sharing: N concurrent
+  transfers each progress at capacity/N (optionally capped per job).  Used
+  for memory-bus copies, network links, and aggregate OST bandwidth, where
+  hardware genuinely interleaves at fine grain.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..errors import SimulationError
+from .engine import EventHandle, Process, Simulator, Waitable
+
+__all__ = ["FIFOResource", "SharedBandwidth"]
+
+
+class _Use(Waitable):
+    __slots__ = ("res", "duration")
+
+    def __init__(self, res: "FIFOResource", duration: float):
+        if duration < 0:
+            raise SimulationError(f"negative service time: {duration}")
+        self.res = res
+        self.duration = duration
+
+    def _subscribe(self, sim: Simulator, proc: Process) -> None:
+        self.res._enqueue(proc, self.duration)
+
+
+class FIFOResource:
+    """Single server, FIFO queue.  ``yield res.use(t)`` holds the server
+    for ``t`` and resumes when service completes."""
+
+    def __init__(self, sim: Simulator, name: str = "resource"):
+        self.sim = sim
+        self.name = name
+        self._busy = False
+        self._queue: Deque[tuple[Process, float]] = deque()
+        # -- stats
+        self.busy_time = 0.0
+        self.total_ops = 0
+        self.total_wait = 0.0
+        self.max_queue = 0
+        self._arrivals: dict[int, float] = {}
+
+    def use(self, duration: float) -> Waitable:
+        return _Use(self, duration)
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._queue)
+
+    def _enqueue(self, proc: Process, duration: float) -> None:
+        self._arrivals[id(proc)] = self.sim.now
+        self._queue.append((proc, duration))
+        self.max_queue = max(self.max_queue, len(self._queue))
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        proc, duration = self._queue.popleft()
+        self.total_ops += 1
+        self.total_wait += self.sim.now - self._arrivals.pop(id(proc))
+        self.busy_time += duration
+        self.sim.schedule(duration, self._complete, proc)
+
+    def _complete(self, proc: Process) -> None:
+        self.sim.schedule(0.0, proc._resume, None)
+        self._start_next()
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` the server was busy."""
+        return self.busy_time / elapsed if elapsed > 0 else 0.0
+
+
+class _Job:
+    __slots__ = ("proc", "remaining", "started")
+
+    def __init__(self, proc: Process, nbytes: float, started: float):
+        self.proc = proc
+        self.remaining = float(nbytes)
+        self.started = started
+
+
+class _Transfer(Waitable):
+    __slots__ = ("res", "nbytes")
+
+    def __init__(self, res: "SharedBandwidth", nbytes: float):
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size: {nbytes}")
+        self.res = res
+        self.nbytes = nbytes
+
+    def _subscribe(self, sim: Simulator, proc: Process) -> None:
+        self.res._arrive(proc, self.nbytes)
+
+
+class SharedBandwidth:
+    """Ideal processor-sharing bandwidth of ``capacity`` bytes/second.
+
+    Each active transfer progresses at ``min(per_job_cap, capacity/n)``.
+    ``yield link.transfer(nbytes)`` resumes when the job's bytes have
+    drained.  State is advanced lazily: a single scheduled wake-up tracks
+    the earliest-finishing job and is rescheduled whenever the job set
+    changes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: float,
+        name: str = "link",
+        per_job_cap: float | None = None,
+    ):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        if per_job_cap is not None and per_job_cap <= 0:
+            raise SimulationError(f"per_job_cap must be positive, got {per_job_cap}")
+        self.sim = sim
+        self.capacity = float(capacity)
+        self.per_job_cap = per_job_cap
+        self.name = name
+        self._jobs: list[_Job] = []
+        self._last_update = 0.0
+        self._wakeup: Optional[EventHandle] = None
+        # -- stats
+        self.total_bytes = 0.0
+        self.total_jobs = 0
+        self.max_concurrency = 0
+
+    def transfer(self, nbytes: float) -> Waitable:
+        return _Transfer(self, nbytes)
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self._jobs)
+
+    def _rate(self) -> float:
+        """Current per-job rate."""
+        n = len(self._jobs)
+        if n == 0:
+            return 0.0
+        rate = self.capacity / n
+        if self.per_job_cap is not None:
+            rate = min(rate, self.per_job_cap)
+        return rate
+
+    def _advance(self) -> None:
+        """Drain progress since the last state change."""
+        now = self.sim.now
+        elapsed = now - self._last_update
+        if elapsed > 0 and self._jobs:
+            rate = self._rate()
+            for job in self._jobs:
+                job.remaining -= rate * elapsed
+        self._last_update = now
+
+    def _arrive(self, proc: Process, nbytes: float) -> None:
+        self._advance()
+        self.total_jobs += 1
+        self.total_bytes += nbytes
+        if nbytes == 0:
+            self.sim.schedule(0.0, proc._resume, None)
+            self._reschedule()
+            return
+        self._jobs.append(_Job(proc, nbytes, self.sim.now))
+        self.max_concurrency = max(self.max_concurrency, len(self._jobs))
+        self._reschedule()
+
+    def _reschedule(self) -> None:
+        if self._wakeup is not None:
+            self._wakeup.cancel()
+            self._wakeup = None
+        if not self._jobs:
+            return
+        rate = self._rate()
+        soonest = min(job.remaining for job in self._jobs)
+        delay = max(soonest, 0.0) / rate
+        self._wakeup = self.sim.schedule(delay, self._on_wakeup)
+
+    def _on_wakeup(self) -> None:
+        self._wakeup = None
+        self._advance()
+        # Complete every job that has drained (tolerance absorbs float fuzz).
+        eps = 1e-9 * max(self.capacity, 1.0)
+        done = [j for j in self._jobs if j.remaining <= eps]
+        if not done:
+            self._reschedule()
+            return
+        self._jobs = [j for j in self._jobs if j.remaining > eps]
+        for job in done:
+            self.sim.schedule(0.0, job.proc._resume, None)
+        self._reschedule()

@@ -1,0 +1,32 @@
+"""FUSE request model.
+
+FUSE with ``big_writes`` (the paper enables it, Section V-A) delivers
+writes to the user-level filesystem in requests of at most 128 KiB;
+each request costs a user→kernel→user round trip.  CRFS therefore sees
+an application write() as one or more FUSE requests, each paying
+``fuse_request_overhead``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["fuse_requests"]
+
+
+def fuse_requests(nbytes: int, max_request: int) -> Iterator[int]:
+    """Split one write into FUSE request sizes (all full except the last).
+
+    A zero-byte write still makes one (empty) request — the syscall
+    round-trips regardless.
+    """
+    if max_request <= 0:
+        raise ValueError(f"max_request must be positive, got {max_request}")
+    if nbytes <= 0:
+        yield 0
+        return
+    remaining = nbytes
+    while remaining > 0:
+        take = min(remaining, max_request)
+        yield take
+        remaining -= take

@@ -1,0 +1,218 @@
+"""The CRFS pipeline as simulated processes.
+
+One :class:`SimCRFS` instance models one node's CRFS mount: a buffer
+pool (counting semaphore over pool chunks), the work queue, and
+``io_threads`` worker processes that write sealed chunks to the backing
+:class:`~repro.simio.fsbase.SimFilesystem`.  Aggregation decisions come
+from the shared :class:`~repro.core.planner.WritePlanner`.
+
+Costs on the write path (what the application's checkpoint time sees):
+
+* per FUSE request (128 KiB ``big_writes`` splits): the request
+  round-trip overhead, then the copy into the chunk over the node's
+  shared memory bus;
+* pool backpressure: when every chunk is either filling or in flight,
+  the writer blocks until an IO thread recycles one — the stall that
+  makes Figure 5's bandwidth rise with pool size;
+* close(): flush the partial chunk, then block until the file's
+  ``complete_chunk_count`` reaches its ``write_chunk_count``
+  (Section IV-C), then the backing close (which on NFS triggers the
+  close-to-open flush).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import CRFSConfig
+from ..core.planner import Fill, Seal, WritePlanner
+from ..errors import ShutdownError
+from ..sim import (
+    SharedBandwidth,
+    SimEvent,
+    SimQueue,
+    SimSemaphore,
+    Simulator,
+)
+from ..simio.fsbase import PAGE, SimFile, SimFilesystem
+from ..simio.params import HardwareParams
+from .fuse import fuse_requests
+
+__all__ = ["SimCRFS", "SimCRFSFile"]
+
+
+class SimCRFSFile:
+    """Per-file CRFS state on the timing plane."""
+
+    __slots__ = (
+        "path",
+        "planner",
+        "backend_file",
+        "has_chunk",
+        "write_chunk_count",
+        "complete_chunk_count",
+        "_drain_waiters",
+        "pos",
+    )
+
+    def __init__(self, path: str, chunk_size: int, backend_file: SimFile):
+        self.path = path
+        self.planner = WritePlanner(chunk_size)
+        self.backend_file = backend_file
+        self.has_chunk = False  # a chunk is currently open for this file
+        self.write_chunk_count = 0
+        self.complete_chunk_count = 0
+        self._drain_waiters: list[SimEvent] = []
+        self.pos = 0  # sequential append cursor
+
+    @property
+    def drained(self) -> bool:
+        return self.complete_chunk_count >= self.write_chunk_count
+
+
+class SimCRFS:
+    """One node's CRFS mount over a modelled backing filesystem."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hw: HardwareParams,
+        config: CRFSConfig,
+        backend: SimFilesystem,
+        membus: SharedBandwidth,
+        node: str = "node0",
+        file_affine: bool = False,
+    ):
+        self.sim = sim
+        self.hw = hw
+        self.config = config
+        self.backend = backend
+        self.membus = membus
+        self.node = node
+        #: Experimental (Section VII prototype): IO threads prefer to
+        #: keep draining the file they last wrote, so one file's chunks
+        #: reach the backend back-to-back instead of interleaving.
+        self.file_affine = file_affine
+        self._backlog: "dict[SimCRFSFile, list[int]]" = {}
+        self.pool = SimSemaphore(sim, capacity=max(1, config.pool_chunks))
+        self.queue = SimQueue(sim)
+        self._io_threads = [
+            sim.spawn(self._io_thread(i), name=f"{node}-crfs-io{i}")
+            for i in range(config.io_threads)
+        ]
+        self._stopped = False
+        # -- stats
+        self.chunks_written = 0
+        self.bytes_written = 0
+        self.total_writes = 0
+        self.total_bytes_in = 0
+
+    # -- file API (all generators, driven by writer processes) -----------------
+
+    def open(self, path: str) -> SimCRFSFile:
+        backend_file = self.backend.open(path)
+        # Chunk writeback is issued by CRFS's few dedicated IO threads as
+        # large aligned writes of brand-new pages — it dodges the
+        # page-collision stalls interactive writers suffer (see
+        # simio.ext3).
+        backend_file.bulk_writer = True
+        return SimCRFSFile(path, self.config.chunk_size, backend_file)
+
+    def write(self, f: SimCRFSFile, nbytes: int):
+        """Generator: one application write() through FUSE into chunks."""
+        self.total_writes += 1
+        self.total_bytes_in += nbytes
+        for request in fuse_requests(nbytes, self.hw.fuse_max_request):
+            yield self.sim.timeout(self.hw.fuse_request_overhead)
+            if request >= PAGE:
+                yield self.membus.transfer(request)
+            for op in f.planner.write(f.pos, request):
+                if isinstance(op, Fill):
+                    if not f.has_chunk:
+                        yield self.pool.acquire()  # backpressure point
+                        f.has_chunk = True
+                else:
+                    yield from self._seal(f, op)
+            f.pos += request
+
+    def flush(self, f: SimCRFSFile):
+        """Generator: seal the partial chunk (close/fsync path)."""
+        for op in f.planner.flush():
+            assert isinstance(op, Seal)
+            yield from self._seal(f, op)
+
+    def close(self, f: SimCRFSFile):
+        """Generator: Section IV-C close — flush, drain, backend close."""
+        yield from self.flush(f)
+        yield from self._wait_drained(f)
+        yield from self.backend.close(f.backend_file)
+
+    def fsync(self, f: SimCRFSFile):
+        """Generator: Section IV-D2 fsync — flush, drain, backend fsync."""
+        yield from self.flush(f)
+        yield from self._wait_drained(f)
+        yield from self.backend.fsync(f.backend_file)
+
+    def read(self, f: SimCRFSFile, nbytes: int):
+        """Generator: Section IV-D1 read — passthrough to the backend,
+        plus the FUSE request round-trips the mount itself costs."""
+        for request in fuse_requests(nbytes, self.hw.fuse_max_request):
+            yield self.sim.timeout(self.hw.fuse_request_overhead)
+            yield from self.backend.read(f.backend_file, request)
+
+    # -- pipeline internals ------------------------------------------------------
+
+    def _seal(self, f: SimCRFSFile, seal: Seal):
+        f.write_chunk_count += 1
+        f.has_chunk = False
+        yield self.sim.timeout(self.hw.crfs_seal_overhead)
+        if self.file_affine:
+            self._backlog.setdefault(f, []).append(seal.length)
+            yield self.queue.put(None)  # wake one IO thread
+        else:
+            yield self.queue.put((f, seal.length))
+
+    def _wait_drained(self, f: SimCRFSFile):
+        while not f.drained:
+            ev = SimEvent(self.sim)
+            f._drain_waiters.append(ev)
+            yield ev
+
+    def _take_affine(self, last: Optional[SimCRFSFile]):
+        """Pick the next backlog item, preferring the thread's last file."""
+        if last is not None and self._backlog.get(last):
+            f = last
+        else:
+            f = next(iter(self._backlog))
+        length = self._backlog[f].pop(0)
+        if not self._backlog[f]:
+            del self._backlog[f]
+        return f, length
+
+    def _io_thread(self, index: int):
+        last: Optional[SimCRFSFile] = None
+        while True:
+            try:
+                item = yield self.queue.get()
+            except ShutdownError:  # queue closed at unmount
+                return
+            if self.file_affine:
+                f, length = self._take_affine(last)
+                last = f
+            else:
+                f, length = item
+            yield from self.backend.write(f.backend_file, length)
+            f.complete_chunk_count += 1
+            self.chunks_written += 1
+            self.bytes_written += length
+            self.pool.release()
+            if f.drained and f._drain_waiters:
+                waiters, f._drain_waiters = f._drain_waiters, []
+                for ev in waiters:
+                    ev.succeed()
+
+    def shutdown(self) -> None:
+        self._stopped = True
+        self.queue.close()

@@ -1,0 +1,33 @@
+"""Modelled hardware and native filesystems (timing plane).
+
+Everything the paper's testbed provides and we do not have: rotational
+disks, page caches with dirty-writeback coupling, an NFS server, a
+striped Lustre store — expressed as discrete-event models over
+:mod:`repro.sim`.  The constants live in :mod:`repro.simio.params`,
+documented against the paper's Section V-A hardware.
+"""
+
+from .params import HardwareParams, DEFAULT_HW
+from .disk import RotationalDisk, BlockTraceEntry
+from .pagecache import PageCache
+from .network import Link
+from .fsbase import SimFile, SimFilesystem
+from .ext3 import Ext3Filesystem
+from .nfs import NFSFilesystem, NFSServer
+from .lustre import LustreFilesystem, LustreServers
+
+__all__ = [
+    "HardwareParams",
+    "DEFAULT_HW",
+    "RotationalDisk",
+    "BlockTraceEntry",
+    "PageCache",
+    "Link",
+    "SimFile",
+    "SimFilesystem",
+    "Ext3Filesystem",
+    "NFSFilesystem",
+    "NFSServer",
+    "LustreFilesystem",
+    "LustreServers",
+]

@@ -1,0 +1,194 @@
+"""ext3 model: local filesystem on a rotational disk.
+
+Write path (what Section III profiles):
+
+* syscall entry — cheap; sub-page appends touch no new page and stay
+  cheap (Table I: half the writes are <64 B and cost ~0.2% of time);
+* block/extent allocation + journal bookkeeping for writes that dirty
+  new pages — **serialized per node** through the journal lock, with
+  heavy-tailed per-call jitter: with 8 concurrent writers this queueing
+  is the paper's "severe contentions in the VFS layer" that make the
+  4-16 KiB bucket eat ~half the checkpoint time;
+* copy into the page cache over the shared memory bus;
+* dirty accounting with hard throttling at the dirty limit — the
+  class-D regime where both native and CRFS paths run at disk speed.
+
+Two background processes complete the picture:
+
+* the **flusher** (via :class:`~repro.simio.pagecache.PageCache`) starts
+  once dirty data crosses the background threshold — its disk writes are
+  what Fig 10's blktrace shows;
+* **kjournald** commits every ``ext3_commit_interval`` seconds in
+  data=ordered mode: the commit *holds the journal lock while flushing
+  all dirty data to disk*.  A checkpoint that straddles a commit splits
+  the processes into those that finished before it (~4 s in the paper's
+  Fig 3) and those caught behind it (~8 s) — the completion-time spread
+  CRFS eliminates by finishing before the first commit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim import SharedBandwidth, SimLock, Simulator
+from .disk import RotationalDisk
+from .fsbase import SimFile, SimFilesystem, jittered
+from .pagecache import DirtyExtent, PageCache, ReservingAllocator
+from .params import HardwareParams
+
+__all__ = ["Ext3Filesystem"]
+
+
+class _DiskBacking:
+    """PageCache backing: per-stream reserving allocator over one disk."""
+
+    def __init__(self, disk: RotationalDisk, allocator: ReservingAllocator):
+        self.disk = disk
+        self.allocator = allocator
+
+    def locate(self, stream: str, nbytes: int) -> int:
+        return self.allocator.alloc(stream, nbytes)
+
+    def write_extent(self, extent: DirtyExtent):
+        yield self.disk.io(extent.block, extent.nbytes, "W", extent.stream)
+
+
+class Ext3Filesystem(SimFilesystem):
+    """One node's local ext3 over one SATA disk."""
+
+    name = "ext3"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hw: HardwareParams,
+        rng: np.random.Generator,
+        membus: SharedBandwidth,
+        app_memory: int = 0,
+        node: str = "node0",
+    ):
+        super().__init__(sim, hw, rng)
+        self.membus = membus
+        self.disk = RotationalDisk(sim, hw, name=f"{node}-disk")
+        self.allocator = ReservingAllocator(hw.disk_block, hw.ext3_reservation)
+        self._backing = _DiskBacking(self.disk, self.allocator)
+        dirtyable = max(hw.node_memory - hw.os_reserve - app_memory, 128 * 1024 * 1024)
+        self.cache = PageCache(
+            sim,
+            hw,
+            self._backing,
+            dirty_limit=int(dirtyable * hw.dirty_ratio),
+            background_limit=int(dirtyable * hw.dirty_background_ratio),
+            name=f"{node}-pagecache",
+        )
+        #: The journal/allocation lock: every page-allocating write takes
+        #: it briefly; kjournald holds it for whole commit flushes.
+        self.journal = SimLock(sim)
+        self.commits = 0
+        self._read_state: dict[str, list[int]] = {}
+        self._read_base: dict[str, int] = {}
+        self._stopped = False
+        self._committer = sim.spawn(self._kjournald(), name=f"{node}-kjournald")
+
+    def _write(self, f: SimFile, nbytes: int):
+        yield self.sim.timeout(self.hw.syscall_overhead)
+        new_pages = f.new_pages(nbytes)
+        if new_pages:
+            service = jittered(
+                self.rng,
+                self.hw.ext3_alloc_overhead + new_pages * self.hw.ext3_page_cost,
+                self.hw.service_jitter_sigma,
+            )
+            if self.cache.writeback_active and not f.bulk_writer:
+                # Writeback interference on interactive writers: partial
+                # re-dirtying and lock_page collisions against pages the
+                # flusher is pushing out.  Probability and duration scale
+                # with the pages the write touches; a per-file fortune
+                # factor (placement vs the writeback scan) spreads the
+                # damage unevenly across processes — the 4s..8s spread of
+                # Figs 3/11.  CRFS's few dedicated IO threads writing
+                # large aligned chunks dodge these collisions
+                # (bulk_writer): new full pages, no re-dirtying.
+                service *= self.hw.ext3_writeback_interference
+                p_stall = min(
+                    0.85,
+                    self.hw.ext3_stall_prob
+                    * f.luck
+                    * (1.0 + new_pages * self.hw.ext3_stall_page_prob),
+                )
+                if self.rng.random() < p_stall:
+                    mean = self.hw.ext3_stall_mean * (
+                        1.0 + new_pages * self.hw.ext3_stall_page_dur
+                    )
+                    # bounded draw: a stall lasts 0.5x..1.5x its mean
+                    yield self.sim.timeout(float(self.rng.uniform(0.5, 1.5)) * mean)
+            yield self.journal.acquire()
+            yield self.sim.timeout(service)
+            self.journal.release()
+        if nbytes >= 4096:
+            yield self.membus.transfer(nbytes)
+        yield from self.cache.dirty(f.stream, nbytes)
+
+    def _read(self, f: SimFile, nbytes: int):
+        """Restart path: cold-cache sequential read with readahead.
+
+        A restarted node reads the checkpoint fresh from disk; readahead
+        turns the sequential scan into large disk accesses, so reads run
+        near streaming bandwidth regardless of the original write sizes
+        (why the paper sees no restart difference with or without CRFS).
+        """
+        state = self._read_state.setdefault(f.stream, [0, 0])  # [consumed, fetched]
+        if f.stream not in self._read_base:
+            # the file's (post-writeback) on-disk location: one contiguous
+            # region per file, far apart between files
+            self._read_base[f.stream] = len(self._read_base) * (1 << 24) + (1 << 26)
+        base = self._read_base[f.stream]
+        state[0] += nbytes
+        window = self.hw.readahead_window
+        while state[1] < state[0]:
+            block = base + state[1] // self.hw.disk_block
+            yield self.disk.io(block, window, "R", f.stream)
+            state[1] += window
+        if nbytes >= 4096:
+            yield self.membus.transfer(nbytes)
+
+    def close(self, f: SimFile):
+        # ext3 close is metadata-only: dirty data stays in the cache.
+        yield self.sim.timeout(self.hw.syscall_overhead)
+
+    def fsync(self, f: SimFile):
+        yield from self.cache.sync_stream(f.stream)
+        # journal commit latency for the metadata
+        yield self.sim.timeout(2e-3)
+
+    def _kjournald(self):
+        """data=ordered commits: flush all dirty data, journal lock held.
+
+        The first commit lands at a random phase within the interval —
+        checkpoints start at arbitrary points of the commit cycle (the
+        paper averages >=5 checkpoints per condition).
+        """
+        yield self.sim.timeout(
+            float(self.rng.uniform(0.0, self.hw.ext3_commit_interval))
+        )
+        while not self._stopped:
+            yield self.sim.timeout(self.hw.ext3_commit_interval)
+            if self._stopped:
+                return
+            if self.cache.dirty_bytes == 0:
+                continue
+            self.commits += 1
+            # Locked phase: new journal handles (allocating writers) block
+            # while the transaction's own data goes out...
+            yield self.journal.acquire()
+            try:
+                yield from self.cache.sync_quota(self.hw.ext3_commit_locked_bytes)
+            finally:
+                self.journal.release()
+            # ...then the bulk of the ordered-data flush proceeds without
+            # blocking new handles.
+            yield from self.cache.sync_all()
+
+    def stop(self) -> None:
+        self._stopped = True
+        self.cache.stop()

@@ -1,0 +1,118 @@
+"""Timing-plane filesystem interface.
+
+A :class:`SimFilesystem` is one node's *client view* of a filesystem:
+``write`` models the cost of an application write() syscall (and any
+cache/throttle coupling), ``close``/``fsync`` model the filesystem's
+flush semantics.  Checkpoint data in the timing plane is a stream of
+sizes — sequential append is the paper's workload, so files track only
+an append position.
+
+All methods that take time are generators to be driven by a simulated
+process (``yield from fs.write(f, n)``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from ..sim import Simulator
+from .params import HardwareParams
+
+__all__ = ["SimFile", "SimFilesystem", "jittered"]
+
+PAGE = 4096
+
+
+def jittered(rng: np.random.Generator, value: float, sigma: float) -> float:
+    """Lognormal service-time jitter with unit mean."""
+    if sigma <= 0:
+        return value
+    return value * float(rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma))
+
+
+class SimFile:
+    """An open file in the timing plane (sequential append stream)."""
+
+    __slots__ = ("path", "pos", "stream", "luck", "bulk_writer")
+
+    def __init__(self, path: str):
+        self.path = path
+        self.pos = 0  # bytes appended so far
+        self.stream = path  # identity used for dirty tracking / traces
+        #: Per-file fortune multiplier on interference stalls: where the
+        #: file's pages land relative to the writeback scan, NUMA/core
+        #: placement of its writer... drawn at open().
+        self.luck = 1.0
+        #: Set for CRFS's IO threads: a few dedicated writers issuing
+        #: large aligned chunk writes dodge the page-level collisions
+        #: (partial re-dirtying, lock_page against writeback) that many
+        #: concurrent small-writers suffer.
+        self.bulk_writer = False
+
+    def new_pages(self, nbytes: int) -> int:
+        """Pages newly dirtied by appending ``nbytes`` at the current
+        position (a sub-page append into an already-dirty page is free —
+        how Table I's tiny writes stay cheap)."""
+        before = -(-self.pos // PAGE) if self.pos else 0
+        after = -(-(self.pos + nbytes) // PAGE)
+        return max(0, after - before)
+
+
+class SimFilesystem(ABC):
+    """One node's client view of a (modelled) filesystem."""
+
+    name = "simfs"
+
+    def __init__(self, sim: Simulator, hw: HardwareParams, rng: np.random.Generator):
+        self.sim = sim
+        self.hw = hw
+        self.rng = rng
+        self.total_writes = 0
+        self.total_bytes = 0
+        self.total_reads = 0
+
+    def open(self, path: str) -> SimFile:
+        f = SimFile(path)
+        sigma = self.hw.per_file_luck_sigma
+        if sigma > 0:
+            # clipped so no single file becomes an implausible outlier
+            f.luck = float(
+                np.clip(self.rng.lognormal(mean=0.0, sigma=sigma), 0.65, 1.7)
+            )
+        return f
+
+    def write(self, f: SimFile, nbytes: int):
+        """Generator: one write() of ``nbytes`` appended to ``f``."""
+        self.total_writes += 1
+        self.total_bytes += nbytes
+        yield from self._write(f, nbytes)
+        f.pos += nbytes
+
+    @abstractmethod
+    def _write(self, f: SimFile, nbytes: int):
+        """Filesystem-specific write cost (generator)."""
+
+    def read(self, f: SimFile, nbytes: int):
+        """Generator: one sequential read() of ``nbytes`` (restart path).
+
+        Default: syscall cost + the filesystem-specific read transfer.
+        """
+        self.total_reads += 1
+        yield self.sim.timeout(self.hw.syscall_overhead)
+        yield from self._read(f, nbytes)
+
+    def _read(self, f: SimFile, nbytes: int):
+        """Filesystem-specific read cost; default is free (override)."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    @abstractmethod
+    def close(self, f: SimFile):
+        """Generator: close-time cost (flush semantics differ per fs)."""
+
+    @abstractmethod
+    def fsync(self, f: SimFile):
+        """Generator: full durability flush for this file."""

@@ -1,0 +1,212 @@
+"""Lustre 1.8 model: client cache + grant throttling + striped OSTs.
+
+What pins the paper's Lustre shapes:
+
+* **client-side per-op overhead** (llite + LDLM locking) is much higher
+  than ext3's — native small/medium checkpoint writes serialize through
+  it, which is why native Lustre is *slower* than native ext3 at class
+  B/C and why CRFS's op-count reduction wins 5.5-9X there;
+* the **client dirty cache is grant-limited** (~32 MiB per OST in 1.8),
+  far smaller than the page cache — class-D checkpoints throttle to the
+  aggregate OST bandwidth, compressing CRFS's win to ~30%;
+* **striping**: files spread over OSTs in stripe-size runs, so native
+  append streams are contiguous per OST only in stripe-length runs,
+  while a CRFS 4 MiB chunk lands as one contiguous object extent —
+  fewer OST seeks, which is where the remaining class-D gain comes from;
+* close() does **not** flush (no NFS-style close-to-open): the measured
+  checkpoint drains only into the client cache unless the grant is
+  exhausted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim import FIFOResource, SharedBandwidth, Simulator
+from .disk import RotationalDisk
+from .fsbase import PAGE, SimFile, SimFilesystem, jittered
+from .network import Link
+from .pagecache import DirtyExtent, PageCache, ReservingAllocator
+from .params import HardwareParams
+
+__all__ = ["LustreServers", "LustreFilesystem"]
+
+#: Block-address space reserved per OST; extents never cross OSTs, and
+#: adjacency (hence extent merging) only happens within one OST.
+_OST_SPACE = 1 << 40
+
+
+class LustreServers:
+    """The shared MDS+OST fabric.
+
+    ``flush_tokens`` (optional) prototypes the paper's Section VII future
+    work — inter-node write coordination: when set, at most that many
+    extent flushes run against the OSTs cluster-wide at once.  Fewer
+    concurrent streams means consecutive OST accesses more often continue
+    the same object (no seek), at the cost of OST idle time when tokens
+    are too scarce.  See ``repro.experiments.internode``.
+    """
+
+    def __init__(self, sim: Simulator, hw: HardwareParams,
+                 flush_tokens: int | None = None):
+        from ..sim import SimSemaphore
+
+        self.sim = sim
+        self.hw = hw
+        self.flush_tokens = (
+            SimSemaphore(sim, flush_tokens) if flush_tokens else None
+        )
+        self.osts = []
+        for i in range(hw.lustre_osts):
+            ost = RotationalDisk(
+                sim,
+                hw,
+                name=f"ost{i}",
+                bandwidth=hw.lustre_ost_bandwidth,
+                seek_time=hw.lustre_ost_seek,
+            )
+            # per-object layout is contiguous; sequentiality at the
+            # spindle is decided by arrival interleaving
+            ost.stream_switch_seek = True
+            self.osts.append(ost)
+        # per-OST object allocators; reservation = stripe keeps native
+        # append runs stripe-contiguous.
+        self.allocators = [
+            ReservingAllocator(hw.disk_block, hw.lustre_stripe)
+            for _ in range(hw.lustre_osts)
+        ]
+        self._stream_bytes: dict[str, int] = {}
+        self.mds_ops = 0
+
+    def locate(self, stream: str, nbytes: int) -> int:
+        """Place ``nbytes`` for ``stream``: the OST rotates per stripe of
+        the file, so sequential appends fill one OST for a stripe's worth
+        before moving on; a multi-stripe allocation (CRFS chunk) lands
+        whole on the next OST in the rotation."""
+        sofar = self._stream_bytes.get(stream, 0)
+        ost = (sofar // self.hw.lustre_stripe) % len(self.osts)
+        self._stream_bytes[stream] = sofar + nbytes
+        local = self.allocators[ost].alloc(stream, nbytes)
+        return ost * _OST_SPACE + local
+
+    def write_pipeline(self, link: Link, extent: DirtyExtent):
+        """Generator: RPC one extent to its OST.
+
+        The wire moves in rpc_size messages; the OST's object layer
+        gathers the extent (obdfilter brw pipelining) and issues it as a
+        single disk write — so a 4 MiB CRFS chunk reaches the platter as
+        one sequential access, while native stripe-length runs stay at
+        ~1 MiB.
+        """
+        hw = self.hw
+        ost_index = extent.block // _OST_SPACE
+        disk = self.osts[ost_index]
+        local = extent.block % _OST_SPACE
+        remaining = extent.nbytes
+        while remaining > 0:
+            window = min(remaining, hw.lustre_rpc_size)
+            yield from link.send(window)
+            remaining -= window
+        yield disk.io(local, extent.nbytes, "W", extent.stream)
+
+    def total_ost_bytes(self) -> float:
+        return sum(d.total_bytes for d in self.osts)
+
+
+class _LustreBacking:
+    def __init__(self, servers: LustreServers, link: Link):
+        self.servers = servers
+        self.link = link
+
+    def locate(self, stream: str, nbytes: int) -> int:
+        return self.servers.locate(stream, nbytes)
+
+    def write_extent(self, extent: DirtyExtent):
+        tokens = self.servers.flush_tokens
+        if tokens is not None:
+            yield tokens.acquire()
+            try:
+                yield from self.servers.write_pipeline(self.link, extent)
+            finally:
+                tokens.release()
+        else:
+            yield from self.servers.write_pipeline(self.link, extent)
+
+
+class LustreFilesystem(SimFilesystem):
+    """One node's Lustre client view."""
+
+    name = "lustre"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hw: HardwareParams,
+        rng: np.random.Generator,
+        membus: SharedBandwidth,
+        servers: LustreServers,
+        app_memory: int = 0,
+        node: str = "node0",
+        sticky_batch: int = 1,
+    ):
+        super().__init__(sim, hw, rng)
+        self.membus = membus
+        self.servers = servers
+        self.link = Link(
+            sim, hw.lustre_link_bandwidth, rtt=40e-6, name=f"{node}-ib"
+        )
+        self.cache = PageCache(
+            sim,
+            hw,
+            _LustreBacking(servers, self.link),
+            dirty_limit=hw.lustre_client_cache,
+            background_limit=hw.lustre_client_cache // 4,
+            name=f"{node}-lustre-cache",
+            sticky_batch=sticky_batch,
+        )
+        #: Serialized llite/LDLM client path — the native bottleneck.
+        self.client_res = FIFOResource(sim, name=f"{node}-lustre-client")
+        self._read_state: dict[str, list[int]] = {}
+
+    def _write(self, f: SimFile, nbytes: int):
+        yield self.sim.timeout(self.hw.syscall_overhead)
+        new_pages = f.new_pages(nbytes)
+        if new_pages:
+            # LDLM/llite locking costs grow with intra-node concurrency:
+            # a lone writer pays the base cost; 8 writers hammering the
+            # same client-side locks pay several times more per op (the
+            # multiplexing contention of Fig 9).
+            contention = 1.0 + self.hw.lustre_contention_factor * self.client_res.queue_len
+            service = jittered(
+                self.rng,
+                self.hw.lustre_client_op_overhead * contention
+                + new_pages * self.hw.lustre_page_cost,
+                self.hw.service_jitter_sigma,
+            )
+            yield self.client_res.use(service)
+        if nbytes >= PAGE:
+            yield self.membus.transfer(nbytes)
+        yield from self.cache.dirty(f.stream, nbytes)
+
+    def _read(self, f: SimFile, nbytes: int):
+        """Restart path: striped reads from the OSTs with readahead."""
+        state = self._read_state.setdefault(f.stream, [0, 0])
+        state[0] += nbytes
+        window = self.hw.readahead_window
+        while state[1] < state[0]:
+            ost = (state[1] // self.hw.lustre_stripe) % len(self.servers.osts)
+            disk = self.servers.osts[ost]
+            block = self.servers.allocators[ost].alloc(f.stream + "#read", window)
+            yield from self.link.send(window)
+            yield disk.io(block, window, "R", f.stream)
+            state[1] += window
+        if nbytes >= PAGE:
+            yield self.membus.transfer(nbytes)
+
+    def close(self, f: SimFile):
+        # No close-to-open flush: dirty data drains in the background.
+        yield self.sim.timeout(self.hw.syscall_overhead)
+
+    def fsync(self, f: SimFile):
+        yield from self.cache.sync_stream(f.stream)
+        yield self.sim.timeout(1e-3)

@@ -1,0 +1,43 @@
+"""Network link model.
+
+A :class:`Link` is a processor-sharing pipe with a propagation RTT:
+``yield from link.send(nbytes)`` costs half-RTT plus the bandwidth-shared
+transfer time.  Used for the IPoIB path to the NFS server and the IB
+path to the Lustre OSTs.
+"""
+
+from __future__ import annotations
+
+from ..sim import SharedBandwidth, Simulator
+
+__all__ = ["Link"]
+
+
+class Link:
+    """Shared-bandwidth link with per-message latency."""
+
+    def __init__(self, sim: Simulator, bandwidth: float, rtt: float, name: str = "link"):
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.rtt = rtt
+        self.name = name
+        self._pipe = SharedBandwidth(sim, bandwidth, name=name)
+        self.total_messages = 0
+
+    def send(self, nbytes: int):
+        """Generator: move one message of ``nbytes`` across the link."""
+        self.total_messages += 1
+        if self.rtt:
+            yield self.sim.timeout(self.rtt / 2)
+        yield self._pipe.transfer(nbytes)
+
+    def roundtrip(self, nbytes: int):
+        """Generator: request/response exchange carrying ``nbytes``."""
+        self.total_messages += 1
+        yield self.sim.timeout(self.rtt / 2)
+        yield self._pipe.transfer(nbytes)
+        yield self.sim.timeout(self.rtt / 2)
+
+    @property
+    def total_bytes(self) -> float:
+        return self._pipe.total_bytes

@@ -1,0 +1,48 @@
+"""Null backing filesystem (timing plane) — paper Figure 5's rig.
+
+"Once a filled chunk is picked up by an IO thread it is discarded
+without being written to a back-end filesystem.  With this we can
+measure the raw performance of CRFS to aggregate write streams,
+precluding the impacts of different back-end filesystems."
+
+A chunk write costs only a small fixed handling overhead (queue pop,
+metadata update, chunk recycle).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim import Simulator
+from .fsbase import SimFile, SimFilesystem
+from .params import HardwareParams
+
+__all__ = ["NullSimFilesystem"]
+
+#: Fixed cost for an IO thread to process and discard one chunk.
+CHUNK_HANDLING_COST = 45e-6
+
+
+class NullSimFilesystem(SimFilesystem):
+    """Discards writes at a fixed per-call cost."""
+
+    name = "null"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hw: HardwareParams,
+        rng: np.random.Generator,
+        op_cost: float = CHUNK_HANDLING_COST,
+    ):
+        super().__init__(sim, hw, rng)
+        self.op_cost = op_cost
+
+    def _write(self, f: SimFile, nbytes: int):
+        yield self.sim.timeout(self.op_cost)
+
+    def close(self, f: SimFile):
+        yield self.sim.timeout(self.hw.syscall_overhead)
+
+    def fsync(self, f: SimFile):
+        yield self.sim.timeout(self.hw.syscall_overhead)

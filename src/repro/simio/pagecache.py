@@ -1,0 +1,393 @@
+"""Page-cache model: dirty accounting, background flusher, throttling.
+
+Three behaviours of the Linux page cache shape the paper's results and
+are modelled here:
+
+1. **Absorption** — writes land in memory and return; small checkpoints
+   finish at memory speed (Table I: sub-1 KiB writes cost ~nothing).
+2. **Background writeback** — above the background threshold (and on
+   ext3's periodic journal commits) a flusher pushes dirty extents out
+   *during* the checkpoint; its disk activity is what blktrace sees
+   (Fig 10) and it inflates foreground VFS costs while active (the
+   interference that spreads per-process completion times, Fig 3).
+3. **Throttling** — above the dirty limit, writers block until the
+   flusher drains below it (balance_dirty_pages).  Large checkpoints
+   (class D) hit this and run at backing-store speed — the regime where
+   CRFS's advantage compresses to its layout/op-count effects.
+
+The cache is generic over a *backing store* (local disk, NFS server
+pipeline, Lustre OSTs): the backing allocates placement for dirty data
+(:meth:`WritebackTarget.locate`) and performs extent writeback
+(:meth:`WritebackTarget.write_extent`).  Placement happens at dirty time,
+so concurrent writers interleave their allocations exactly as the paper's
+blktrace shows.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Protocol
+
+from ..sim import SimEvent, Simulator
+from .params import HardwareParams
+
+__all__ = ["PageCache", "DirtyExtent", "WritebackTarget", "ReservingAllocator"]
+
+
+@dataclass
+class DirtyExtent:
+    """A contiguous run of dirty bytes with its backing placement.
+
+    ``fragments`` counts how many write() calls built the extent — the
+    NFS server model prices congested RPC handling by fragment density
+    (runs assembled from many sub-wsize dirty ranges are expensive; one
+    big write or a CRFS chunk is cheap).
+    """
+
+    stream: str
+    block: int
+    nbytes: int
+    nblocks: int = 0
+    fragments: int = 1
+
+    def __post_init__(self) -> None:
+        if self.nblocks == 0:
+            self.nblocks = max(1, -(-self.nbytes // 4096))
+
+    @property
+    def fragment_density(self) -> float:
+        """Fragments per MiB of extent."""
+        return self.fragments / max(self.nbytes / (1024 * 1024), 1e-9)
+
+
+class WritebackTarget(Protocol):
+    """What a PageCache writes back to."""
+
+    def locate(self, stream: str, nbytes: int) -> int:
+        """Choose the placement (block address) for new dirty bytes."""
+
+    def write_extent(self, extent: DirtyExtent):
+        """Generator: push one extent to stable storage."""
+
+
+class ReservingAllocator:
+    """Extent allocator with per-stream reservation windows.
+
+    Mirrors ext3's per-inode block reservations: each file grabs a window
+    of contiguous blocks and satisfies its appends from it, so a file's
+    data stays contiguous in runs of ``reservation`` bytes even while
+    other files allocate concurrently.  Allocations larger than the
+    window (CRFS chunks) are contiguous in full.
+    """
+
+    def __init__(self, block_size: int, reservation: int, start_block: int = 2048):
+        self.block_size = block_size
+        self.reservation = max(reservation, block_size)
+        self._next = start_block
+        self._windows: dict[str, tuple[int, int]] = {}  # stream -> (next, left)
+
+    def _blocks(self, nbytes: int) -> int:
+        return max(1, -(-nbytes // self.block_size))
+
+    def alloc(self, stream: str, nbytes: int) -> int:
+        nblocks = self._blocks(nbytes)
+        nxt, left = self._windows.get(stream, (0, 0))
+        if nblocks > left:
+            # new reservation window from the global bump pointer
+            window_blocks = max(self._blocks(self.reservation), nblocks)
+            nxt = self._next
+            self._next += window_blocks
+            left = window_blocks
+        block = nxt
+        self._windows[stream] = (nxt + nblocks, left - nblocks)
+        return block
+
+    @property
+    def next_block(self) -> int:
+        return self._next
+
+
+class PageCache:
+    """Per-node (or per-client) write cache with a flusher process."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hw: HardwareParams,
+        backing: WritebackTarget,
+        dirty_limit: int,
+        background_limit: int | None = None,
+        commit_interval: float | None = None,
+        writeback_window: int = 4 * 1024 * 1024,
+        name: str = "cache",
+        sticky_batch: int = 1,
+    ):
+        self.sim = sim
+        self.hw = hw
+        self.backing = backing
+        self.name = name
+        self.dirty_limit = max(int(dirty_limit), 1)
+        self.background_limit = (
+            int(background_limit)
+            if background_limit is not None
+            else max(self.dirty_limit // 4, 1)
+        )
+        self.commit_interval = commit_interval
+        self.writeback_window = writeback_window
+        #: Tail extents smaller than this are deferred by the flusher
+        #: (write gathering / plugging): flushing a still-growing tail
+        #: too eagerly shatters merging into tiny backing-store writes.
+        self.min_flush_extent = max(writeback_window // 16, 1)
+        #: Throttled writers are released only once dirty drops this far
+        #: below the limit, so refills arrive in bursts that re-form
+        #: large extents instead of a trickle of tiny ones.
+        self.throttle_hysteresis = min(writeback_window, self.dirty_limit // 8)
+        #: The flusher drains up to this many extents of one stream
+        #: before rotating (1 = pure round-robin).  Larger values keep
+        #: per-stream runs together at the backing store — the knob the
+        #: inter-node coordination experiment turns.
+        self.sticky_batch = max(1, sticky_batch)
+        self._sticky_stream: Optional[str] = None
+        self._sticky_left = 0
+        self._dirty: "OrderedDict[str, Deque[DirtyExtent]]" = OrderedDict()
+        self.dirty_bytes = 0
+        self._throttled: list[SimEvent] = []
+        self._flush_kick: Optional[SimEvent] = None
+        self._commit_due = False
+        self.writeback_active = False
+        self._stopped = False
+        # -- stats
+        self.total_dirtied = 0
+        self.total_written_back = 0
+        self.throttle_events = 0
+        self._flusher = sim.spawn(self._flusher_proc(), name=f"flusher-{name}")
+        if commit_interval is not None:
+            self._committer = sim.spawn(self._commit_proc(), name=f"kjournald-{name}")
+
+    # -- foreground API ---------------------------------------------------------
+
+    def dirty(self, stream: str, nbytes: int, merge_cap: int | None = None):
+        """Generator: account ``nbytes`` of new dirty data for ``stream``.
+
+        Placement is block-granular: a write first fills the free space
+        of its stream's tail block (sub-block metadata records stay in
+        the current page, as in a real page cache), then allocates new
+        blocks via the backing.  Adjacent allocations merge into the tail
+        extent up to ``merge_cap`` bytes (None = writeback_window).
+        Blocks the caller while the cache is over the dirty limit.
+        """
+        if nbytes <= 0:
+            return
+        cap = merge_cap if merge_cap is not None else self.writeback_window
+        bs = self.hw.disk_block
+        queue = self._dirty.setdefault(stream, deque())
+        tail = queue[-1] if queue else None
+        mergeable = tail is not None and tail.nbytes + nbytes <= max(cap, nbytes)
+        if mergeable:
+            room = tail.nblocks * bs - tail.nbytes  # free space in tail block
+            overflow = max(0, nbytes - room)
+            new_blocks = -(-overflow // bs) if overflow else 0
+            if new_blocks == 0:
+                tail.nbytes += nbytes
+                tail.fragments += 1
+            else:
+                block = self.backing.locate(stream, new_blocks * bs)
+                if block == tail.block + tail.nblocks:
+                    tail.nbytes += nbytes
+                    tail.nblocks += new_blocks
+                    tail.fragments += 1
+                else:  # allocator moved elsewhere: start a new extent
+                    queue.append(
+                        DirtyExtent(
+                            stream=stream, block=block, nbytes=nbytes,
+                            nblocks=new_blocks,
+                        )
+                    )
+        else:
+            new_blocks = max(1, -(-nbytes // bs))
+            block = self.backing.locate(stream, new_blocks * bs)
+            queue.append(
+                DirtyExtent(
+                    stream=stream, block=block, nbytes=nbytes, nblocks=new_blocks
+                )
+            )
+        self.dirty_bytes += nbytes
+        self.total_dirtied += nbytes
+        if self.dirty_bytes > self.background_limit:
+            self._wake_flusher()
+        # balance_dirty_pages: block while over the hard limit
+        while self.dirty_bytes > self.dirty_limit:
+            self.throttle_events += 1
+            ev = SimEvent(self.sim)
+            self._throttled.append(ev)
+            yield ev
+
+    def _blocks(self, nbytes: int) -> int:
+        return max(1, -(-nbytes // self.hw.disk_block))
+
+    def sync_stream(self, stream: str):
+        """Generator: write back everything dirty for one stream (fsync /
+        close-to-open flush)."""
+        queue = self._dirty.get(stream)
+        while queue:
+            extent = queue.popleft()
+            yield from self._write_extent(extent)
+        self._dirty.pop(stream, None)
+
+    def sync_all(self):
+        """Generator: write back everything (sync / unmount)."""
+        while self._dirty:
+            stream = next(iter(self._dirty))
+            yield from self.sync_stream(stream)
+
+    def sync_quota(self, nbytes: int):
+        """Generator: write back up to ``nbytes`` (round-robin victims)."""
+        done = 0
+        while done < nbytes:
+            extent = self._next_victim(allow_small_tails=True)
+            if extent is None:
+                return
+            done += extent.nbytes
+            yield from self._write_extent(extent)
+
+    def dirty_bytes_of(self, stream: str) -> int:
+        return sum(e.nbytes for e in self._dirty.get(stream, ()))
+
+    def stop(self) -> None:
+        """Stop waking the flusher for new work (end of experiment)."""
+        self._stopped = True
+        self._wake_flusher()
+
+    # -- internals -----------------------------------------------------------
+
+    def _write_extent(self, extent: DirtyExtent):
+        yield from self.backing.write_extent(extent)
+        self.dirty_bytes -= extent.nbytes
+        self.total_written_back += extent.nbytes
+        release_at = max(self.dirty_limit - self.throttle_hysteresis, 0)
+        if self.dirty_bytes <= release_at and self._throttled:
+            waiters, self._throttled = self._throttled, []
+            for ev in waiters:
+                ev.succeed()
+
+    def _wake_flusher(self) -> None:
+        if self._flush_kick is not None and not self._flush_kick.triggered:
+            kick, self._flush_kick = self._flush_kick, None
+            kick.succeed()
+
+    def _should_flush(self) -> bool:
+        if self._stopped:
+            return False
+        if self._commit_due:
+            return bool(self._dirty)
+        if self._throttled:
+            return bool(self._dirty)
+        return self.dirty_bytes > self.background_limit and bool(self._dirty)
+
+    def _next_victim(self, allow_small_tails: bool = False) -> Optional[DirtyExtent]:
+        """Round-robin over streams; pop up to writeback_window per visit.
+
+        A stream's *tail* extent (the one still growing) is deferred while
+        it is small, unless ``allow_small_tails`` — eagerly flushing a
+        growing tail shatters write gathering.
+        """
+        # sticky continuation: keep draining the same stream for a while
+        if (
+            self._sticky_stream is not None
+            and self._sticky_left > 0
+            and self._sticky_stream in self._dirty
+        ):
+            queue = self._dirty[self._sticky_stream]
+            head = queue[0]
+            if (
+                len(queue) > 1
+                or head.nbytes >= self.min_flush_extent
+                or allow_small_tails
+            ):
+                self._sticky_left -= 1
+                return self._pop_from(self._sticky_stream)
+        fallback: Optional[str] = None
+        fallback_size = -1
+        for stream in list(self._dirty):
+            queue = self._dirty[stream]
+            if not queue:
+                del self._dirty[stream]
+                continue
+            head = queue[0]
+            is_growing_tail = len(queue) == 1
+            if (
+                is_growing_tail
+                and head.nbytes < self.min_flush_extent
+                and not allow_small_tails
+            ):
+                if head.nbytes > fallback_size:
+                    fallback, fallback_size = stream, head.nbytes
+                continue
+            return self._pop_from(stream)
+        if fallback is not None and allow_small_tails is False and self._throttled:
+            # everything is a small tail but writers are blocked: flush
+            # the biggest one rather than deadlock
+            return self._pop_from(fallback)
+        return None
+
+    def _pop_from(self, stream: str) -> DirtyExtent:
+        if stream != self._sticky_stream:
+            self._sticky_stream = stream
+            self._sticky_left = self.sticky_batch - 1
+        queue = self._dirty[stream]
+        extent = queue.popleft()
+        if extent.nbytes > self.writeback_window:
+            win_blocks = self._blocks(self.writeback_window)
+            frac = self.writeback_window / extent.nbytes
+            head_frags = max(1, int(round(extent.fragments * frac)))
+            rest = DirtyExtent(
+                stream=extent.stream,
+                block=extent.block + win_blocks,
+                nbytes=extent.nbytes - self.writeback_window,
+                nblocks=max(extent.nblocks - win_blocks, 1),
+                fragments=max(1, extent.fragments - head_frags),
+            )
+            queue.appendleft(rest)
+            extent = DirtyExtent(
+                stream=extent.stream,
+                block=extent.block,
+                nbytes=self.writeback_window,
+                nblocks=win_blocks,
+                fragments=head_frags,
+            )
+        if not queue:
+            del self._dirty[stream]
+        else:
+            self._dirty.move_to_end(stream)  # rotate for fairness
+        return extent
+
+    def _flusher_proc(self):
+        while not self._stopped:
+            extent = None
+            if self._should_flush():
+                extent = self._next_victim()
+                if extent is None and self._commit_due:
+                    extent = self._next_victim(allow_small_tails=True)
+            if extent is not None:
+                self.writeback_active = True
+                yield from self._write_extent(extent)
+                if not self._dirty:
+                    self._commit_due = False
+            else:
+                self.writeback_active = False
+                if not self._dirty:
+                    self._commit_due = False
+                self._flush_kick = SimEvent(self.sim)
+                yield self._flush_kick
+        self.writeback_active = False
+
+    def _commit_proc(self):
+        """kjournald (data=ordered): periodically force full writeback."""
+        while not self._stopped:
+            yield self.sim.timeout(self.commit_interval)
+            if self._stopped:
+                return
+            if self._dirty:
+                self._commit_due = True
+                self._wake_flusher()

@@ -1,0 +1,28 @@
+"""Trace capture and analysis: the paper's profiling instruments.
+
+* :mod:`repro.trace.recorder` — per-write records (the extended-BLCR
+  logging of Section III);
+* :mod:`repro.trace.profile` — Table-I style bucket profiles (% writes /
+  % data / % time per size bucket);
+* :mod:`repro.trace.cumulative` — per-process cumulative write-time
+  curves (Figures 3 and 11);
+* :mod:`repro.trace.blk` — block-trace analytics (Figure 10: address
+  scatter, seek counts, sequentiality).
+"""
+
+from .recorder import WriteRecord, WriteTrace
+from .profile import ProfileRow, bucket_profile, render_profile
+from .cumulative import cumulative_curves, completion_spread
+from .blk import BlockTraceSummary, summarize_block_trace
+
+__all__ = [
+    "WriteRecord",
+    "WriteTrace",
+    "ProfileRow",
+    "bucket_profile",
+    "render_profile",
+    "cumulative_curves",
+    "completion_spread",
+    "BlockTraceSummary",
+    "summarize_block_trace",
+]

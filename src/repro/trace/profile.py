@@ -1,0 +1,74 @@
+"""Table-I style checkpoint write profiles.
+
+Buckets a :class:`~repro.trace.recorder.WriteTrace` by write size and
+reports the three percentage columns of paper Table I: share of writes,
+share of data, share of (per-write observed) time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..checkpoint.sizedist import TABLE1_BUCKETS, BucketSpec
+from ..util.tables import TextTable
+from .recorder import WriteTrace
+
+__all__ = ["ProfileRow", "bucket_profile", "render_profile"]
+
+
+@dataclass(frozen=True)
+class ProfileRow:
+    """One profile row: bucket + the three Table-I percentages."""
+
+    label: str
+    lo: int
+    hi: int  # 0 = open-ended
+    count: int
+    pct_writes: float
+    pct_data: float
+    pct_time: float
+
+
+def bucket_profile(
+    trace: WriteTrace, buckets: Sequence[BucketSpec] = TABLE1_BUCKETS
+) -> list[ProfileRow]:
+    """Bucket the trace; percentages sum to ~100 each (empty trace -> zeros)."""
+    sizes = trace.sizes()
+    durations = trace.durations()
+    n = len(sizes)
+    total_data = sizes.sum() if n else 0
+    total_time = durations.sum() if n else 0.0
+    rows: list[ProfileRow] = []
+    for b in buckets:
+        hi = b.hi if b.hi else np.inf
+        mask = (sizes >= b.lo) & (sizes < hi) if n else np.zeros(0, dtype=bool)
+        count = int(mask.sum())
+        rows.append(
+            ProfileRow(
+                label=b.label,
+                lo=b.lo,
+                hi=b.hi,
+                count=count,
+                pct_writes=100.0 * count / n if n else 0.0,
+                pct_data=100.0 * float(sizes[mask].sum()) / total_data
+                if total_data
+                else 0.0,
+                pct_time=100.0 * float(durations[mask].sum()) / total_time
+                if total_time
+                else 0.0,
+            )
+        )
+    return rows
+
+
+def render_profile(rows: Sequence[ProfileRow], title: str | None = None) -> str:
+    """Render rows exactly like paper Table I."""
+    table = TextTable(
+        ["Write Size", "% of Writes", "% of Data", "% of Time"], title=title
+    )
+    for r in rows:
+        table.add_row([r.label, f"{r.pct_writes:.2f}", f"{r.pct_data:.2f}", f"{r.pct_time:.2f}"])
+    return table.render()

@@ -1,0 +1,72 @@
+"""Per-write trace records.
+
+The paper: "We extended the BLCR library to record the information for
+all write operations, including number of writes, size of a write and
+time cost for each write."  A :class:`WriteTrace` is that log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["WriteRecord", "WriteTrace"]
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """One write(): who, how big, when, how long."""
+
+    rank: int
+    size: int
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class WriteTrace:
+    """An append-only collection of write records with analysis views."""
+
+    def __init__(self, records: Iterable[WriteRecord] = ()):
+        self.records: list[WriteRecord] = list(records)
+
+    def add(self, rank: int, size: int, start: float, duration: float) -> None:
+        self.records.append(
+            WriteRecord(rank=rank, size=size, start=start, duration=duration)
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[WriteRecord]:
+        return iter(self.records)
+
+    # -- views -----------------------------------------------------------
+
+    def ranks(self) -> list[int]:
+        return sorted({r.rank for r in self.records})
+
+    def for_rank(self, rank: int) -> list[WriteRecord]:
+        return [r for r in self.records if r.rank == rank]
+
+    def sizes(self) -> np.ndarray:
+        return np.asarray([r.size for r in self.records], dtype=np.int64)
+
+    def durations(self) -> np.ndarray:
+        return np.asarray([r.duration for r in self.records], dtype=float)
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.sizes().sum()) if self.records else 0
+
+    @property
+    def total_time(self) -> float:
+        return float(self.durations().sum()) if self.records else 0.0
+
+    def merge(self, other: "WriteTrace") -> "WriteTrace":
+        return WriteTrace(self.records + other.records)

@@ -1,0 +1,89 @@
+"""Byte-size units, parsing and formatting.
+
+The paper quotes sizes in both binary multiples ("4 MB buffer chunk",
+meaning 4 MiB) and decimal throughput (MB/s).  We follow the systems
+convention: storage sizes are binary (KiB/MiB/GiB), bandwidths are decimal
+(MB/s = 1e6 bytes/s) — matching how the paper's figures read.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "MB",
+    "GB",
+    "parse_size",
+    "format_size",
+    "format_bandwidth",
+]
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+#: Decimal megabyte, used for bandwidths (MB/s) as in the paper's figures.
+MB = 1_000_000
+GB = 1_000_000_000
+
+_SUFFIXES = {
+    "": 1,
+    "b": 1,
+    "k": KiB,
+    "kb": KiB,
+    "kib": KiB,
+    "m": MiB,
+    "mb": MiB,
+    "mib": MiB,
+    "g": GiB,
+    "gb": GiB,
+    "gib": GiB,
+    "t": GiB * 1024,
+    "tb": GiB * 1024,
+    "tib": GiB * 1024,
+}
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a human size string like ``"4M"``, ``"128KiB"`` or ``"16 MB"``.
+
+    Integers pass through unchanged.  Suffixes are binary (``K``/``KB``/
+    ``KiB`` are all 1024) because that is how chunk/pool sizes are specified
+    throughout the paper.  Raises ``ValueError`` on garbage.
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise ValueError(f"size must be non-negative, got {text}")
+        return text
+    s = text.strip().lower()
+    if not s:
+        raise ValueError("empty size string")
+    m = re.fullmatch(r"(\d+(?:\.\d+)?)\s*([a-z]*)", s)
+    if m is None:
+        raise ValueError(f"malformed size string {text!r}")
+    num, suffix = m.group(1), m.group(2)
+    if suffix not in _SUFFIXES:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+    value = float(num) * _SUFFIXES[suffix]
+    if value != int(value):
+        raise ValueError(f"size {text!r} is not a whole number of bytes")
+    return int(value)
+
+
+def format_size(nbytes: float) -> str:
+    """Render a byte count with a binary suffix (``6.0 GiB`` style)."""
+    n = float(nbytes)
+    for unit, div in (("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if abs(n) >= div:
+            return f"{n / div:.1f} {unit}"
+    return f"{int(n)} B"
+
+
+def format_bandwidth(bytes_per_sec: float) -> str:
+    """Render a bandwidth in decimal MB/s or GB/s, as the paper does."""
+    if abs(bytes_per_sec) >= GB:
+        return f"{bytes_per_sec / GB:.2f} GB/s"
+    return f"{bytes_per_sec / MB:.1f} MB/s"

@@ -1,0 +1,14 @@
+"""Small shared utilities: statistics, table rendering, deterministic RNG."""
+
+from .stats import RunningStats, histogram_by_buckets, percentile, summarize
+from .tables import TextTable
+from .rng import rng_for
+
+__all__ = [
+    "RunningStats",
+    "histogram_by_buckets",
+    "percentile",
+    "summarize",
+    "TextTable",
+    "rng_for",
+]

@@ -1,0 +1,63 @@
+"""Fixed-width text tables for experiment reports.
+
+Every benchmark prints the same rows/series the paper reports; this module
+keeps that rendering in one place so all reports look alike.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["TextTable"]
+
+
+class TextTable:
+    """Accumulate rows, render an aligned monospace table.
+
+    >>> t = TextTable(["fs", "native (s)", "CRFS (s)", "speedup"])
+    >>> t.add_row(["ext3", 2.9, 0.9, "3.2x"])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    @staticmethod
+    def _fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1000 or abs(cell) < 0.01:
+                return f"{cell:.3g}"
+            return f"{cell:.2f}"
+        return str(cell)
+
+    def add_row(self, cells: Iterable[Any]) -> None:
+        row = [self._fmt(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+        out: list[str] = []
+        if self.title:
+            out.append(self.title)
+        out.append(line(self.headers))
+        out.append(line(["-" * w for w in widths]))
+        out.extend(line(r) for r in self.rows)
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()

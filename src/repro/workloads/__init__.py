@@ -1,0 +1,12 @@
+"""Workload models: NAS LU footprints and synthetic raw-bandwidth writers."""
+
+from .nas import NASClass, LU_CLASSES, lu_class, app_total_bytes
+from .synthetic import RawWriteWorkload
+
+__all__ = [
+    "NASClass",
+    "LU_CLASSES",
+    "lu_class",
+    "app_total_bytes",
+    "RawWriteWorkload",
+]

@@ -1,0 +1,50 @@
+"""NAS parallel benchmark LU footprint model.
+
+The paper checkpoints NPB LU classes B, C and D.  For checkpoint I/O the
+application is just resident memory: ``app_total_bytes`` per class is
+backed out of paper Table II's MPICH2 (lowest-overhead stack) rows:
+
+    total_checkpoint(MPICH2, class, 128) = app_total + 128 * overhead
+
+Class D is ~10x class C is ~3x class B — the LU grid scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import MB
+
+__all__ = ["NASClass", "LU_CLASSES", "lu_class", "app_total_bytes"]
+
+
+@dataclass(frozen=True)
+class NASClass:
+    """One NPB problem class of the LU benchmark."""
+
+    name: str
+    #: Aggregate application data across all ranks (bytes) — what a
+    #: whole-job checkpoint must persist, before MPI-stack overheads.
+    app_total: int
+
+    def per_rank(self, nprocs: int) -> int:
+        return self.app_total // nprocs
+
+
+#: Backed out of Table II MPICH2 totals minus 128 x 0.4 MB stack overhead.
+LU_CLASSES: dict[str, NASClass] = {
+    "B": NASClass("B", app_total=int(446.6 * MB)),
+    "C": NASClass("C", app_total=int(1308.4 * MB)),
+    "D": NASClass("D", app_total=int(13210.0 * MB)),
+}
+
+
+def lu_class(name: str) -> NASClass:
+    try:
+        return LU_CLASSES[name.upper()]
+    except KeyError:
+        raise KeyError(f"unknown LU class {name!r}; know {sorted(LU_CLASSES)}") from None
+
+
+def app_total_bytes(class_name: str) -> int:
+    return lu_class(class_name).app_total

@@ -1,0 +1,47 @@
+"""Synthetic raw-bandwidth workload (paper Figure 5's method).
+
+"In this test we ran 8 parallel processes in a node each writing 1 GB
+data into CRFS.  Once a filled chunk is picked up by an IO thread it is
+discarded without being written to a back-end filesystem."
+
+The workload is a plain sequence of equal-size writes per process; the
+write size defaults to the FUSE big_writes request size so the writer
+itself adds no extra splitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import GiB, KiB
+
+__all__ = ["RawWriteWorkload"]
+
+
+@dataclass(frozen=True)
+class RawWriteWorkload:
+    """N processes x total_bytes each, written in fixed-size calls."""
+
+    processes: int = 8
+    bytes_per_process: int = 1 * GiB
+    write_size: int = 128 * KiB
+
+    def __post_init__(self) -> None:
+        if self.processes < 1:
+            raise ValueError("need at least one process")
+        if self.bytes_per_process <= 0:
+            raise ValueError("bytes_per_process must be positive")
+        if self.write_size <= 0:
+            raise ValueError("write_size must be positive")
+
+    @property
+    def total_bytes(self) -> int:
+        return self.processes * self.bytes_per_process
+
+    def write_sizes(self) -> list[int]:
+        """The per-process write-call sequence."""
+        full, rem = divmod(self.bytes_per_process, self.write_size)
+        sizes = [self.write_size] * full
+        if rem:
+            sizes.append(rem)
+        return sizes

@@ -1,0 +1,41 @@
+"""Golden calibration anchors.
+
+The experiment shape checks tolerate drift by design; these anchors pin
+a handful of headline cells to the paper's absolute values within broad
+bands, so a model edit that silently decalibrates the testbed fails CI
+instead of shipping.  If you *intend* to recalibrate, update the bands
+together with EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments.common import run_cell
+
+pytestmark = pytest.mark.slow
+
+#: (stack, class, fs, crfs?) -> (paper seconds, relative tolerance)
+GOLDEN = {
+    ("MVAPICH2", "C", "ext3", False): (2.9, 0.5),
+    ("MVAPICH2", "C", "ext3", True): (0.9, 0.7),
+    ("MVAPICH2", "C", "lustre", False): (6.0, 0.5),
+    ("MVAPICH2", "C", "lustre", True): (1.1, 0.7),
+    ("MVAPICH2", "B", "nfs", False): (35.5, 0.4),
+    ("MVAPICH2", "B", "nfs", True): (10.4, 0.5),
+    ("MVAPICH2", "D", "lustre", False): (29.3, 0.4),
+    ("MVAPICH2", "D", "lustre", True): (20.7, 0.4),
+    ("MVAPICH2", "D", "nfs", False): (159.4, 0.4),
+    ("MVAPICH2", "D", "nfs", True): (163.4, 0.4),
+}
+
+
+@pytest.mark.parametrize("cell", sorted(GOLDEN, key=str))
+def test_golden_cell(cell):
+    stack, cls, fs, crfs = cell
+    paper, tol = GOLDEN[cell]
+    measured = run_cell(stack, cls, fs, use_crfs=crfs).avg_local_time
+    lo, hi = paper * (1 - tol), paper * (1 + tol)
+    assert lo <= measured <= hi, (
+        f"{stack} LU.{cls} {fs} {'CRFS' if crfs else 'native'}: "
+        f"measured {measured:.2f}s outside [{lo:.2f}, {hi:.2f}] "
+        f"(paper {paper}s ± {int(tol * 100)}%)"
+    )

@@ -1,0 +1,243 @@
+"""Tests for the checkpoint substrate: size distribution, images, BLCR
+writer, restart."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.checkpoint import (
+    BLCRWriter,
+    ProcessImage,
+    TABLE1_BUCKETS,
+    WriteSizeDistribution,
+    restore_image,
+    verify_roundtrip,
+)
+from repro.checkpoint.restart import RestartError
+from repro.units import KiB, MB, MiB
+from repro.util.rng import rng_for
+
+
+class TestTable1Buckets:
+    def test_fractions_sum_to_one(self):
+        assert sum(b.write_frac for b in TABLE1_BUCKETS) == pytest.approx(1.0, abs=0.01)
+        assert sum(b.data_frac for b in TABLE1_BUCKETS) == pytest.approx(1.0, abs=0.01)
+
+    def test_buckets_are_contiguous(self):
+        for prev, cur in zip(TABLE1_BUCKETS, TABLE1_BUCKETS[1:]):
+            assert prev.hi == cur.lo
+
+    def test_labels(self):
+        assert TABLE1_BUCKETS[0].label == "0-64"
+        assert TABLE1_BUCKETS[-1].label == "> 1M"
+        assert TABLE1_BUCKETS[4].label == "4K-16K"
+
+
+class TestWriteSizeDistribution:
+    def setup_method(self):
+        self.dist = WriteSizeDistribution()
+
+    def test_plan_sums_exactly(self):
+        for mb in (1, 3.9, 7.1, 23, 106.7):
+            size = int(mb * MB)
+            stream = self.dist.plan(size, rng_for(1, f"t/{mb}"))
+            assert sum(stream) == size
+
+    def test_count_scaling_anchored(self):
+        # ~975 writes for the 23 MB reference image.
+        assert 950 <= self.dist.write_count(23 * MB) <= 1000
+
+    def test_count_scaling_sublinear(self):
+        n_small = self.dist.write_count(7 * MB)
+        n_big = self.dist.write_count(107 * MB)
+        assert n_big > n_small
+        assert n_big / n_small < 107 / 7  # sublinear
+
+    def test_reference_shares_match_table1(self):
+        desc = self.dist.describe(23 * MB, rng_for(1, "ref"))
+        assert desc["0-64"]["count_frac"] == pytest.approx(0.5086, abs=0.02)
+        assert desc["4K-16K"]["count_frac"] == pytest.approx(0.3649, abs=0.02)
+        assert desc["4K-16K"]["data_frac"] == pytest.approx(0.1136, abs=0.03)
+        assert desc["> 1M"]["data_frac"] == pytest.approx(0.6121, abs=0.05)
+
+    def test_sizes_within_buckets_mostly(self):
+        stream = self.dist.plan(23 * MB, rng_for(1, "b"))
+        # no zero/negative sizes; every size positive
+        assert all(s > 0 for s in stream)
+
+    def test_empty_image(self):
+        assert self.dist.plan(0, rng_for(1, "z")) == []
+
+    def test_tiny_image_still_sums(self):
+        for size in (1, 100, 5000, 70_000):
+            stream = self.dist.plan(size, rng_for(1, f"tiny{size}"))
+            assert sum(stream) == size
+
+    def test_deterministic_given_rng(self):
+        a = self.dist.plan(5 * MB, rng_for(9, "x"))
+        b = self.dist.plan(5 * MB, rng_for(9, "x"))
+        assert a == b
+
+    def test_bad_fractions_rejected(self):
+        from repro.checkpoint.sizedist import BucketSpec
+
+        with pytest.raises(ValueError):
+            WriteSizeDistribution(buckets=[BucketSpec(0, 64, 0.5, 0.5)])
+
+    @given(mb=st.floats(min_value=0.1, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_plan_sums_property(self, mb):
+        size = int(mb * MB)
+        stream = self.dist.plan(size, rng_for(3, f"p/{mb}"))
+        assert sum(stream) == size
+        assert all(s > 0 for s in stream)
+
+
+class TestProcessImage:
+    def test_synthesize_size(self):
+        img = ProcessImage.synthesize(rank=0, image_size=1_000_000, seed=1)
+        assert img.total_bytes == 1_000_000
+
+    def test_deterministic(self):
+        a = ProcessImage.synthesize(rank=2, image_size=100_000, seed=5)
+        b = ProcessImage.synthesize(rank=2, image_size=100_000, seed=5)
+        assert a == b
+
+    def test_rank_changes_content(self):
+        a = ProcessImage.synthesize(rank=1, image_size=100_000, seed=5)
+        b = ProcessImage.synthesize(rank=2, image_size=100_000, seed=5)
+        assert a != b
+
+    def test_has_expected_regions(self):
+        img = ProcessImage.synthesize(rank=0, image_size=10_000_000, seed=1)
+        names = [r.name for r in img.regions]
+        assert "heap" in names
+        assert "comm-buffers" in names
+
+    def test_region_addresses_disjoint(self):
+        img = ProcessImage.synthesize(rank=0, image_size=1_000_000, seed=1)
+        regions = sorted(img.regions, key=lambda r: r.start)
+        for a, b in zip(regions, regions[1:]):
+            assert a.start + a.size <= b.start
+
+    def test_small_image(self):
+        img = ProcessImage.synthesize(rank=0, image_size=100, seed=1)
+        assert img.total_bytes == 100
+
+
+class TestBLCRRoundtrip:
+    def test_roundtrip_exact(self):
+        img = ProcessImage.synthesize(rank=7, image_size=3_000_000, seed=11)
+        buf = io.BytesIO()
+        stats = BLCRWriter().checkpoint(img, buf)
+        assert stats.total_bytes == buf.getbuffer().nbytes
+        buf.seek(0)
+        restored = restore_image(buf)
+        verify_roundtrip(img, restored)
+
+    def test_write_pattern_has_small_and_large(self):
+        img = ProcessImage.synthesize(rank=0, image_size=5_000_000, seed=3)
+        buf = io.BytesIO()
+        stats = BLCRWriter().checkpoint(img, buf)
+        sizes = stats.write_sizes
+        assert any(s <= 64 for s in sizes)  # metadata records
+        assert any(s >= 256 * KiB for s in sizes)  # region data
+        assert stats.regions == len(img.regions)
+
+    def test_data_write_max_respected(self):
+        img = ProcessImage.synthesize(rank=0, image_size=5_000_000, seed=3)
+        buf = io.BytesIO()
+        stats = BLCRWriter(data_write_max=64 * KiB).checkpoint(img, buf)
+        assert max(stats.write_sizes) <= 64 * KiB + 512  # headers are small
+        buf.seek(0)
+        verify_roundtrip(img, restore_image(buf))
+
+    def test_tiny_write_max_rejected(self):
+        with pytest.raises(ValueError):
+            BLCRWriter(data_write_max=100)
+
+    def test_truncated_file_raises(self):
+        img = ProcessImage.synthesize(rank=0, image_size=100_000, seed=3)
+        buf = io.BytesIO()
+        BLCRWriter().checkpoint(img, buf)
+        data = buf.getvalue()[:-10]
+        with pytest.raises(RestartError, match="truncated"):
+            restore_image(io.BytesIO(data))
+
+    def test_bad_magic_raises(self):
+        with pytest.raises(RestartError, match="magic"):
+            restore_image(io.BytesIO(b"NOPE" + bytes(100)))
+
+    def test_verify_detects_corruption(self):
+        img = ProcessImage.synthesize(rank=0, image_size=50_000, seed=3)
+        buf = io.BytesIO()
+        BLCRWriter().checkpoint(img, buf)
+        raw = bytearray(buf.getvalue())
+        raw[-1] ^= 0xFF  # flip a data byte
+        restored = restore_image(io.BytesIO(bytes(raw)))
+        with pytest.raises(RestartError, match="diverged"):
+            verify_roundtrip(img, restored)
+
+    @given(size=st.integers(min_value=1, max_value=300_000))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, size):
+        img = ProcessImage.synthesize(rank=1, image_size=size, seed=17)
+        buf = io.BytesIO()
+        BLCRWriter().checkpoint(img, buf)
+        buf.seek(0)
+        verify_roundtrip(img, restore_image(buf))
+
+
+class TestCheckpointThroughCRFS:
+    """The paper's end-to-end property: checkpoint through CRFS, restart
+    directly from the backend without CRFS."""
+
+    def test_checkpoint_crfs_restart_from_backend(self):
+        from repro.backends import MemBackend
+        from repro.config import CRFSConfig
+        from repro.core import CRFS
+        from repro.units import KiB
+
+        backend = MemBackend()
+        img = ProcessImage.synthesize(rank=4, image_size=2_000_000, seed=23)
+        cfg = CRFSConfig(chunk_size=64 * KiB, pool_size=512 * KiB, io_threads=2)
+        with CRFS(backend, cfg) as fs:
+            fs.mkdir("/ckpt")
+            with fs.open("/ckpt/rank4.img") as f:
+                BLCRWriter().checkpoint(img, f)
+        # restart WITHOUT CRFS: read the backend file directly
+        data = backend.read_file("/ckpt/rank4.img")
+        restored = restore_image(io.BytesIO(data))
+        verify_roundtrip(img, restored)
+
+    def test_many_ranks_parallel(self):
+        import threading
+
+        from repro.backends import MemBackend
+        from repro.config import CRFSConfig
+        from repro.core import CRFS
+        from repro.units import KiB
+
+        backend = MemBackend()
+        cfg = CRFSConfig(chunk_size=64 * KiB, pool_size=1024 * KiB, io_threads=4)
+        images = {
+            r: ProcessImage.synthesize(rank=r, image_size=300_000 + r * 1000, seed=29)
+            for r in range(6)
+        }
+        with CRFS(backend, cfg) as fs:
+            fs.mkdir("/ckpt")
+
+            def dump(rank):
+                with fs.open(f"/ckpt/rank{rank}.img") as f:
+                    BLCRWriter().checkpoint(images[rank], f)
+
+            threads = [threading.Thread(target=dump, args=(r,)) for r in images]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        for rank, img in images.items():
+            data = backend.read_file(f"/ckpt/rank{rank}.img")
+            verify_roundtrip(img, restore_image(io.BytesIO(data)))

@@ -1,0 +1,76 @@
+"""Tests for the C-LOOK elevator disk scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+from repro.simio.disk import RotationalDisk
+from repro.simio.params import DEFAULT_HW
+
+
+def make(scheduler="elevator"):
+    sim = Simulator()
+    return sim, RotationalDisk(sim, DEFAULT_HW, name="d", scheduler=scheduler)
+
+
+def submit_batch(sim, disk, blocks, nbytes=4096):
+    """Submit all requests at t=0, return completion order of blocks."""
+    order = []
+
+    def proc(block):
+        yield disk.io(block, nbytes, "W", f"s{block}")
+        order.append(block)
+
+    for b in blocks:
+        sim.spawn(proc(b))
+    sim.run()
+    return order
+
+
+class TestElevatorOrdering:
+    def test_sweeps_ascending(self):
+        sim, disk = make()
+        # first request (block 50) starts service immediately; the rest
+        # queue and are served in ascending block order
+        order = submit_batch(sim, disk, [50, 400, 100, 300, 200])
+        assert order == [50, 100, 200, 300, 400]
+
+    def test_clook_wraps_to_lowest(self):
+        sim, disk = make()
+        # head ends past 500 after first; 100 < head -> served after the
+        # ascending pass wraps
+        order = submit_batch(sim, disk, [500, 100, 600])
+        assert order == [500, 600, 100]
+
+    def test_fifo_preserves_arrival_order(self):
+        sim, disk = make("fifo")
+        order = submit_batch(sim, disk, [50, 400, 100, 300, 200])
+        assert order == [50, 400, 100, 300, 200]
+
+    def test_elevator_reduces_seek_cost(self):
+        blocks = [0, 100000, 10, 100010, 20, 100020]
+        sim_f, disk_f = make("fifo")
+        submit_batch(sim_f, disk_f, blocks)
+        t_fifo = sim_f.now
+        sim_e, disk_e = make("elevator")
+        submit_batch(sim_e, disk_e, blocks)
+        t_elev = sim_e.now
+        assert t_elev < t_fifo
+        assert disk_e.busy_time < disk_f.busy_time
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SimulationError):
+            RotationalDisk(Simulator(), DEFAULT_HW, scheduler="noop")
+
+    def test_stats_consistent(self):
+        sim, disk = make()
+        submit_batch(sim, disk, [10, 30, 20])
+        assert disk.total_ios == 3
+        assert disk.seeks + disk.sequential_ios == 3
+        assert len(disk.trace) == 3
+
+    def test_queue_stats(self):
+        sim, disk = make()
+        submit_batch(sim, disk, [1000, 2000, 3000, 4000])
+        assert disk.max_queue >= 3
+        assert disk.total_wait > 0

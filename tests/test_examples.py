@@ -1,0 +1,54 @@
+"""The examples must actually run — they are part of the public API
+surface (and the README points at them)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 300.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stdout}\n{proc.stderr}"
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "aggregated them into" in out
+        assert "restart: image restored" in out
+
+    def test_failure_injection(self):
+        out = run_example("failure_injection.py")
+        assert "close() raised" in out
+        assert "retry succeeded" in out
+        assert "intact on the backend" in out
+
+    @pytest.mark.slow
+    def test_tuning_sweep(self):
+        out = run_example("tuning_sweep.py")
+        assert "timing plane" in out
+        assert "functional plane" in out
+        assert "io threads" in out
+
+    @pytest.mark.slow
+    def test_mpi_checkpoint_class_b(self):
+        out = run_example("mpi_checkpoint.py", "B")
+        assert "LU.B.128" in out
+        assert "ext3" in out and "lustre" in out and "nfs" in out
+
+    @pytest.mark.slow
+    def test_trace_analysis(self):
+        out = run_example("trace_analysis.py")
+        assert "Table I (this run)" in out
+        assert "spread:" in out
+        assert "seek fraction" in out

@@ -1,0 +1,100 @@
+"""Smoke + shape tests for the experiment modules.
+
+The heavyweight grid experiments (fig6-9) are exercised in ``fast``
+mode here; the full-fidelity runs live in benchmarks/ where their cost
+is expected.  Cheap experiments run at full fidelity.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.base import Check, ExperimentResult
+from repro.experiments.common import pct_reduction, run_cell, speedup
+
+
+class TestHelpers:
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(10.0, 0.0) == float("inf")
+
+    def test_pct_reduction(self):
+        assert pct_reduction(10.0, 7.0) == pytest.approx(30.0)
+        assert pct_reduction(0.0, 1.0) == 0.0
+
+    def test_run_cell_memoized(self):
+        a = run_cell("MPICH2", "B", "ext3", False, nprocs=8, nnodes=2, seed=1)
+        b = run_cell("MPICH2", "B", "ext3", False, nprocs=8, nnodes=2, seed=1)
+        assert a is b
+
+
+class TestFramework:
+    def test_check_str(self):
+        assert "PASS" in str(Check("x", True))
+        assert "FAIL" in str(Check("x", False, "why"))
+
+    def test_result_ok(self):
+        r = ExperimentResult(name="x", title="t", table="")
+        assert r.ok
+        r.checks.append(Check("bad", False))
+        assert not r.ok
+
+    def test_render_contains_checks(self):
+        r = ExperimentResult(name="x", title="T", table="body")
+        r.checks.append(Check("something", True))
+        out = r.render()
+        assert "== x: T ==" in out
+        assert "[PASS] something" in out
+
+    def test_registry_contents(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "fig3", "fig5", "table2",
+            "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "restart", "internode",
+        }
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestCheapExperiments:
+    """Full-fidelity runs for the experiments that are quick."""
+
+    def test_table2_passes(self):
+        r = run_experiment("table2")
+        assert r.ok, r.render()
+
+    def test_fig5_fast_passes(self):
+        r = run_experiment("fig5", fast=True)
+        assert r.ok, r.render()
+        # sanity: the grid includes the paper's (16M, 4M) operating point
+        assert "pool=16M,chunk=4096K" in r.measured
+
+
+@pytest.mark.slow
+class TestGridExperiments:
+    """LU.C.64-based experiments — a couple of minutes total, marked slow."""
+
+    def test_table1_passes(self):
+        r = run_experiment("table1")
+        assert r.ok, r.render()
+
+    def test_fig3_passes(self):
+        r = run_experiment("fig3")
+        assert r.ok, r.render()
+
+    def test_fig10_passes(self):
+        r = run_experiment("fig10")
+        assert r.ok, r.render()
+
+    def test_fig11_passes(self):
+        r = run_experiment("fig11")
+        assert r.ok, r.render()
+
+    def test_fig6_fast_passes(self):
+        r = run_experiment("fig6", fast=True)
+        assert r.ok, r.render()
+
+    def test_fig9_fast_passes(self):
+        r = run_experiment("fig9", fast=True)
+        assert r.ok, r.render()

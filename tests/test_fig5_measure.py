@@ -1,0 +1,51 @@
+"""Tests for the Figure 5 measurement rig (raw aggregation bandwidth)."""
+
+import math
+
+import pytest
+
+from repro.experiments.fig5 import measure
+from repro.units import KiB, MB, MiB
+
+
+class TestMeasure:
+    def test_returns_positive_bandwidth(self):
+        bw = measure(16 * MiB, 1 * MiB, bytes_per_proc=16 * MiB, seed=1)
+        assert bw > 100 * MB
+
+    def test_pool_smaller_than_chunk_undefined(self):
+        assert math.isnan(measure(1 * MiB, 4 * MiB, bytes_per_proc=4 * MiB, seed=1))
+
+    def test_deterministic(self):
+        a = measure(16 * MiB, 512 * KiB, bytes_per_proc=8 * MiB, seed=3)
+        b = measure(16 * MiB, 512 * KiB, bytes_per_proc=8 * MiB, seed=3)
+        assert a == b
+
+    def test_bandwidth_below_membus(self):
+        from repro.simio.params import DEFAULT_HW
+
+        bw = measure(64 * MiB, 4 * MiB, bytes_per_proc=32 * MiB, seed=1)
+        assert bw < DEFAULT_HW.membus_bandwidth
+
+    def test_tiny_pool_slower_than_big_pool(self):
+        small = measure(4 * MiB, 4 * MiB, bytes_per_proc=32 * MiB, seed=1)
+        big = measure(64 * MiB, 4 * MiB, bytes_per_proc=32 * MiB, seed=1)
+        assert big >= small
+
+
+class TestCoordinatorServerTraces:
+    def test_nfs_trace_comes_from_server_disk(self):
+        from repro.mpi import CheckpointCoordinator, MPICH2, MPIJob
+        from repro.workloads import lu_class
+
+        job = MPIJob(stack=MPICH2, nas=lu_class("B"), nprocs=8, nnodes=2)
+        res = CheckpointCoordinator(job, "nfs", use_crfs=False, seed=3).run()
+        assert len(res.node0_disk_trace) > 0  # close-to-open flush hit the disk
+
+    def test_lustre_trace_comes_from_ost0(self):
+        from repro.mpi import CheckpointCoordinator, MPICH2, MPIJob
+        from repro.workloads import lu_class
+
+        job = MPIJob(stack=MPICH2, nas=lu_class("B"), nprocs=8, nnodes=2)
+        res = CheckpointCoordinator(job, "lustre", use_crfs=True, seed=3).run()
+        assert isinstance(res.node0_disk_trace, list)

@@ -1,0 +1,157 @@
+"""Tests for MPI stack personalities, job layout and the coordinator."""
+
+import pytest
+
+from repro.mpi import (
+    ALL_STACKS,
+    CheckpointCoordinator,
+    MPICH2,
+    MPIJob,
+    MVAPICH2,
+    OPENMPI,
+    stack_by_name,
+)
+from repro.units import MB
+from repro.workloads import lu_class
+
+
+class TestStacks:
+    def test_three_stacks(self):
+        assert {s.name for s in ALL_STACKS} == {"MVAPICH2", "OpenMPI", "MPICH2"}
+
+    def test_transport_tags(self):
+        assert MVAPICH2.tag == "MVAPICH2-IB"
+        assert MPICH2.tag == "MPICH2-TCP"
+
+    def test_ib_overhead_exceeds_tcp(self):
+        assert MVAPICH2.image_overhead > MPICH2.image_overhead
+        assert OPENMPI.image_overhead > MPICH2.image_overhead
+
+    def test_lookup_case_insensitive(self):
+        assert stack_by_name("mvapich2") is MVAPICH2
+        assert stack_by_name("OPENMPI") is OPENMPI
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            stack_by_name("LAM/MPI")
+
+    def test_image_size_table2_cells(self):
+        # paper Table II per-process images, within 10%
+        cases = [
+            (MVAPICH2, "B", 7.1),
+            (MPICH2, "B", 3.9),
+            (MVAPICH2, "D", 106.7),
+            (MPICH2, "D", 103.6),
+            (OPENMPI, "C", 13.7),
+        ]
+        for stack, cls, paper_mb in cases:
+            got = stack.image_size(lu_class(cls).app_total, 128) / MB
+            assert got == pytest.approx(paper_mb, rel=0.10), (stack.name, cls)
+
+    def test_image_size_invalid_nprocs(self):
+        with pytest.raises(ValueError):
+            MVAPICH2.image_size(10**9, 0)
+
+
+class TestMPIJob:
+    def job(self, nprocs=128, nnodes=16, cls="C"):
+        return MPIJob(stack=MVAPICH2, nas=lu_class(cls), nprocs=nprocs, nnodes=nnodes)
+
+    def test_block_placement(self):
+        job = self.job(nprocs=16, nnodes=4)
+        placements = job.placements()
+        assert [p.node for p in placements] == [0] * 4 + [1] * 4 + [2] * 4 + [3] * 4
+
+    def test_ranks_on_node(self):
+        job = self.job(nprocs=16, nnodes=4)
+        assert job.ranks_on(1) == [4, 5, 6, 7]
+
+    def test_procs_per_node(self):
+        assert self.job().procs_per_node == 8
+
+    def test_uneven_division_rejected(self):
+        with pytest.raises(ValueError):
+            self.job(nprocs=100, nnodes=16)
+
+    def test_total_checkpoint_size(self):
+        job = self.job()
+        assert job.total_checkpoint_size == job.image_size * 128
+
+    def test_app_memory_per_node(self):
+        job = self.job()
+        assert job.app_memory_per_node == job.image_size * 8
+
+    def test_describe_mentions_everything(self):
+        text = self.job().describe()
+        assert "LU.C.128" in text and "MVAPICH2-IB" in text
+
+
+class TestCoordinator:
+    def test_invalid_fs_rejected(self):
+        job = MPIJob(stack=MVAPICH2, nas=lu_class("B"), nprocs=8, nnodes=2)
+        with pytest.raises(ValueError):
+            CheckpointCoordinator(job, "zfs", use_crfs=False)
+
+    def test_small_run_produces_timings(self):
+        job = MPIJob(stack=MPICH2, nas=lu_class("B"), nprocs=8, nnodes=2)
+        res = CheckpointCoordinator(job, "ext3", use_crfs=False, seed=3).run()
+        assert len(res.timings) == 8
+        assert res.avg_local_time > 0
+        assert res.min_local_time <= res.avg_local_time <= res.max_local_time
+        assert res.mode == "native ext3"
+
+    def test_crfs_mode_label(self):
+        job = MPIJob(stack=MPICH2, nas=lu_class("B"), nprocs=8, nnodes=2)
+        res = CheckpointCoordinator(job, "ext3", use_crfs=True, seed=3).run()
+        assert res.mode == "CRFS over ext3"
+
+    def test_deterministic_given_seed(self):
+        job = MPIJob(stack=MPICH2, nas=lu_class("B"), nprocs=8, nnodes=2)
+        a = CheckpointCoordinator(job, "ext3", use_crfs=True, seed=5).run()
+        b = CheckpointCoordinator(job, "ext3", use_crfs=True, seed=5).run()
+        assert a.avg_local_time == b.avg_local_time
+
+    def test_seed_changes_result(self):
+        job = MPIJob(stack=MPICH2, nas=lu_class("B"), nprocs=8, nnodes=2)
+        a = CheckpointCoordinator(job, "ext3", use_crfs=False, seed=5).run()
+        b = CheckpointCoordinator(job, "ext3", use_crfs=False, seed=6).run()
+        assert a.avg_local_time != b.avg_local_time
+
+    def test_write_trace_recorded_when_asked(self):
+        job = MPIJob(stack=MPICH2, nas=lu_class("B"), nprocs=8, nnodes=2)
+        res = CheckpointCoordinator(
+            job, "ext3", use_crfs=False, seed=3, record_writes=True
+        ).run()
+        assert res.write_trace is not None
+        assert len(res.write_trace) > 100
+        assert res.write_trace.ranks() == list(range(8))
+
+    def test_disk_trace_captured(self):
+        job = MPIJob(stack=MPICH2, nas=lu_class("B"), nprocs=8, nnodes=2)
+        res = CheckpointCoordinator(job, "ext3", use_crfs=False, seed=3).run()
+        # class B on 2 nodes crosses the background threshold -> disk IO
+        assert isinstance(res.node0_disk_trace, list)
+
+    def test_crfs_beats_native_on_ext3(self):
+        job = MPIJob(stack=MPICH2, nas=lu_class("B"), nprocs=16, nnodes=2)
+        native = CheckpointCoordinator(job, "ext3", use_crfs=False, seed=3).run()
+        crfs = CheckpointCoordinator(job, "ext3", use_crfs=True, seed=3).run()
+        assert crfs.avg_local_time < native.avg_local_time
+
+    def test_rank_size_sigma_zero_gives_equal_images(self):
+        job = MPIJob(stack=MPICH2, nas=lu_class("B"), nprocs=4, nnodes=2)
+        res = CheckpointCoordinator(
+            job, "ext3", use_crfs=False, seed=3, record_writes=True,
+            rank_size_sigma=0.0,
+        ).run()
+        per_rank_bytes = {
+            r: sum(rec.size for rec in res.write_trace.for_rank(r))
+            for r in res.write_trace.ranks()
+        }
+        assert len(set(per_rank_bytes.values())) == 1
+
+    def test_nfs_and_lustre_coordinators_run(self):
+        job = MPIJob(stack=MPICH2, nas=lu_class("B"), nprocs=8, nnodes=2)
+        for fs in ("nfs", "lustre"):
+            res = CheckpointCoordinator(job, fs, use_crfs=True, seed=3).run()
+            assert res.avg_local_time > 0

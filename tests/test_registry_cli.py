@@ -1,0 +1,56 @@
+"""Tests for the experiments registry CLI and export."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.base import Check, ExperimentResult
+from repro.experiments.registry import export_result, main
+
+
+class TestExport:
+    def _result(self, ok=True):
+        return ExperimentResult(
+            name="toy",
+            title="Toy experiment",
+            table="a  b\n1  2",
+            measured={"x": 1.5},
+            paper={"x": 1.4},
+            checks=[Check("works", ok, "detail")],
+        )
+
+    def test_export_writes_txt_and_json(self, tmp_path):
+        export_result(self._result(), tmp_path)
+        txt = (tmp_path / "toy.txt").read_text()
+        assert "Toy experiment" in txt
+        assert "[PASS] works" in txt
+        data = json.loads((tmp_path / "toy.json").read_text())
+        assert data["name"] == "toy"
+        assert data["ok"] is True
+        assert data["measured"]["x"] == 1.5
+        assert data["checks"][0]["passed"] is True
+
+    def test_export_failing_result(self, tmp_path):
+        export_result(self._result(ok=False), tmp_path)
+        data = json.loads((tmp_path / "toy.json").read_text())
+        assert data["ok"] is False
+
+    def test_export_creates_directory(self, tmp_path):
+        export_result(self._result(), tmp_path / "deep" / "dir")
+        assert (tmp_path / "deep" / "dir" / "toy.json").exists()
+
+
+class TestMain:
+    def test_main_runs_named_experiment(self, tmp_path, capsys):
+        rc = main(["table2", "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+        assert (tmp_path / "table2.json").exists()
+        data = json.loads((tmp_path / "table2.json").read_text())
+        assert data["ok"]
+
+    def test_main_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["fig99"])

@@ -1,0 +1,100 @@
+"""Property-based tests for the processor-sharing bandwidth model —
+the resource every network link and memory bus in the testbed uses."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import SharedBandwidth, Simulator
+
+
+@st.composite
+def workloads(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    jobs = []
+    for _ in range(n):
+        jobs.append(
+            (
+                draw(st.floats(min_value=0.0, max_value=5.0)),  # arrival
+                draw(st.floats(min_value=1.0, max_value=1000.0)),  # bytes
+            )
+        )
+    return jobs
+
+
+class TestSharedBandwidthProperties:
+    @given(jobs=workloads(), capacity=st.floats(min_value=10.0, max_value=500.0))
+    @settings(max_examples=60, deadline=None)
+    def test_work_conservation(self, jobs, capacity):
+        """Completion never beats the capacity bound: the last job ends
+        no earlier than total_bytes/capacity after the first arrival, and
+        every job takes at least bytes/capacity."""
+        sim = Simulator()
+        link = SharedBandwidth(sim, capacity)
+        spans = []
+
+        def proc(arrival, nbytes):
+            yield sim.timeout(arrival)
+            t0 = sim.now
+            yield link.transfer(nbytes)
+            spans.append((arrival, nbytes, t0, sim.now))
+
+        procs = [sim.spawn(proc(a, b)) for a, b in jobs]
+        sim.run_all(procs)
+        total = sum(b for _, b in jobs)
+        first = min(a for a, _ in jobs)
+        assert sim.now >= first + total / capacity - 1e-6
+        for arrival, nbytes, t0, t1 in spans:
+            assert t1 - t0 >= nbytes / capacity - 1e-6
+
+    @given(jobs=workloads())
+    @settings(max_examples=40, deadline=None)
+    def test_all_jobs_complete_and_accounted(self, jobs):
+        sim = Simulator()
+        link = SharedBandwidth(sim, 100.0)
+        done = []
+
+        def proc(arrival, nbytes):
+            yield sim.timeout(arrival)
+            yield link.transfer(nbytes)
+            done.append(nbytes)
+
+        procs = [sim.spawn(proc(a, b)) for a, b in jobs]
+        sim.run_all(procs)
+        assert len(done) == len(jobs)
+        assert link.total_bytes == pytest.approx(sum(b for _, b in jobs))
+        assert link.active_jobs == 0
+
+    @given(
+        n=st.integers(min_value=1, max_value=10),
+        nbytes=st.floats(min_value=10.0, max_value=500.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_simultaneous_equal_jobs_finish_together(self, n, nbytes):
+        """Fairness: identical simultaneous transfers finish at the same
+        instant, exactly n*bytes/capacity later."""
+        sim = Simulator()
+        link = SharedBandwidth(sim, 100.0)
+        ends = []
+
+        def proc():
+            yield link.transfer(nbytes)
+            ends.append(sim.now)
+
+        procs = [sim.spawn(proc()) for _ in range(n)]
+        sim.run_all(procs)
+        assert all(e == pytest.approx(ends[0]) for e in ends)
+        assert ends[0] == pytest.approx(n * nbytes / 100.0)
+
+    @given(cap=st.floats(min_value=1.0, max_value=50.0))
+    @settings(max_examples=20, deadline=None)
+    def test_per_job_cap_is_floor_on_duration(self, cap):
+        sim = Simulator()
+        link = SharedBandwidth(sim, 1000.0, per_job_cap=cap)
+
+        def proc():
+            yield link.transfer(100.0)
+            return sim.now
+
+        p = sim.spawn(proc())
+        sim.run_all([p])
+        assert p.result == pytest.approx(100.0 / cap)

@@ -1,0 +1,226 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import Simulator
+from repro.sim.engine import Timeout
+
+
+class TestClockAndTimeouts:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_single_timeout(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(3.5)
+            return sim.now
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.result == 3.5
+        assert sim.now == 3.5
+
+    def test_sequential_timeouts_accumulate(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+            yield sim.timeout(2.0)
+            return sim.now
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.result == 3.0
+
+    def test_timeout_value_passes_through(self):
+        sim = Simulator()
+
+        def proc():
+            got = yield sim.timeout(1.0, value="hello")
+            return got
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.result == "hello"
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_parallel_processes_interleave(self):
+        sim = Simulator()
+        order = []
+
+        def proc(name, delay):
+            yield sim.timeout(delay)
+            order.append((name, sim.now))
+
+        sim.spawn(proc("slow", 5.0))
+        sim.spawn(proc("fast", 1.0))
+        sim.run()
+        assert order == [("fast", 1.0), ("slow", 5.0)]
+
+    def test_fifo_order_among_simultaneous_events(self):
+        sim = Simulator()
+        order = []
+
+        def proc(name):
+            yield sim.timeout(1.0)
+            order.append(name)
+
+        for i in range(5):
+            sim.spawn(proc(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestRunControl:
+    def test_run_until_pauses_and_resumes(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(10.0)
+            return "done"
+
+        p = sim.spawn(proc())
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+        assert p.alive
+        sim.run()
+        assert p.result == "done"
+        assert sim.now == 10.0
+
+    def test_schedule_callback(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "x")
+        sim.run()
+        assert fired == ["x"]
+        assert sim.now == 2.0
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        h = sim.schedule(1.0, fired.append, "x")
+        h.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_spawn_requires_generator(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.spawn(lambda: None)  # type: ignore[arg-type]
+
+
+class TestJoinAndErrors:
+    def test_join_waits_for_child(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(5.0)
+            return 42
+
+        def parent():
+            c = sim.spawn(child())
+            got = yield c
+            return (got, sim.now)
+
+        p = sim.spawn(parent())
+        sim.run()
+        assert p.result == (42, 5.0)
+
+    def test_join_already_finished_child(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(1.0)
+            return "early"
+
+        def parent(c):
+            yield sim.timeout(10.0)
+            got = yield c
+            return got
+
+        c = sim.spawn(child())
+        p = sim.spawn(parent(c))
+        sim.run()
+        assert p.result == "early"
+
+    def test_child_error_propagates_to_joiner(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(1.0)
+            raise ValueError("boom")
+
+        def parent():
+            c = sim.spawn(child())
+            try:
+                yield c
+            except ValueError as e:
+                return f"caught {e}"
+
+        p = sim.spawn(parent())
+        sim.run()
+        assert p.result == "caught boom"
+
+    def test_unobserved_error_raises_at_end(self):
+        sim = Simulator()
+
+        def bad():
+            yield sim.timeout(1.0)
+            raise RuntimeError("unseen")
+
+        sim.spawn(bad())
+        with pytest.raises(SimulationError, match="unobserved"):
+            sim.run()
+
+    def test_run_all_reraises_process_error(self):
+        sim = Simulator()
+
+        def bad():
+            yield sim.timeout(1.0)
+            raise RuntimeError("boom")
+
+        p = sim.spawn(bad())
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run_all([p])
+
+    def test_run_all_returns_results(self):
+        sim = Simulator()
+
+        def proc(v):
+            yield sim.timeout(v)
+            return v
+
+        procs = [sim.spawn(proc(v)) for v in (3.0, 1.0, 2.0)]
+        assert sim.run_all(procs) == [3.0, 1.0, 2.0]
+
+    def test_yield_non_waitable_is_error(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42  # type: ignore[misc]
+
+        p = sim.spawn(bad())
+        with pytest.raises(SimulationError, match="not a Waitable"):
+            sim.run_all([p])
+
+    def test_process_timestamps(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(2.0)
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.started_at == 0.0
+        assert p.finished_at == 2.0

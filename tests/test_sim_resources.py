@@ -1,0 +1,203 @@
+"""Tests for FIFO service centers and processor-sharing bandwidth."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import FIFOResource, SharedBandwidth, Simulator
+
+
+class TestFIFOResource:
+    def test_single_use(self):
+        sim = Simulator()
+        res = FIFOResource(sim, "disk")
+
+        def proc():
+            yield res.use(2.5)
+            return sim.now
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.result == 2.5
+
+    def test_serialization_in_fifo_order(self):
+        sim = Simulator()
+        res = FIFOResource(sim)
+        done = []
+
+        def proc(name, service):
+            yield res.use(service)
+            done.append((name, sim.now))
+
+        sim.spawn(proc("a", 1.0))
+        sim.spawn(proc("b", 2.0))
+        sim.spawn(proc("c", 0.5))
+        sim.run()
+        assert done == [("a", 1.0), ("b", 3.0), ("c", 3.5)]
+
+    def test_queueing_delay_accounted(self):
+        sim = Simulator()
+        res = FIFOResource(sim)
+
+        def proc():
+            yield res.use(1.0)
+
+        for _ in range(3):
+            sim.spawn(proc())
+        sim.run()
+        # waits: 0 + 1 + 2 = 3
+        assert res.total_wait == pytest.approx(3.0)
+        assert res.total_ops == 3
+        assert res.busy_time == pytest.approx(3.0)
+        assert res.utilization(sim.now) == pytest.approx(1.0)
+
+    def test_idle_gap_reflected_in_utilization(self):
+        sim = Simulator()
+        res = FIFOResource(sim)
+
+        def proc(start):
+            yield sim.timeout(start)
+            yield res.use(1.0)
+
+        sim.spawn(proc(0.0))
+        sim.spawn(proc(5.0))
+        sim.run()
+        assert res.utilization(sim.now) == pytest.approx(2.0 / 6.0)
+
+    def test_negative_duration_rejected(self):
+        sim = Simulator()
+        res = FIFOResource(sim)
+        with pytest.raises(SimulationError):
+            res.use(-1.0)
+
+    def test_max_queue_tracked(self):
+        sim = Simulator()
+        res = FIFOResource(sim)
+
+        def proc():
+            yield res.use(1.0)
+
+        for _ in range(4):
+            sim.spawn(proc())
+        sim.run()
+        # The first arrival enters service immediately; the remaining three
+        # are the deepest simultaneous backlog.
+        assert res.max_queue == 3
+
+
+class TestSharedBandwidth:
+    def test_single_transfer_time(self):
+        sim = Simulator()
+        link = SharedBandwidth(sim, capacity=100.0)
+
+        def proc():
+            yield link.transfer(250.0)
+            return sim.now
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.result == pytest.approx(2.5)
+
+    def test_two_equal_transfers_share_fairly(self):
+        sim = Simulator()
+        link = SharedBandwidth(sim, capacity=100.0)
+        done = []
+
+        def proc(name):
+            yield link.transfer(100.0)
+            done.append((name, sim.now))
+
+        sim.spawn(proc("a"))
+        sim.spawn(proc("b"))
+        sim.run()
+        # both at 50 B/s -> both finish at t=2
+        assert done[0][1] == pytest.approx(2.0)
+        assert done[1][1] == pytest.approx(2.0)
+
+    def test_departure_speeds_up_remaining(self):
+        sim = Simulator()
+        link = SharedBandwidth(sim, capacity=100.0)
+        done = {}
+
+        def proc(name, size):
+            yield link.transfer(size)
+            done[name] = sim.now
+
+        sim.spawn(proc("small", 50.0))
+        sim.spawn(proc("big", 150.0))
+        sim.run()
+        # Phase 1: both at 50 B/s; small finishes at t=1 (50 bytes).
+        # big has 100 left, then full rate 100 B/s -> finishes at t=2.
+        assert done["small"] == pytest.approx(1.0)
+        assert done["big"] == pytest.approx(2.0)
+
+    def test_late_arrival_slows_existing(self):
+        sim = Simulator()
+        link = SharedBandwidth(sim, capacity=100.0)
+        done = {}
+
+        def first():
+            yield link.transfer(100.0)
+            done["first"] = sim.now
+
+        def second():
+            yield sim.timeout(0.5)
+            yield link.transfer(100.0)
+            done["second"] = sim.now
+
+        sim.spawn(first())
+        sim.spawn(second())
+        sim.run()
+        # first: 50 bytes by t=0.5, then 50 B/s -> +1.0 -> t=1.5
+        assert done["first"] == pytest.approx(1.5)
+        # second: 50 B/s until t=1.5 (50 bytes), then 100 B/s for 50 -> t=2.0
+        assert done["second"] == pytest.approx(2.0)
+
+    def test_per_job_cap(self):
+        sim = Simulator()
+        link = SharedBandwidth(sim, capacity=100.0, per_job_cap=10.0)
+
+        def proc():
+            yield link.transfer(20.0)
+            return sim.now
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.result == pytest.approx(2.0)  # capped at 10 B/s
+
+    def test_zero_byte_transfer_is_instant(self):
+        sim = Simulator()
+        link = SharedBandwidth(sim, capacity=100.0)
+
+        def proc():
+            yield link.transfer(0.0)
+            return sim.now
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.result == 0.0
+
+    def test_conservation_of_work(self):
+        # Total completion time of any workload >= total bytes / capacity.
+        sim = Simulator()
+        link = SharedBandwidth(sim, capacity=100.0)
+        sizes = [37.0, 91.0, 12.0, 55.0, 200.0]
+
+        def proc(size):
+            yield link.transfer(size)
+
+        for s in sizes:
+            sim.spawn(proc(s))
+        sim.run()
+        assert sim.now == pytest.approx(sum(sizes) / 100.0)
+        assert link.total_bytes == pytest.approx(sum(sizes))
+        assert link.max_concurrency == len(sizes)
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            SharedBandwidth(sim, capacity=0)
+        with pytest.raises(SimulationError):
+            SharedBandwidth(sim, capacity=10, per_job_cap=0)
+        link = SharedBandwidth(sim, capacity=10)
+        with pytest.raises(SimulationError):
+            link.transfer(-5)

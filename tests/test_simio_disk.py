@@ -1,0 +1,163 @@
+"""Tests for the rotational disk model and allocators."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.simio.disk import ExtentAllocator, RotationalDisk
+from repro.simio.pagecache import ReservingAllocator
+from repro.simio.params import DEFAULT_HW
+
+
+def make_disk():
+    sim = Simulator()
+    return sim, RotationalDisk(sim, DEFAULT_HW, name="d")
+
+
+class TestSeekPricing:
+    def test_contiguous_continuation_is_free(self):
+        sim, disk = make_disk()
+        assert disk.seek_cost(100, 100) == 0.0
+
+    def test_min_seek_for_short_jump(self):
+        sim, disk = make_disk()
+        cost = disk.seek_cost(100, 101)
+        assert cost >= DEFAULT_HW.disk_min_seek
+        assert cost < DEFAULT_HW.disk_seek_time
+
+    def test_long_seek_approaches_max(self):
+        sim, disk = make_disk()
+        far = DEFAULT_HW.disk_short_seek_span // DEFAULT_HW.disk_block * 10
+        cost = disk.seek_cost(0, far)
+        assert cost == pytest.approx(DEFAULT_HW.disk_seek_time, rel=0.01)
+
+    def test_seek_monotone_in_distance(self):
+        sim, disk = make_disk()
+        costs = [disk.seek_cost(0, d) for d in (1, 10, 1000, 100000)]
+        assert costs == sorted(costs)
+
+
+class TestDiskIO:
+    def test_sequential_stream_only_first_seeks(self):
+        sim, disk = make_disk()
+
+        def proc():
+            yield disk.io(1000, 8192, "W", "f")
+            yield disk.io(1002, 8192, "W", "f")  # contiguous
+            yield disk.io(1004, 8192, "W", "f")
+
+        sim.run_all([sim.spawn(proc())])
+        assert disk.seeks == 1
+        assert disk.sequential_ios == 2
+
+    def test_interleaved_streams_seek(self):
+        sim, disk = make_disk()
+
+        def proc():
+            yield disk.io(1000, 4096, "W", "a")
+            yield disk.io(9000, 4096, "W", "b")
+            yield disk.io(1001, 4096, "W", "a")
+
+        sim.run_all([sim.spawn(proc())])
+        assert disk.seeks == 3
+
+    def test_service_time_includes_transfer(self):
+        sim, disk = make_disk()
+        nbytes = 8 * 1024 * 1024
+
+        def proc():
+            yield disk.io(0, nbytes, "W", "f")
+            return sim.now
+
+        (t,) = sim.run_all([sim.spawn(proc())])
+        expected = disk.seek_cost(0, 0) + nbytes / disk.bandwidth
+        assert t == pytest.approx(expected)
+
+    def test_trace_capture(self):
+        sim, disk = make_disk()
+
+        def proc():
+            yield disk.io(500, 4096, "W", "x")
+            yield disk.io(900, 8192, "R", "y")
+
+        sim.run_all([sim.spawn(proc())])
+        assert len(disk.trace) == 2
+        assert disk.trace[0].block == 500
+        assert disk.trace[1].kind == "R"
+        assert disk.trace_blocks()[0][1] == 500
+
+    def test_trace_can_be_disabled(self):
+        sim, disk = make_disk()
+        disk.capture_trace = False
+
+        def proc():
+            yield disk.io(0, 4096, "W", "x")
+
+        sim.run_all([sim.spawn(proc())])
+        assert disk.trace == []
+
+    def test_fifo_under_contention(self):
+        sim, disk = make_disk()
+        done = []
+
+        def proc(name):
+            yield disk.io(0 if name == "a" else 10**6, 4096, "W", name)
+            done.append(name)
+
+        sim.spawn(proc("a"))
+        sim.spawn(proc("b"))
+        sim.run()
+        assert done == ["a", "b"]
+        assert disk.total_ios == 2
+
+    def test_stats(self):
+        sim, disk = make_disk()
+
+        def proc():
+            yield disk.io(0, 10000, "W", "x")
+
+        sim.run_all([sim.spawn(proc())])
+        assert disk.total_bytes == 10000
+        assert disk.busy_time > 0
+        assert 0 < disk.utilization(sim.now) <= 1.0
+
+
+class TestExtentAllocator:
+    def test_bump_contiguous(self):
+        a = ExtentAllocator(4096, start_block=0)
+        b1 = a.alloc(8192)
+        b2 = a.alloc(4096)
+        assert b2 == b1 + 2
+
+    def test_partial_block_rounds_up(self):
+        a = ExtentAllocator(4096, start_block=0)
+        a.alloc(1)
+        assert a.next_block == 1
+
+
+class TestReservingAllocator:
+    def test_single_stream_contiguous(self):
+        a = ReservingAllocator(4096, reservation=64 * 1024, start_block=0)
+        blocks = [a.alloc("f", 4096) for _ in range(10)]
+        assert blocks == list(range(10))
+
+    def test_interleaved_streams_separate_windows(self):
+        a = ReservingAllocator(4096, reservation=64 * 1024, start_block=0)
+        f1 = a.alloc("f1", 4096)
+        g1 = a.alloc("g1", 4096)
+        f2 = a.alloc("f1", 4096)
+        # f's second alloc continues f's window, not g's position
+        assert f2 == f1 + 1
+        assert g1 != f2
+
+    def test_window_exhaustion_starts_new_window(self):
+        a = ReservingAllocator(4096, reservation=8192, start_block=0)
+        a.alloc("f", 8192)  # fills window
+        a.alloc("g", 4096)  # g takes next space
+        f2 = a.alloc("f", 4096)  # f needs a fresh window
+        assert f2 > 2
+
+    def test_large_alloc_contiguous(self):
+        a = ReservingAllocator(4096, reservation=8192, start_block=0)
+        block = a.alloc("f", 4 * 1024 * 1024)
+        # one contiguous run despite exceeding the reservation
+        assert a.alloc("f", 4096) == block + 1024

@@ -1,0 +1,269 @@
+"""Tests for the ext3 / NFS / Lustre / null filesystem models."""
+
+import numpy as np
+import pytest
+
+from repro.sim import SharedBandwidth, Simulator
+from repro.simio import (
+    Ext3Filesystem,
+    LustreFilesystem,
+    LustreServers,
+    NFSFilesystem,
+    NFSServer,
+)
+from repro.simio.nullfs import NullSimFilesystem
+from repro.simio.params import DEFAULT_HW
+from repro.units import MB, MiB
+from repro.util.rng import rng_for
+
+
+def make_sim():
+    sim = Simulator()
+    membus = SharedBandwidth(sim, DEFAULT_HW.membus_bandwidth)
+    return sim, membus
+
+
+def run_writer(sim, fs, sizes, path="/f", close=True):
+    def proc():
+        f = fs.open(path)
+        t0 = sim.now
+        for s in sizes:
+            yield from fs.write(f, s)
+        if close:
+            yield from fs.close(f)
+        return sim.now - t0
+
+    p = sim.spawn(proc())
+    sim.run_until_complete([p])
+    return p.result
+
+
+class TestExt3Model:
+    def test_write_takes_time(self):
+        sim, membus = make_sim()
+        fs = Ext3Filesystem(sim, DEFAULT_HW, rng_for(1, "t"), membus)
+        t = run_writer(sim, fs, [8192] * 100)
+        assert t > 0
+
+    def test_small_writes_cheap(self):
+        sim, membus = make_sim()
+        fs = Ext3Filesystem(sim, DEFAULT_HW, rng_for(1, "t"), membus)
+        t_small = run_writer(sim, fs, [32] * 100, path="/a")
+        sim2, membus2 = make_sim()
+        fs2 = Ext3Filesystem(sim2, DEFAULT_HW, rng_for(1, "t"), membus2)
+        t_medium = run_writer(sim2, fs2, [8192] * 100, path="/b")
+        # Table I: sub-64B writes are absorbed, medium writes pay alloc
+        assert t_medium > 5 * t_small
+
+    def test_concurrent_writers_contend(self):
+        # one writer vs 8 writers doing identical work: per-writer time
+        # inflates under contention (the journal serialization).
+        def run_n(n):
+            sim, membus = make_sim()
+            fs = Ext3Filesystem(sim, DEFAULT_HW, rng_for(1, "c"), membus)
+            procs = []
+            for i in range(n):
+                def proc(i=i):
+                    f = fs.open(f"/f{i}")
+                    t0 = sim.now
+                    for _ in range(100):
+                        yield from fs.write(f, 8192)
+                    return sim.now - t0
+                procs.append(sim.spawn(proc()))
+            return max(sim.run_until_complete(procs))
+
+        assert run_n(8) > 3 * run_n(1)
+
+    def test_close_is_cheap_data_stays_dirty(self):
+        sim, membus = make_sim()
+        fs = Ext3Filesystem(sim, DEFAULT_HW, rng_for(1, "t"), membus)
+        run_writer(sim, fs, [8192] * 10)
+        assert fs.cache.dirty_bytes > 0  # close did not flush
+
+    def test_fsync_flushes_to_disk(self):
+        sim, membus = make_sim()
+        fs = Ext3Filesystem(sim, DEFAULT_HW, rng_for(1, "t"), membus)
+
+        def proc():
+            f = fs.open("/f")
+            for _ in range(10):
+                yield from fs.write(f, 8192)
+            yield from fs.fsync(f)
+
+        sim.run_until_complete([sim.spawn(proc())])
+        assert fs.cache.dirty_bytes_of("/f") == 0
+        assert fs.disk.total_bytes >= 80_000
+
+    def test_kjournald_commits_during_long_run(self):
+        sim, membus = make_sim()
+        fs = Ext3Filesystem(sim, DEFAULT_HW, rng_for(1, "t"), membus)
+
+        def proc():
+            f = fs.open("/f")
+            yield from fs.write(f, 1 * MiB)
+            yield sim.timeout(3 * DEFAULT_HW.ext3_commit_interval)
+
+        sim.run_until_complete([sim.spawn(proc())])
+        assert fs.commits >= 1
+        assert fs.disk.total_bytes >= 1 * MiB
+
+    def test_bulk_writer_flag_skips_stalls(self):
+        # same workload; bulk writer must never be slower than interactive
+        def run_mode(bulk):
+            sim, membus = make_sim()
+            fs = Ext3Filesystem(sim, DEFAULT_HW, rng_for(1, "t"), membus)
+            # force writeback interference on
+            fs.cache.writeback_active = True
+
+            def proc():
+                f = fs.open("/f")
+                f.bulk_writer = bulk
+                t0 = sim.now
+                for _ in range(50):
+                    yield from fs.write(f, 4 * MiB)
+                return sim.now - t0
+
+            p = sim.spawn(proc())
+            sim.run_until_complete([p])
+            return p.result
+
+        assert run_mode(True) <= run_mode(False)
+
+    def test_tracked_stats(self):
+        sim, membus = make_sim()
+        fs = Ext3Filesystem(sim, DEFAULT_HW, rng_for(1, "t"), membus)
+        run_writer(sim, fs, [100, 200, 300])
+        assert fs.total_writes == 3
+        assert fs.total_bytes == 600
+
+
+class TestNFSModel:
+    def test_close_flushes_to_server(self):
+        sim, membus = make_sim()
+        server = NFSServer(sim, DEFAULT_HW)
+        fs = NFSFilesystem(sim, DEFAULT_HW, rng_for(1, "t"), membus, server)
+        run_writer(sim, fs, [8192] * 100)
+        # close-to-open: all data reached the server disk
+        assert server.disk.total_bytes >= 100 * 8192
+
+    def test_fragmented_stream_hits_congested_path(self):
+        sim, membus = make_sim()
+        server = NFSServer(sim, DEFAULT_HW)
+        fs = NFSFilesystem(sim, DEFAULT_HW, rng_for(1, "t"), membus, server)
+        run_writer(sim, fs, [4096] * 500)  # many small fragments
+        assert server.congested_rpcs > 0
+
+    def test_bulk_stream_takes_clean_path(self):
+        sim, membus = make_sim()
+        server = NFSServer(sim, DEFAULT_HW)
+        fs = NFSFilesystem(sim, DEFAULT_HW, rng_for(1, "t"), membus, server)
+        run_writer(sim, fs, [4 * MiB] * 10)  # CRFS-chunk-like
+        assert server.congested_rpcs == 0
+        assert server.clean_rpcs > 0
+
+    def test_congested_slower_than_clean(self):
+        def run_sizes(sizes):
+            sim, membus = make_sim()
+            server = NFSServer(sim, DEFAULT_HW)
+            fs = NFSFilesystem(sim, DEFAULT_HW, rng_for(1, "t"), membus, server)
+            return run_writer(sim, fs, sizes)
+
+        total = 8 * MiB
+        t_frag = run_sizes([8192] * (total // 8192))
+        t_bulk = run_sizes([4 * MiB] * (total // (4 * MiB)))
+        assert t_frag > 1.5 * t_bulk
+
+    def test_server_shared_across_clients(self):
+        sim, _ = make_sim()
+        server = NFSServer(sim, DEFAULT_HW)
+        procs = []
+        for n in range(4):
+            membus = SharedBandwidth(sim, DEFAULT_HW.membus_bandwidth)
+            fs = NFSFilesystem(
+                sim, DEFAULT_HW, rng_for(1, f"n{n}"), membus, server, node=f"n{n}"
+            )
+
+            def proc(fs=fs, n=n):
+                f = fs.open(f"/f{n}")
+                for _ in range(20):
+                    yield from fs.write(f, 64 * 1024)
+                yield from fs.close(f)
+
+            procs.append(sim.spawn(proc()))
+        sim.run_until_complete(procs)
+        assert server.disk.total_bytes == 4 * 20 * 64 * 1024
+
+
+class TestLustreModel:
+    def test_writes_absorbed_by_client_cache(self):
+        sim, membus = make_sim()
+        servers = LustreServers(sim, DEFAULT_HW)
+        fs = LustreFilesystem(sim, DEFAULT_HW, rng_for(1, "t"), membus, servers)
+        run_writer(sim, fs, [8192] * 100)
+        # close does not flush on Lustre; data may still be cached
+        assert fs.cache.dirty_bytes + servers.total_ost_bytes() >= 100 * 8192
+
+    def test_striping_rotates_osts(self):
+        sim, membus = make_sim()
+        servers = LustreServers(sim, DEFAULT_HW)
+        fs = LustreFilesystem(sim, DEFAULT_HW, rng_for(1, "t"), membus, servers)
+
+        def proc():
+            f = fs.open("/f")
+            for _ in range(12):
+                yield from fs.write(f, 1 * MiB)
+            yield from fs.fsync(f)
+
+        sim.run_until_complete([sim.spawn(proc())])
+        touched = [d.total_bytes for d in servers.osts]
+        assert all(b > 0 for b in touched)  # every OST got stripes
+
+    def test_grant_throttling_kicks_in(self):
+        # Writers outpace a deliberately slow OST fabric and pile into
+        # the grant limit.
+        sim, membus = make_sim()
+        hw = DEFAULT_HW.with_(lustre_ost_bandwidth=5 * MB)
+        servers = LustreServers(sim, hw)
+        fs = LustreFilesystem(sim, hw, rng_for(1, "t"), membus, servers)
+        per_writer = hw.lustre_client_cache // 2
+
+        def proc(i):
+            f = fs.open(f"/f{i}")
+            written = 0
+            while written < per_writer:
+                yield from fs.write(f, 4 * MiB)
+                written += 4 * MiB
+
+        procs = [sim.spawn(proc(i)) for i in range(8)]
+        sim.run_until_complete(procs)
+        assert fs.cache.throttle_events > 0
+        assert servers.total_ost_bytes() > 0
+
+    def test_contention_dependent_client_cost(self):
+        def run_n(n):
+            sim, membus = make_sim()
+            servers = LustreServers(sim, DEFAULT_HW)
+            fs = LustreFilesystem(sim, DEFAULT_HW, rng_for(1, "t"), membus, servers)
+            procs = []
+            for i in range(n):
+                def proc(i=i):
+                    f = fs.open(f"/f{i}")
+                    t0 = sim.now
+                    for _ in range(200):
+                        yield from fs.write(f, 8192)
+                    return sim.now - t0
+                procs.append(sim.spawn(proc()))
+            return max(sim.run_until_complete(procs))
+
+        t1, t8 = run_n(1), run_n(8)
+        # 8 writers contend: much worse than 8x a lone writer's rate?
+        # (superlinear because per-op cost grows with queue depth)
+        assert t8 > 8 * t1
+
+
+class TestNullSimFilesystem:
+    def test_fixed_cost_per_write(self):
+        sim, membus = make_sim()
+        fs = NullSimFilesystem(sim, DEFAULT_HW, rng_for(1, "t"))
+        t = run_writer(sim, fs, [4 * MiB] * 10, close=False)
+        assert t == pytest.approx(10 * fs.op_cost, rel=0.01)

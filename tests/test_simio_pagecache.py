@@ -1,0 +1,271 @@
+"""Tests for the page-cache model: dirty accounting, merging, flusher,
+throttling."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.simio.disk import RotationalDisk
+from repro.simio.ext3 import _DiskBacking
+from repro.simio.pagecache import DirtyExtent, PageCache, ReservingAllocator
+from repro.simio.params import DEFAULT_HW
+from repro.units import KiB, MiB
+
+
+def make_cache(dirty_limit=64 * MiB, background=None, **kw):
+    sim = Simulator()
+    disk = RotationalDisk(sim, DEFAULT_HW, name="d")
+    allocator = ReservingAllocator(DEFAULT_HW.disk_block, DEFAULT_HW.ext3_reservation)
+    backing = _DiskBacking(disk, allocator)
+    cache = PageCache(
+        sim, DEFAULT_HW, backing, dirty_limit=dirty_limit,
+        background_limit=background, **kw,
+    )
+    return sim, disk, cache
+
+
+def drive(sim, gen):
+    """Run one generator as a process to completion."""
+    p = sim.spawn(gen)
+    sim.run_until_complete([p])
+    return p.result
+
+
+class TestDirtyAccounting:
+    def test_dirty_accumulates(self):
+        sim, disk, cache = make_cache()
+
+        def proc():
+            yield from cache.dirty("f", 10000)
+            yield from cache.dirty("f", 5000)
+
+        drive(sim, proc())
+        assert cache.dirty_bytes == 15000
+        assert cache.total_dirtied == 15000
+
+    def test_sequential_writes_merge_into_one_extent(self):
+        sim, disk, cache = make_cache()
+
+        def proc():
+            for _ in range(100):
+                yield from cache.dirty("f", 1000)
+
+        drive(sim, proc())
+        assert len(cache._dirty["f"]) == 1
+        extent = cache._dirty["f"][0]
+        assert extent.nbytes == 100_000
+        assert extent.fragments == 100
+
+    def test_sub_block_writes_extend_without_alloc(self):
+        sim, disk, cache = make_cache()
+
+        def proc():
+            yield from cache.dirty("f", 100)
+            yield from cache.dirty("f", 100)
+
+        drive(sim, proc())
+        extent = cache._dirty["f"][0]
+        assert extent.nbytes == 200
+        assert extent.nblocks == 1  # both fit the first block
+
+    def test_merge_cap_respected(self):
+        sim, disk, cache = make_cache()
+
+        def proc():
+            # two writes that together exceed the merge cap
+            yield from cache.dirty("f", 3 * MiB, merge_cap=4 * MiB)
+            yield from cache.dirty("f", 3 * MiB, merge_cap=4 * MiB)
+
+        drive(sim, proc())
+        assert len(cache._dirty["f"]) == 2
+
+    def test_streams_tracked_separately(self):
+        sim, disk, cache = make_cache()
+
+        def proc():
+            yield from cache.dirty("a", 1000)
+            yield from cache.dirty("b", 1000)
+
+        drive(sim, proc())
+        assert set(cache._dirty) == {"a", "b"}
+        assert cache.dirty_bytes_of("a") == 1000
+
+    def test_zero_bytes_noop(self):
+        sim, disk, cache = make_cache()
+
+        def proc():
+            yield from cache.dirty("f", 0)
+
+        drive(sim, proc())
+        assert cache.dirty_bytes == 0
+
+
+class TestSync:
+    def test_sync_stream_writes_everything_to_disk(self):
+        sim, disk, cache = make_cache()
+
+        def proc():
+            yield from cache.dirty("f", 100_000)
+            yield from cache.sync_stream("f")
+
+        drive(sim, proc())
+        assert cache.dirty_bytes == 0
+        assert disk.total_bytes == 100_000
+        assert cache.total_written_back == 100_000
+
+    def test_sync_all(self):
+        sim, disk, cache = make_cache()
+
+        def proc():
+            yield from cache.dirty("a", 50_000)
+            yield from cache.dirty("b", 70_000)
+            yield from cache.sync_all()
+
+        drive(sim, proc())
+        assert cache.dirty_bytes == 0
+        assert disk.total_bytes == 120_000
+
+    def test_sync_quota_partial(self):
+        sim, disk, cache = make_cache()
+
+        def proc():
+            yield from cache.dirty("a", 10 * MiB)
+            yield from cache.sync_quota(2 * MiB)
+
+        drive(sim, proc())
+        assert cache.total_written_back >= 2 * MiB
+        assert cache.dirty_bytes < 10 * MiB
+
+    def test_sync_empty_stream_noop(self):
+        sim, disk, cache = make_cache()
+
+        def proc():
+            yield from cache.sync_stream("missing")
+
+        drive(sim, proc())
+        assert disk.total_ios == 0
+
+
+class TestBackgroundFlusher:
+    def test_flusher_activates_above_background(self):
+        sim, disk, cache = make_cache(dirty_limit=100 * MiB, background=1 * MiB)
+
+        def proc():
+            yield from cache.dirty("f", 10 * MiB)
+            # give the flusher time to work
+            yield sim.timeout(10.0)
+
+        drive(sim, proc())
+        assert cache.total_written_back > 0
+        assert disk.total_bytes > 0
+
+    def test_flusher_idle_below_background(self):
+        sim, disk, cache = make_cache(dirty_limit=100 * MiB, background=50 * MiB)
+
+        def proc():
+            yield from cache.dirty("f", 1 * MiB)
+            yield sim.timeout(10.0)
+
+        drive(sim, proc())
+        assert cache.total_written_back == 0
+
+    def test_small_tail_deferred(self):
+        sim, disk, cache = make_cache(dirty_limit=100 * MiB, background=1)
+
+        def proc():
+            yield from cache.dirty("f", 8 * KiB)  # tiny growing tail
+            yield sim.timeout(5.0)
+
+        drive(sim, proc())
+        # the tiny tail stays cached (write gathering)
+        assert cache.dirty_bytes == 8 * KiB
+
+    def test_commit_interval_forces_full_flush(self):
+        sim, disk, cache = make_cache(
+            dirty_limit=100 * MiB, background=50 * MiB, commit_interval=2.0
+        )
+
+        def proc():
+            yield from cache.dirty("f", 1 * MiB)
+            yield sim.timeout(10.0)
+
+        drive(sim, proc())
+        assert cache.dirty_bytes == 0  # commit flushed despite low dirty
+
+
+class TestThrottling:
+    def test_writer_blocks_at_dirty_limit(self):
+        sim, disk, cache = make_cache(dirty_limit=4 * MiB, background=1 * MiB)
+        timeline = {}
+
+        def proc():
+            yield from cache.dirty("f", 3 * MiB)
+            timeline["first"] = sim.now
+            yield from cache.dirty("f", 8 * MiB)  # crosses the limit
+            timeline["second"] = sim.now
+
+        drive(sim, proc())
+        assert cache.throttle_events > 0
+        # the throttled write had to wait for real (disk-speed) time
+        assert timeline["second"] > timeline["first"]
+        assert timeline["second"] >= 1 * MiB / DEFAULT_HW.disk_bandwidth
+
+    def test_hysteresis_releases_below_limit(self):
+        sim, disk, cache = make_cache(dirty_limit=8 * MiB, background=1 * MiB)
+
+        def proc():
+            for _ in range(32):
+                yield from cache.dirty("f", 1 * MiB)
+
+        drive(sim, proc())
+        # all 32 MiB accepted eventually; dirty ended at/below the limit
+        assert cache.total_dirtied == 32 * MiB
+        assert cache.dirty_bytes <= 8 * MiB
+
+    def test_no_deadlock_with_only_small_tails(self):
+        # dirty over the limit purely from many small streams' tails: the
+        # flusher must fall back to flushing small tails.
+        sim, disk, cache = make_cache(dirty_limit=256 * KiB, background=64 * KiB)
+
+        def proc(i):
+            yield from cache.dirty(f"s{i}", 100 * KiB)
+
+        procs = [sim.spawn(proc(i)) for i in range(8)]
+        sim.run_until_complete(procs)  # completing at all proves no deadlock
+
+
+class TestExtentSplitting:
+    def test_pop_splits_at_window(self):
+        sim, disk, cache = make_cache(writeback_window=1 * MiB)
+
+        def proc():
+            yield from cache.dirty("f", 5 * MiB, merge_cap=16 * MiB)
+
+        drive(sim, proc())
+        first = cache._pop_from("f")
+        assert first.nbytes == 1 * MiB
+        rest = cache._dirty["f"][0]
+        assert rest.nbytes == 4 * MiB
+        assert rest.block == first.block + first.nblocks
+
+    def test_sync_stream_writes_whole_extents(self):
+        sim, disk, cache = make_cache(writeback_window=1 * MiB)
+
+        def proc():
+            yield from cache.dirty("f", 5 * MiB, merge_cap=16 * MiB)
+            yield from cache.sync_stream("f")
+
+        drive(sim, proc())
+        assert disk.total_bytes == 5 * MiB
+
+    def test_fragments_preserved_across_split(self):
+        ext = DirtyExtent(stream="f", block=0, nbytes=2 * MiB, fragments=100)
+        sim, disk, cache = make_cache(writeback_window=1 * MiB)
+        cache._dirty["f"] = __import__("collections").deque([ext])
+        cache.dirty_bytes = ext.nbytes
+        first = cache._pop_from("f")
+        rest = cache._dirty["f"][0]
+        assert first.fragments + rest.fragments == 100
+
+    def test_fragment_density(self):
+        ext = DirtyExtent(stream="f", block=0, nbytes=1 * MiB, fragments=50)
+        assert ext.fragment_density == pytest.approx(50.0)

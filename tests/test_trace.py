@@ -1,0 +1,138 @@
+"""Tests for trace capture and analysis (Table I / Figs 3, 10, 11
+instruments)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.simio.disk import BlockTraceEntry
+from repro.trace import (
+    WriteRecord,
+    WriteTrace,
+    bucket_profile,
+    completion_spread,
+    cumulative_curves,
+    render_profile,
+    summarize_block_trace,
+)
+
+
+def make_trace():
+    t = WriteTrace()
+    t.add(rank=0, size=100, start=0.0, duration=0.1)
+    t.add(rank=0, size=5000, start=0.1, duration=0.5)
+    t.add(rank=1, size=100, start=0.0, duration=0.2)
+    t.add(rank=1, size=2_000_000, start=0.2, duration=1.0)
+    return t
+
+
+class TestWriteTrace:
+    def test_basic_accounting(self):
+        t = make_trace()
+        assert len(t) == 4
+        assert t.total_bytes == 100 + 5000 + 100 + 2_000_000
+        assert t.total_time == pytest.approx(1.8)
+
+    def test_ranks_and_filtering(self):
+        t = make_trace()
+        assert t.ranks() == [0, 1]
+        assert len(t.for_rank(0)) == 2
+
+    def test_merge(self):
+        t = make_trace()
+        merged = t.merge(make_trace())
+        assert len(merged) == 8
+
+    def test_record_end(self):
+        r = WriteRecord(rank=0, size=1, start=2.0, duration=0.5)
+        assert r.end == 2.5
+
+    def test_empty(self):
+        t = WriteTrace()
+        assert t.total_bytes == 0
+        assert t.total_time == 0.0
+        assert t.ranks() == []
+
+
+class TestBucketProfile:
+    def test_percentages_partition(self):
+        rows = bucket_profile(make_trace())
+        assert sum(r.pct_writes for r in rows) == pytest.approx(100.0)
+        assert sum(r.pct_data for r in rows) == pytest.approx(100.0)
+        assert sum(r.pct_time for r in rows) == pytest.approx(100.0)
+
+    def test_bucket_assignment(self):
+        rows = bucket_profile(make_trace())
+        by = {r.label: r for r in rows}
+        assert by["> 1M"].count == 1
+        assert by["4K-16K"].count == 1
+        assert by["64-256"].count == 2
+
+    def test_empty_trace_all_zero(self):
+        rows = bucket_profile(WriteTrace())
+        assert all(r.pct_time == 0 for r in rows)
+
+    def test_render_matches_table1_format(self):
+        out = render_profile(bucket_profile(make_trace()), title="T")
+        assert "Write Size" in out
+        assert "% of Time" in out
+        assert "> 1M" in out
+
+
+class TestCumulative:
+    def test_curves_sorted_by_size(self):
+        curves = cumulative_curves(make_trace())
+        sizes, cum = curves[0]
+        assert list(sizes) == sorted(sizes)
+        assert cum[-1] == pytest.approx(0.6)
+
+    def test_spread(self):
+        sp = completion_spread(make_trace())
+        assert sp["min"] == pytest.approx(0.6)
+        assert sp["max"] == pytest.approx(1.2)
+        assert sp["spread_ratio"] == pytest.approx(2.0)
+
+    def test_spread_empty(self):
+        sp = completion_spread(WriteTrace())
+        assert sp["spread_ratio"] == 0.0
+
+
+def entries(specs):
+    return [
+        BlockTraceEntry(time=i * 0.01, block=b, nblocks=n, kind="W", stream=s)
+        for i, (b, n, s) in enumerate(specs)
+    ]
+
+
+class TestBlockTraceSummary:
+    def test_sequential_run_no_seeks(self):
+        s = summarize_block_trace(entries([(0, 4, "f"), (4, 4, "f"), (8, 4, "f")]))
+        assert s.seeks == 0
+        assert s.seek_fraction == 0.0
+        assert s.monotone_fraction == 1.0
+        assert s.ios == 3
+
+    def test_scattered_accesses_all_seek(self):
+        s = summarize_block_trace(entries([(0, 1, "a"), (1000, 1, "b"), (5, 1, "a")]))
+        assert s.seeks == 2
+        assert s.seek_fraction == 1.0
+        assert s.monotone_fraction == 0.5
+
+    def test_mean_jump(self):
+        s = summarize_block_trace(entries([(0, 1, "a"), (101, 1, "b")]))
+        assert s.mean_abs_jump_blocks == 100.0
+
+    def test_span(self):
+        s = summarize_block_trace(entries([(10, 2, "a"), (100, 5, "b")]))
+        assert s.span_blocks == 95
+
+    def test_empty_and_single(self):
+        assert summarize_block_trace([]).ios == 0
+        one = summarize_block_trace(entries([(5, 2, "a")]))
+        assert one.ios == 1
+        assert one.seek_fraction == 0.0
+
+    def test_bytes_counted(self):
+        s = summarize_block_trace(entries([(0, 4, "a")]), block_size=4096)
+        assert s.bytes == 4 * 4096

@@ -1,0 +1,84 @@
+"""Tests for byte-size parsing and formatting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    format_bandwidth,
+    format_size,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    def test_bare_number_string(self):
+        assert parse_size("512") == 512
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("4K", 4 * KiB),
+            ("4k", 4 * KiB),
+            ("4KB", 4 * KiB),
+            ("4KiB", 4 * KiB),
+            ("128KiB", 128 * KiB),
+            ("4M", 4 * MiB),
+            ("16 MB", 16 * MiB),
+            ("2G", 2 * GiB),
+            ("1GiB", GiB),
+            ("0", 0),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_fractional_sizes_allowed_when_whole_bytes(self):
+        assert parse_size("0.5M") == 512 * KiB
+
+    def test_fractional_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("0.3")
+
+    @pytest.mark.parametrize("bad", ["", "M", "4Q", "abc", "4 4M"])
+    def test_garbage_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+    @given(st.integers(min_value=0, max_value=2**50))
+    def test_roundtrip_plain(self, n):
+        assert parse_size(str(n)) == n
+
+    @given(
+        st.integers(min_value=0, max_value=4096),
+        st.sampled_from([("K", KiB), ("M", MiB), ("G", GiB)]),
+    )
+    def test_roundtrip_suffixed(self, n, unit):
+        suffix, mult = unit
+        assert parse_size(f"{n}{suffix}") == n * mult
+
+
+class TestFormat:
+    def test_format_size_bytes(self):
+        assert format_size(42) == "42 B"
+
+    def test_format_size_mib(self):
+        assert format_size(4 * MiB) == "4.0 MiB"
+
+    def test_format_size_gib(self):
+        assert format_size(6 * GiB) == "6.0 GiB"
+
+    def test_format_bandwidth_mb(self):
+        assert format_bandwidth(700e6) == "700.0 MB/s"
+
+    def test_format_bandwidth_gb(self):
+        assert format_bandwidth(1.75e9) == "1.75 GB/s"

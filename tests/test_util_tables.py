@@ -1,0 +1,51 @@
+"""Tests for text-table rendering."""
+
+import pytest
+
+from repro.util.tables import TextTable
+
+
+class TestTextTable:
+    def test_basic_render(self):
+        t = TextTable(["fs", "time"])
+        t.add_row(["ext3", 1.9])
+        out = t.render()
+        lines = out.splitlines()
+        assert "fs" in lines[0] and "time" in lines[0]
+        assert set(lines[1].replace(" ", "")) == {"-"}
+        assert "ext3" in lines[2] and "1.90" in lines[2]
+
+    def test_title(self):
+        t = TextTable(["a"], title="Table I")
+        t.add_row([1])
+        assert t.render().splitlines()[0] == "Table I"
+
+    def test_column_count_enforced(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_float_formatting(self):
+        t = TextTable(["x"])
+        t.add_row([0.0])
+        t.add_row([12345.6])
+        t.add_row([0.001])
+        t.add_row([3.14159])
+        body = t.render().splitlines()[2:]
+        assert body[0].strip() == "0"
+        assert "1.23e+04" in body[1]
+        assert "0.001" in body[2]
+        assert "3.14" in body[3]
+
+    def test_alignment(self):
+        t = TextTable(["name", "v"])
+        t.add_row(["a", 1])
+        t.add_row(["longer", 100])
+        lines = t.render().splitlines()
+        # all lines equal width (right-justified columns)
+        assert len({len(l) for l in lines[1:]}) == 1
+
+    def test_str_is_render(self):
+        t = TextTable(["a"])
+        t.add_row([1])
+        assert str(t) == t.render()

@@ -1,0 +1,65 @@
+"""Tests for the NAS LU footprint model and the synthetic raw workload."""
+
+import pytest
+
+from repro.units import GiB, KiB, MB
+from repro.workloads import LU_CLASSES, RawWriteWorkload, app_total_bytes, lu_class
+
+
+class TestNASClasses:
+    def test_three_classes(self):
+        assert set(LU_CLASSES) == {"B", "C", "D"}
+
+    def test_scaling_order(self):
+        assert lu_class("B").app_total < lu_class("C").app_total < lu_class("D").app_total
+
+    def test_class_d_roughly_10x_c(self):
+        assert lu_class("D").app_total / lu_class("C").app_total == pytest.approx(
+            10, rel=0.05
+        )
+
+    def test_case_insensitive(self):
+        assert lu_class("b") is lu_class("B")
+
+    def test_unknown_class(self):
+        with pytest.raises(KeyError):
+            lu_class("E")
+
+    def test_per_rank(self):
+        assert lu_class("C").per_rank(128) == lu_class("C").app_total // 128
+
+    def test_app_total_bytes_helper(self):
+        assert app_total_bytes("B") == lu_class("B").app_total
+
+    def test_backed_out_of_mpich2_row(self):
+        # Table II: MPICH2 LU.B.128 total = 497.8 MB = app + 128 * 0.4 MB
+        assert lu_class("B").app_total / MB == pytest.approx(497.8 - 128 * 0.4, rel=0.01)
+
+
+class TestRawWriteWorkload:
+    def test_paper_defaults(self):
+        w = RawWriteWorkload()
+        assert w.processes == 8
+        assert w.bytes_per_process == 1 * GiB
+        assert w.write_size == 128 * KiB
+
+    def test_total(self):
+        assert RawWriteWorkload().total_bytes == 8 * GiB
+
+    def test_write_sizes_sum(self):
+        w = RawWriteWorkload(bytes_per_process=1_000_000, write_size=4096)
+        sizes = w.write_sizes()
+        assert sum(sizes) == 1_000_000
+        assert sizes[-1] == 1_000_000 % 4096
+
+    def test_exact_division_no_remainder(self):
+        w = RawWriteWorkload(bytes_per_process=8192, write_size=4096)
+        assert w.write_sizes() == [4096, 4096]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RawWriteWorkload(processes=0)
+        with pytest.raises(ValueError):
+            RawWriteWorkload(bytes_per_process=0)
+        with pytest.raises(ValueError):
+            RawWriteWorkload(write_size=0)
