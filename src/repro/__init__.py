@@ -35,6 +35,7 @@ from .backends import (
     NullBackend,
 )
 from .errors import BackendIOError, CRFSError, ConfigError
+from .pipeline import PipelineKernel, PipelineObserver, PipelineStats
 from .units import GiB, KiB, MB, MiB, format_bandwidth, format_size, parse_size
 
 __version__ = "1.0.0"
@@ -54,6 +55,9 @@ __all__ = [
     "CRFSError",
     "ConfigError",
     "BackendIOError",
+    "PipelineKernel",
+    "PipelineObserver",
+    "PipelineStats",
     "KiB",
     "MiB",
     "GiB",

@@ -22,7 +22,7 @@ from .base import Backend, BackendStat
 from .mem import MemBackend
 from .localdir import LocalDirBackend
 from .null import NullBackend
-from .instrumented import InstrumentedBackend, OpRecord
+from .instrumented import InstrumentedBackend, OpRecord, PipelineOpRecorder
 from .faulty import FaultyBackend, FaultRule
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "NullBackend",
     "InstrumentedBackend",
     "OpRecord",
+    "PipelineOpRecorder",
     "FaultyBackend",
     "FaultRule",
 ]

@@ -14,7 +14,6 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from ..errors import BackendIOError
 from .base import Backend, BackendStat
 
 __all__ = ["FaultyBackend", "FaultRule"]

@@ -18,7 +18,7 @@ import struct
 from dataclasses import dataclass, field
 
 from ..units import KiB, MiB
-from .image import MemoryRegion, ProcessImage
+from .image import ProcessImage
 
 __all__ = ["BLCRWriter", "CheckpointStats", "MAGIC", "VERSION"]
 

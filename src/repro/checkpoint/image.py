@@ -17,7 +17,7 @@ from typing import Iterator
 
 import numpy as np
 
-from ..units import KiB, MiB
+from ..units import KiB
 from ..util.rng import rng_for
 
 __all__ = ["MemoryRegion", "ProcessImage"]

@@ -7,9 +7,12 @@ the queue, writing chunks to the backing store; ``close()``/``fsync()``
 flush the partial chunk and block until the file's outstanding chunk
 writes complete.
 
-The pure aggregation logic lives in :mod:`repro.core.planner` and is
-shared with the timing-plane model (:mod:`repro.simcrfs`), so both planes
-provably aggregate identically.
+The pipeline *state machine* — aggregation planning, drain accounting,
+the writeback-error latch, and the event/stats stream — lives in the
+plane-agnostic :mod:`repro.pipeline` package and is shared with the
+timing-plane model (:mod:`repro.simcrfs`), so both planes provably
+aggregate, drain, and count identically (``repro.core.planner`` remains
+as a re-export shim).
 """
 
 from .planner import Fill, Seal, SealReason, WritePlanner

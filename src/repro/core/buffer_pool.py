@@ -11,9 +11,9 @@ with pool size.
 from __future__ import annotations
 
 import threading
-from typing import Optional
 
 from ..errors import ConfigError, ShutdownError
+from ..pipeline import PipelineStats, PoolPressure
 from .chunk import Chunk
 
 __all__ = ["BufferPool"]
@@ -24,10 +24,15 @@ class BufferPool:
 
     ``acquire()`` blocks while the pool is empty (bounded by
     ``timeout`` to keep tests debuggable); ``release()`` recycles a chunk
-    and wakes one waiter.
+    and wakes one waiter.  Pressure accounting is published as
+    ``PoolPressure`` events into the shared
+    :class:`~repro.pipeline.stats.PipelineStats` registry (the mount
+    passes its kernel's; a standalone pool gets a private one).
     """
 
-    def __init__(self, chunk_size: int, pool_size: int):
+    def __init__(
+        self, chunk_size: int, pool_size: int, stats: PipelineStats | None = None
+    ):
         if chunk_size <= 0:
             raise ConfigError(f"chunk_size must be positive, got {chunk_size}")
         nchunks = pool_size // chunk_size
@@ -37,14 +42,28 @@ class BufferPool:
             )
         self.chunk_size = chunk_size
         self.nchunks = nchunks
+        self.stats = stats if stats is not None else PipelineStats(
+            chunk_size=chunk_size, pool_chunks=nchunks
+        )
         self._free: list[Chunk] = [Chunk(i, chunk_size) for i in range(nchunks)]
         self._lock = threading.Lock()
         self._available = threading.Condition(self._lock)
         self._closed = False
-        # -- stats
-        self.total_acquires = 0
-        self.total_waits = 0  # acquires that had to block
-        self.max_in_use = 0
+
+    # -- stats views (counted from PoolPressure events) -------------------------
+
+    @property
+    def total_acquires(self) -> int:
+        return self.stats.pool_acquires
+
+    @property
+    def total_waits(self) -> int:
+        """Acquires that had to block."""
+        return self.stats.pool_waits
+
+    @property
+    def max_in_use(self) -> int:
+        return self.stats.pool_max_in_use
 
     @property
     def free_chunks(self) -> int:
@@ -63,9 +82,7 @@ class BufferPool:
         callers can pass ``None`` to wait forever.
         """
         with self._available:
-            self.total_acquires += 1
-            if not self._free and not self._closed:
-                self.total_waits += 1
+            waited = not self._free and not self._closed
             while not self._free:
                 if self._closed:
                     raise ShutdownError("buffer pool closed")
@@ -75,9 +92,9 @@ class BufferPool:
                         f"({self.nchunks} chunks all in flight) — IO stalled?"
                     )
             chunk = self._free.pop()
-            used = self.nchunks - len(self._free)
-            if used > self.max_in_use:
-                self.max_in_use = used
+            self.stats.on_event(
+                PoolPressure(waited=waited, in_use=self.nchunks - len(self._free))
+            )
             return chunk
 
     def release(self, chunk: Chunk) -> None:

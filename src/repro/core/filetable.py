@@ -5,80 +5,108 @@ file is associated with an entry that contains metadata to be used in
 later I/O operations... If the file is already opened, the reference
 counter in its table entry is incremented by one."
 
-Each entry also carries the drain counters of Section IV-B/C:
-``write_chunk_count`` (chunks handed to the work queue) and
-``complete_chunk_count`` (chunks the IO threads finished).  close() and
-fsync() block until they match.
+The drain counters of Section IV-B/C (``write_chunk_count`` /
+``complete_chunk_count``), the error latch, and the raise-once contract
+live in the shared :class:`~repro.pipeline.kernel.FilePipeline`; this
+module adds only what the *threaded* plane needs on top — the condition
+variable that close()/fsync() block on until the pipeline reports
+drained.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
-from ..errors import BackendIOError, FileStateError
+from ..errors import FileStateError
+from ..pipeline import FilePipeline, Seal
+from ..pipeline.kernel import EmitFn
 from .chunk import Chunk
-from .planner import WritePlanner
 
 __all__ = ["FileEntry", "OpenFileTable"]
 
 
 class FileEntry:
-    """Per-open-file metadata: planner state, drain counters, error latch."""
+    """Per-open-file metadata: the shared pipeline state machine plus the
+    threaded plane's chunk buffer and drain condition."""
 
-    def __init__(self, path: str, backend_handle: Any, chunk_size: int):
+    def __init__(
+        self,
+        path: str,
+        backend_handle: Any,
+        chunk_size: int,
+        emit: EmitFn | None = None,
+        clock: Callable[[], float] | None = None,
+    ):
         self.path = path
         self.backend_handle = backend_handle
         self.refcount = 1
-        self.planner = WritePlanner(chunk_size)
         self.current_chunk: Optional[Chunk] = None
         # Serializes the write path for this file (writers to *different*
         # files proceed in parallel, as on the real mount).
         self.write_lock = threading.Lock()
-        self._drain = threading.Condition()
-        self.write_chunk_count = 0  # "outstanding full chunk writes"
-        self.complete_chunk_count = 0
-        self._error: BaseException | None = None
+        # The pipeline's counter lock doubles as the drain condition's
+        # lock, so note_chunk_complete can account and notify atomically.
+        self._lock = threading.RLock()
+        self._drain = threading.Condition(self._lock)
+        self.pipeline = FilePipeline(
+            path, chunk_size, emit=emit, lock=self._lock, clock=clock
+        )
 
-    # -- drain protocol ------------------------------------------------------
+    # -- kernel passthrough ----------------------------------------------------
 
-    def note_chunk_queued(self) -> None:
-        with self._drain:
-            self.write_chunk_count += 1
+    @property
+    def planner(self):
+        return self.pipeline.planner
 
-    def note_chunk_complete(self, error: BaseException | None = None) -> None:
-        """IO-thread callback: one outstanding chunk write finished."""
-        with self._drain:
-            self.complete_chunk_count += 1
-            if error is not None and self._error is None:
-                self._error = error
-            self._drain.notify_all()
+    @property
+    def write_chunk_count(self) -> int:
+        return self.pipeline.write_chunk_count
+
+    @property
+    def complete_chunk_count(self) -> int:
+        return self.pipeline.complete_chunk_count
 
     @property
     def outstanding(self) -> int:
+        return self.pipeline.outstanding
+
+    def peek_error(self) -> BaseException | None:
+        return self.pipeline.peek_error()
+
+    # -- drain protocol ------------------------------------------------------
+
+    def note_chunk_queued(self, seal: Seal | None = None) -> None:
         with self._drain:
-            return self.write_chunk_count - self.complete_chunk_count
+            self.pipeline.note_queued(seal)
+
+    def note_chunk_complete(
+        self,
+        error: BaseException | None = None,
+        nbytes: int = 0,
+        file_offset: int = 0,
+        start: float | None = None,
+    ) -> None:
+        """IO-thread callback: one outstanding chunk write finished."""
+        with self._drain:
+            self.pipeline.note_complete(
+                length=nbytes, file_offset=file_offset, error=error, start=start
+            )
+            self._drain.notify_all()
 
     def wait_drained(self, timeout: float | None = 60.0) -> None:
         """Block until complete_chunk_count == write_chunk_count, then
         surface any latched writeback error (the POSIX close/fsync
-        error-reporting contract)."""
+        error-reporting contract, raised exactly once)."""
         with self._drain:
-            while self.complete_chunk_count < self.write_chunk_count:
+            while not self.pipeline.drained:
                 if not self._drain.wait(timeout=timeout):
                     raise FileStateError(
                         f"{self.path}: drain stuck "
-                        f"({self.complete_chunk_count}/{self.write_chunk_count})"
+                        f"({self.pipeline.complete_chunk_count}"
+                        f"/{self.pipeline.write_chunk_count})"
                     )
-            if self._error is not None:
-                error, self._error = self._error, None
-                raise BackendIOError(
-                    f"{self.path}: async chunk write failed: {error}"
-                ) from error
-
-    def peek_error(self) -> BaseException | None:
-        with self._drain:
-            return self._error
+            self.pipeline.raise_latched()
 
 
 class OpenFileTable:

@@ -7,7 +7,13 @@ completed, the 'complete chunk count' in the file's metadata entry is
 incremented.  Then the chunk is returned to the buffer pool to be reused."
 
 The thread count is the paper's IO-throttling knob: fewer threads means
-fewer concurrent writes hitting the back-end filesystem.
+fewer concurrent writes hitting the back-end filesystem.  Completion
+accounting goes through the entry's shared
+:class:`~repro.pipeline.kernel.FilePipeline`, which publishes a
+``ChunkWritten`` event on the unified stream; the pool's counters
+(``chunks_written``/``bytes_written``/``errors``) are views over the
+:class:`~repro.pipeline.stats.PipelineStats` registry counting those
+events.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from ..pipeline import PipelineStats
 from .buffer_pool import BufferPool
 from .chunk import Chunk
 from .filetable import FileEntry
@@ -45,6 +52,7 @@ class IOThreadPool:
         pool: BufferPool,
         nthreads: int,
         name: str = "crfs-io",
+        stats: PipelineStats | None = None,
     ):
         if nthreads < 1:
             raise ValueError(f"need at least 1 IO thread, got {nthreads}")
@@ -52,13 +60,23 @@ class IOThreadPool:
         self.queue = queue
         self.pool = pool
         self.nthreads = nthreads
+        self.stats = stats if stats is not None else PipelineStats()
         self._threads: list[threading.Thread] = []
         self._started = False
-        # -- stats
-        self.chunks_written = 0
-        self.bytes_written = 0
-        self.errors = 0
-        self._stats_lock = threading.Lock()
+
+    # -- stats views (counted from ChunkWritten events) ------------------------
+
+    @property
+    def chunks_written(self) -> int:
+        return self.stats.chunks_written
+
+    @property
+    def bytes_written(self) -> int:
+        return self.stats.bytes_out
+
+    @property
+    def errors(self) -> int:
+        return self.stats.io_errors
 
     def start(self) -> None:
         if self._started:
@@ -78,6 +96,7 @@ class IOThreadPool:
             except QueueClosed:
                 return
             chunk, entry = item.chunk, item.entry
+            start = entry.pipeline.clock()
             error: BaseException | None = None
             try:
                 self.backend.pwrite(
@@ -85,16 +104,12 @@ class IOThreadPool:
                 )
             except BaseException as exc:  # noqa: BLE001 - latched into the entry
                 error = exc
-            with self._stats_lock:
-                if error is None:
-                    self.chunks_written += 1
-                    self.bytes_written += chunk.valid
-                else:
-                    self.errors += 1
             # Account *before* recycling: once complete_chunk_count rises a
             # drain-waiter may proceed, and that is safe even if the chunk
             # is still being reset.
-            entry.note_chunk_complete(error)
+            entry.note_chunk_complete(
+                error, nbytes=chunk.valid, file_offset=chunk.file_offset, start=start
+            )
             self.pool.release(chunk)
 
     def shutdown(self, timeout: float = 30.0) -> None:

@@ -17,21 +17,31 @@ Semantics preserved from the paper:
 Error contract: an asynchronous chunk-write failure is latched in the
 file entry and raised from the next close()/fsync() on that file — the
 POSIX writeback-error contract.
+
+The pipeline *state machine* — fill/seal planning, drain accounting,
+the error latch — lives in the shared, plane-agnostic
+:class:`~repro.pipeline.kernel.FilePipeline`; this module supplies its
+threaded execution: real buffers, locks, IO threads.  Every state
+transition is published on the mount's
+:class:`~repro.pipeline.kernel.PipelineKernel` event stream, from which
+the :meth:`CRFS.stats` snapshot is derived (and to which callers may
+``subscribe`` extra observers, e.g. a trace recorder).
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Iterator
+import time
+from typing import Any, Iterable
 
 from ..backends.base import Backend, BackendStat, normalize_path
 from ..config import CRFSConfig, DEFAULT_CONFIG
-from ..errors import BackendIOError, FileStateError, MountError
+from ..errors import FileStateError, MountError
+from ..pipeline import Fill, PipelineKernel, PipelineObserver, Seal, SealReason
 from .buffer_pool import BufferPool
 from .filetable import FileEntry, OpenFileTable
 from .handle import CRFSFile
 from .iopool import IOThreadPool, WorkItem
-from .planner import Fill, Seal, SealReason
 from .workqueue import WorkQueue
 
 __all__ = ["CRFS"]
@@ -46,21 +56,47 @@ class CRFS:
     ...         _ = f.write(b"snapshot bytes")
     """
 
-    def __init__(self, backend: Backend, config: CRFSConfig = DEFAULT_CONFIG):
+    def __init__(
+        self,
+        backend: Backend,
+        config: CRFSConfig = DEFAULT_CONFIG,
+        observers: Iterable[PipelineObserver] = (),
+    ):
         self.backend = backend
         self.config = config
-        self.pool = BufferPool(config.chunk_size, config.pool_size)
-        self.queue = WorkQueue(config.work_queue_depth)
-        self.iopool = IOThreadPool(backend, self.queue, self.pool, config.io_threads)
+        self.kernel = PipelineKernel(
+            config.chunk_size,
+            pool_chunks=config.pool_chunks,
+            clock=time.perf_counter,
+            observers=observers,
+        )
+        stats = self.kernel.stats
+        self.pool = BufferPool(config.chunk_size, config.pool_size, stats=stats)
+        self.queue = WorkQueue(config.work_queue_depth, stats=stats)
+        self.iopool = IOThreadPool(
+            backend, self.queue, self.pool, config.io_threads, stats=stats
+        )
         self.table = OpenFileTable()
         self._mounted = False
         self._lifecycle = threading.Lock()
-        # -- mount-level stats
-        self.total_writes = 0
-        self.total_bytes_in = 0
-        self.write_through_bytes = 0
-        self.seal_counts: dict[SealReason, int] = {r: 0 for r in SealReason}
-        self._stats_lock = threading.Lock()
+
+    # -- mount-level stats views (all counters live in kernel.stats) -----------
+
+    @property
+    def total_writes(self) -> int:
+        return self.kernel.stats.writes
+
+    @property
+    def total_bytes_in(self) -> int:
+        return self.kernel.stats.bytes_in
+
+    @property
+    def write_through_bytes(self) -> int:
+        return self.kernel.stats.write_through_bytes
+
+    @property
+    def seal_counts(self) -> dict[SealReason, int]:
+        return dict(self.kernel.stats.seal_counts)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -93,6 +129,7 @@ class CRFS:
                 while not last:
                     _, last = self.table.close(path)
                 self.backend.close(entry.backend_handle)
+                self.kernel.file_closed(path)
             self.iopool.shutdown(timeout=timeout)
             self.pool.close()
             self._mounted = False
@@ -125,7 +162,14 @@ class CRFS:
 
         def make_entry() -> FileEntry:
             handle = self.backend.open(norm, create=create, truncate=truncate)
-            return FileEntry(norm, handle, self.config.chunk_size)
+            self.kernel.file_opened(norm)
+            return FileEntry(
+                norm,
+                handle,
+                self.config.chunk_size,
+                emit=self.kernel.emit,
+                clock=self.kernel.clock,
+            )
 
         entry = self.table.open(norm, make_entry)
         return CRFSFile(self, entry)
@@ -142,6 +186,7 @@ class CRFS:
             _, last = self.table.close(entry.path)
             if last:
                 self.backend.close(entry.backend_handle)
+                self.kernel.file_closed(entry.path)
 
     # -- write path ---------------------------------------------------------
 
@@ -155,32 +200,20 @@ class CRFS:
         """
         self._require_mounted()
         view = memoryview(data)
+        t0 = self.kernel.clock()
         threshold = self.config.write_through_threshold
         if threshold and len(view) >= threshold:
             with entry.write_lock:
-                err = entry.peek_error()
-                if err is not None:
-                    raise BackendIOError(
-                        f"{entry.path}: earlier async chunk write failed: {err}"
-                    ) from err
-                for op in entry.planner.note_external_write(offset, len(view)):
+                for op in entry.pipeline.plan_write_through(offset, len(view)):
                     assert isinstance(op, Seal)
                     self._seal_current(entry, op)
                 self.backend.pwrite(entry.backend_handle, view, offset)
-            with self._stats_lock:
-                self.total_writes += 1
-                self.total_bytes_in += len(view)
-                self.write_through_bytes += len(view)
+            entry.pipeline.note_write(offset, len(view), start=t0, write_through=True)
             return len(view)
         with entry.write_lock:
-            err = entry.peek_error()
-            if err is not None:
-                # Fail fast: a prior async write already failed; writing
-                # more data into chunks would be silently lost.
-                raise BackendIOError(
-                    f"{entry.path}: earlier async chunk write failed: {err}"
-                ) from err
-            ops = entry.planner.write(offset, len(view))
+            # plan_write fails fast if a prior async write already failed —
+            # writing more data into chunks would be silently lost.
+            ops = entry.pipeline.plan_write(offset, len(view))
             for op in ops:
                 if isinstance(op, Fill):
                     if entry.current_chunk is None:
@@ -194,9 +227,7 @@ class CRFS:
                     )
                 else:  # Seal
                     self._seal_current(entry, op)
-        with self._stats_lock:
-            self.total_writes += 1
-            self.total_bytes_in += len(view)
+        entry.pipeline.note_write(offset, len(view), start=t0)
         return len(view)
 
     def _seal_current(self, entry: FileEntry, seal: Seal) -> None:
@@ -211,14 +242,12 @@ class CRFS:
             )
         chunk.seal(seal.reason)
         entry.current_chunk = None
-        entry.note_chunk_queued()
-        with self._stats_lock:
-            self.seal_counts[seal.reason] += 1
+        entry.note_chunk_queued(seal)
         self.queue.put(WorkItem(chunk=chunk, entry=entry))
 
     def _flush_locked(self, entry: FileEntry) -> None:
         """Seal the partial chunk, if any (caller holds write_lock)."""
-        for op in entry.planner.flush():
+        for op in entry.pipeline.plan_flush():
             assert isinstance(op, Seal)
             self._seal_current(entry, op)
 
@@ -296,27 +325,10 @@ class CRFS:
     # -- introspection -----------------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
-        """Pipeline statistics for reports and tuning examples."""
-        with self._stats_lock:
-            seals = {r.value: c for r, c in self.seal_counts.items()}
-        return {
-            "writes": self.total_writes,
-            "bytes_in": self.total_bytes_in,
-            "write_through_bytes": self.write_through_bytes,
-            "chunks_written": self.iopool.chunks_written,
-            "bytes_out": self.iopool.bytes_written,
-            "io_errors": self.iopool.errors,
-            "seals": seals,
-            "open_files": len(self.table),
-            "pool": {
-                "chunks": self.pool.nchunks,
-                "chunk_size": self.pool.chunk_size,
-                "acquires": self.pool.total_acquires,
-                "waits": self.pool.total_waits,
-                "max_in_use": self.pool.max_in_use,
-            },
-            "queue": {
-                "puts": self.queue.total_puts,
-                "max_depth": self.queue.max_depth,
-            },
-        }
+        """One atomic snapshot of the pipeline counters.
+
+        Served straight from the kernel's :class:`PipelineStats`
+        registry — the timing plane's ``SimCRFS.stats()`` returns the
+        identical schema from the identical code path.
+        """
+        return self.kernel.snapshot()

@@ -17,6 +17,7 @@ from collections import deque
 from typing import Any, Deque
 
 from ..errors import ShutdownError
+from ..pipeline import PipelineStats, QueuePressure
 
 __all__ = ["WorkQueue", "QueueClosed"]
 
@@ -26,20 +27,32 @@ class QueueClosed(ShutdownError):
 
 
 class WorkQueue:
-    """Bounded (optionally unbounded) thread-safe FIFO with drain-close."""
+    """Bounded (optionally unbounded) thread-safe FIFO with drain-close.
 
-    def __init__(self, capacity: int = 0):
+    Depth accounting is published as ``QueuePressure`` events into the
+    shared :class:`~repro.pipeline.stats.PipelineStats` registry.
+    """
+
+    def __init__(self, capacity: int = 0, stats: PipelineStats | None = None):
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity  # 0 = unbounded
+        self.stats = stats if stats is not None else PipelineStats()
         self._items: Deque[Any] = deque()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._not_full = threading.Condition(self._lock)
         self._closed = False
-        # -- stats
-        self.total_puts = 0
-        self.max_depth = 0
+
+    # -- stats views (counted from QueuePressure events) ------------------------
+
+    @property
+    def total_puts(self) -> int:
+        return self.stats.queue_puts
+
+    @property
+    def max_depth(self) -> int:
+        return self.stats.queue_max_depth
 
     def __len__(self) -> int:
         with self._lock:
@@ -62,9 +75,7 @@ class WorkQueue:
             if self._closed:
                 raise QueueClosed("work queue closed")
             self._items.append(item)
-            self.total_puts += 1
-            if len(self._items) > self.max_depth:
-                self.max_depth = len(self._items)
+            self.stats.on_event(QueuePressure(depth=len(self._items)))
             self._not_empty.notify()
 
     def get(self, timeout: float | None = None) -> Any:

@@ -4,9 +4,9 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-from ..config import CRFSConfig, DEFAULT_CONFIG
+from ..config import DEFAULT_CONFIG
 from ..mpi import CheckpointCoordinator, CheckpointResult, MPIJob, stack_by_name
-from ..simio.params import DEFAULT_HW, HardwareParams
+from ..simio.params import DEFAULT_HW
 from ..workloads import lu_class
 
 __all__ = ["run_cell", "DEFAULT_SEED", "speedup", "pct_reduction"]

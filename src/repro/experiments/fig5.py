@@ -17,7 +17,7 @@ from ..sim import SharedBandwidth, Simulator
 from ..simcrfs import SimCRFS
 from ..simio.nullfs import NullSimFilesystem
 from ..simio.params import DEFAULT_HW
-from ..units import GiB, KiB, MB, MiB
+from ..units import KiB, MB, MiB
 from ..util.rng import rng_for
 from ..util.tables import TextTable
 from ..workloads import RawWriteWorkload

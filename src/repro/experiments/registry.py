@@ -15,6 +15,7 @@ from typing import Callable
 
 from .base import ExperimentResult
 from . import (
+    crossplane,
     fig3,
     fig5,
     fig6,
@@ -45,6 +46,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     # beyond the numbered artifacts:
     "restart": restart.run,  # Section V-F claim
     "internode": internode.run,  # Section VII future work, prototyped
+    "crossplane": crossplane.run,  # repo artifact: shared-kernel parity
 }
 
 

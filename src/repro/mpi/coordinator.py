@@ -35,7 +35,7 @@ from ..simio import (
 )
 from ..simio.disk import BlockTraceEntry
 from ..simio.params import DEFAULT_HW, HardwareParams
-from ..trace.recorder import WriteTrace
+from ..trace.recorder import TraceObserver, WriteTrace
 from ..util.rng import rng_for
 from .job import MPIJob
 
@@ -160,8 +160,14 @@ class CheckpointCoordinator:
             fs = self._build_node_fs(sim, node, membus, servers)
             node_fs.append(fs)
             if self.use_crfs:
+                # Write records come off the unified pipeline event
+                # stream (rank parsed from the checkpoint path).
+                observers = [TraceObserver(trace)] if trace is not None else []
                 node_crfs.append(
-                    SimCRFS(sim, self.hw, self.config, fs, membus, node=f"node{node}")
+                    SimCRFS(
+                        sim, self.hw, self.config, fs, membus,
+                        node=f"node{node}", observers=observers,
+                    )
                 )
             else:
                 node_crfs.append(None)
@@ -189,10 +195,8 @@ class CheckpointCoordinator:
             if crfs is not None:
                 f = crfs.open(path)
                 for size in sizes:
-                    t0 = sim.now
+                    # per-write records arrive via the TraceObserver
                     yield from crfs.write(f, size)
-                    if trace is not None:
-                        trace.add(rank, size, t0, sim.now - t0)
                 yield from crfs.close(f)
             else:
                 f = fs.open(path)

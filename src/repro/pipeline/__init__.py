@@ -1,0 +1,54 @@
+"""The plane-agnostic aggregation-pipeline kernel (paper Section IV).
+
+One mechanism, defined once: write aggregation into fixed-size chunks
+(:mod:`~repro.pipeline.planner`), the per-file
+``write_chunk_count``/``complete_chunk_count`` drain accounting and the
+latched writeback-error contract (:mod:`~repro.pipeline.kernel`), a
+unified event stream with observer hooks
+(:mod:`~repro.pipeline.events`), and the counter registry every
+``stats()`` snapshot is served from (:mod:`~repro.pipeline.stats`).
+
+Both planes import this package: :mod:`repro.core` executes the state
+machine with real threads and buffers, :mod:`repro.simcrfs` with
+simulated processes on a virtual clock.  Because the accounting logic
+exists only here, the two planes expose field-identical ``stats()``
+snapshots for identical workloads — which the cross-plane differential
+tests assert.
+"""
+
+from .events import (
+    ChunkSealed,
+    ChunkWritten,
+    ErrorLatched,
+    FileClosed,
+    FileOpened,
+    PipelineEvent,
+    PipelineObserver,
+    PoolPressure,
+    QueuePressure,
+    WriteObserved,
+)
+from .kernel import FilePipeline, PipelineKernel
+from .planner import Fill, PlanOp, Seal, SealReason, WritePlanner
+from .stats import PipelineStats
+
+__all__ = [
+    "ChunkSealed",
+    "ChunkWritten",
+    "ErrorLatched",
+    "FileClosed",
+    "FileOpened",
+    "Fill",
+    "FilePipeline",
+    "PipelineEvent",
+    "PipelineKernel",
+    "PipelineObserver",
+    "PipelineStats",
+    "PlanOp",
+    "PoolPressure",
+    "QueuePressure",
+    "Seal",
+    "SealReason",
+    "WriteObserved",
+    "WritePlanner",
+]

@@ -1,0 +1,133 @@
+"""The unified pipeline event stream.
+
+Every state transition of the aggregation pipeline — on either plane —
+is published as one of these event records through the mount's
+:class:`~repro.pipeline.kernel.PipelineKernel`.  Consumers subscribe a
+:class:`PipelineObserver`; the canonical subscriber is
+:class:`~repro.pipeline.stats.PipelineStats`, which derives every
+counter the ``stats()`` snapshot reports, but trace recorders
+(:class:`~repro.trace.recorder.TraceObserver`) and op logs
+(:class:`~repro.backends.instrumented.PipelineOpRecorder`) tap the same
+stream.
+
+Timestamps (``t``/``start``/``duration``) are in the emitting plane's
+clock: wall seconds on the functional plane, virtual seconds on the
+timing plane.  Events may be emitted while per-file pipeline locks are
+held — observers must not call back into the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .planner import SealReason
+
+__all__ = [
+    "PipelineEvent",
+    "PipelineObserver",
+    "FileOpened",
+    "FileClosed",
+    "WriteObserved",
+    "ChunkSealed",
+    "ChunkWritten",
+    "ErrorLatched",
+    "PoolPressure",
+    "QueuePressure",
+]
+
+
+@dataclass(frozen=True)
+class PipelineEvent:
+    """Base class for everything on the stream."""
+
+
+@dataclass(frozen=True)
+class FileOpened(PipelineEvent):
+    """A file entered the pipeline (first open of the path)."""
+
+    path: str
+    t: float = 0.0
+
+
+@dataclass(frozen=True)
+class FileClosed(PipelineEvent):
+    """The last reference to a file left the pipeline."""
+
+    path: str
+    t: float = 0.0
+
+
+@dataclass(frozen=True)
+class WriteObserved(PipelineEvent):
+    """One application ``write()`` was accepted (Section IV-B entry)."""
+
+    path: str
+    offset: int
+    length: int
+    start: float
+    duration: float
+    write_through: bool = False
+
+
+@dataclass(frozen=True)
+class ChunkSealed(PipelineEvent):
+    """A chunk was sealed and handed to the work queue
+    (``write_chunk_count`` was incremented)."""
+
+    path: str
+    file_offset: int
+    length: int
+    reason: SealReason
+    t: float = 0.0
+
+
+@dataclass(frozen=True)
+class ChunkWritten(PipelineEvent):
+    """An IO worker finished one chunk writeback
+    (``complete_chunk_count`` was incremented).  ``error`` is the
+    backend failure, if any — the write then moved no bytes."""
+
+    path: str
+    file_offset: int
+    length: int
+    start: float
+    duration: float
+    error: Optional[BaseException] = None
+
+
+@dataclass(frozen=True)
+class ErrorLatched(PipelineEvent):
+    """An asynchronous writeback failure was latched into the file
+    entry, to be raised from the next close()/fsync()."""
+
+    path: str
+    error: BaseException
+
+
+@dataclass(frozen=True)
+class PoolPressure(PipelineEvent):
+    """A buffer-pool chunk was acquired; ``waited`` means the writer
+    blocked for it (the Figure 5 backpressure stall)."""
+
+    waited: bool
+    in_use: int
+
+
+@dataclass(frozen=True)
+class QueuePressure(PipelineEvent):
+    """A chunk was enqueued on the work queue at the given depth."""
+
+    depth: int
+
+
+class PipelineObserver:
+    """Hook protocol for the unified event stream.
+
+    Subclass and override :meth:`on_event`; dispatch on the event type.
+    Observers are invoked synchronously at the emission point (possibly
+    under per-file locks) and must be cheap and non-reentrant.
+    """
+
+    def on_event(self, event: PipelineEvent) -> None:  # pragma: no cover
+        """Receive one event.  Default: ignore."""

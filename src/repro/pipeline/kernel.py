@@ -1,0 +1,279 @@
+"""The plane-agnostic aggregation-pipeline kernel.
+
+This is the one place the paper's per-file pipeline state machine
+(Section IV) exists: chunk fill/seal planning, the
+``write_chunk_count``/``complete_chunk_count`` drain accounting, and the
+latched writeback-error contract.  The threaded runtime
+(:mod:`repro.core.mount`) and the discrete-event model
+(:mod:`repro.simcrfs.model`) both drive it; only *execution* differs
+per plane — real buffers, locks and blocking waits on the functional
+plane, generators and virtual-clock waits on the timing plane.
+
+Split of responsibilities:
+
+* :class:`FilePipeline` — per-file state machine.  ``plan_*`` methods
+  decide what happens (fail-fast on a latched error, then delegate to
+  the shared :class:`~repro.pipeline.planner.WritePlanner`);
+  ``note_*`` methods account for what the plane executed and publish
+  the matching event on the unified stream.  The drain *predicate*
+  (``drained``) and the raise-exactly-once error contract
+  (:meth:`FilePipeline.raise_latched`) live here; how a caller blocks
+  until drained is the plane's business (condition variables vs. sim
+  events).
+* :class:`PipelineKernel` — per-mount: fan-out of the event stream to
+  observers, the shared :class:`~repro.pipeline.stats.PipelineStats`
+  registry, and the :class:`FilePipeline` factory.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterable
+
+from ..errors import BackendIOError, FileStateError
+from .events import (
+    ChunkSealed,
+    ChunkWritten,
+    ErrorLatched,
+    FileClosed,
+    FileOpened,
+    PipelineEvent,
+    PipelineObserver,
+    WriteObserved,
+)
+from .planner import PlanOp, Seal, WritePlanner
+from .stats import PipelineStats
+
+__all__ = ["FilePipeline", "PipelineKernel"]
+
+EmitFn = Callable[[PipelineEvent], None]
+
+
+class _NullLock:
+    """No-op lock for single-threaded (timing-plane) pipelines."""
+
+    def __enter__(self) -> "_NullLock":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+def _no_emit(event: PipelineEvent) -> None:
+    return None
+
+
+class FilePipeline:
+    """Per-file aggregation state machine — shared by both planes.
+
+    ``lock`` protects the drain counters and the error latch; the
+    functional plane passes the :class:`threading.RLock` its drain
+    condition is built on, the timing plane passes nothing (virtual
+    time needs no lock).  ``clock`` supplies event timestamps:
+    ``time.perf_counter`` or the simulator's ``now``.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        chunk_size: int,
+        emit: EmitFn | None = None,
+        lock: Any = None,
+        clock: Callable[[], float] | None = None,
+    ):
+        self.path = path
+        self.planner = WritePlanner(chunk_size)
+        self.clock = clock if clock is not None else time.perf_counter
+        self._emit = emit if emit is not None else _no_emit
+        self._lock = lock if lock is not None else _NullLock()
+        self.write_chunk_count = 0  # chunks handed to the work queue
+        self.complete_chunk_count = 0  # chunks the IO workers finished
+        self._error: BaseException | None = None
+
+    # -- planning (fail-fast + delegate to the shared planner) ----------------
+
+    def _check_writable(self) -> None:
+        """Fail fast under the lock: a prior async write already failed;
+        accepting more data into chunks would silently lose it."""
+        if self._error is not None:
+            raise BackendIOError(
+                f"{self.path}: earlier async chunk write failed: {self._error}"
+            ) from self._error
+
+    def plan_write(self, offset: int, length: int) -> list[PlanOp]:
+        """Plan one aggregated write; raises if an error is latched."""
+        with self._lock:
+            self._check_writable()
+            return self.planner.write(offset, length)
+
+    def plan_flush(self) -> list[PlanOp]:
+        """Seal ops for the partial chunk (close()/fsync() path)."""
+        with self._lock:
+            return self.planner.flush()
+
+    def plan_write_through(self, offset: int, length: int) -> list[PlanOp]:
+        """Seal ops that must precede a write that bypasses aggregation."""
+        with self._lock:
+            self._check_writable()
+            return self.planner.note_external_write(offset, length)
+
+    # -- accounting (the state machine proper) --------------------------------
+
+    def note_write(
+        self,
+        offset: int,
+        length: int,
+        start: float | None = None,
+        write_through: bool = False,
+    ) -> None:
+        """One application write() finished its synchronous part."""
+        now = self.clock()
+        if start is None:
+            start = now
+        self._emit(
+            WriteObserved(
+                path=self.path,
+                offset=offset,
+                length=length,
+                start=start,
+                duration=now - start,
+                write_through=write_through,
+            )
+        )
+
+    def note_queued(self, seal: Seal | None = None) -> None:
+        """A sealed chunk was handed to the work queue."""
+        with self._lock:
+            self.write_chunk_count += 1
+        if seal is not None:
+            self._emit(
+                ChunkSealed(
+                    path=self.path,
+                    file_offset=seal.file_offset,
+                    length=seal.length,
+                    reason=seal.reason,
+                    t=self.clock(),
+                )
+            )
+
+    def note_complete(
+        self,
+        length: int = 0,
+        file_offset: int = 0,
+        error: BaseException | None = None,
+        start: float | None = None,
+    ) -> bool:
+        """An IO worker finished one chunk writeback.
+
+        Latches the first ``error`` for the next close()/fsync() and
+        returns whether the file is now drained, so the plane can wake
+        its drain waiters.
+        """
+        now = self.clock()
+        if start is None:
+            start = now
+        with self._lock:
+            if self.complete_chunk_count >= self.write_chunk_count:
+                raise FileStateError(
+                    f"{self.path}: chunk completion with no outstanding write"
+                )
+            self.complete_chunk_count += 1
+            latched = error is not None and self._error is None
+            if latched:
+                self._error = error
+            drained = self.complete_chunk_count >= self.write_chunk_count
+        self._emit(
+            ChunkWritten(
+                path=self.path,
+                file_offset=file_offset,
+                length=length,
+                start=start,
+                duration=now - start,
+                error=error,
+            )
+        )
+        if latched:
+            assert error is not None
+            self._emit(ErrorLatched(path=self.path, error=error))
+        return drained
+
+    # -- drain protocol --------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        with self._lock:
+            return self.write_chunk_count - self.complete_chunk_count
+
+    @property
+    def drained(self) -> bool:
+        with self._lock:
+            return self.complete_chunk_count >= self.write_chunk_count
+
+    # -- error latch (the POSIX writeback-error contract) ----------------------
+
+    def peek_error(self) -> BaseException | None:
+        with self._lock:
+            return self._error
+
+    def take_error(self) -> BaseException | None:
+        """Consume the latched error (at most once returns non-None)."""
+        with self._lock:
+            error, self._error = self._error, None
+            return error
+
+    def raise_latched(self) -> None:
+        """Raise the latched writeback error exactly once.
+
+        This is the close()/fsync() error-reporting contract: the first
+        drain after a failed chunk write surfaces it, later drains
+        succeed.
+        """
+        error = self.take_error()
+        if error is not None:
+            raise BackendIOError(
+                f"{self.path}: async chunk write failed: {error}"
+            ) from error
+
+
+class PipelineKernel:
+    """Per-mount kernel: event fan-out, stats registry, pipeline factory.
+
+    Both planes own exactly one; ``CRFS.stats()`` and ``SimCRFS.stats()``
+    are both ``kernel.stats.snapshot()``.
+    """
+
+    def __init__(
+        self,
+        chunk_size: int,
+        pool_chunks: int = 0,
+        clock: Callable[[], float] | None = None,
+        observers: Iterable[PipelineObserver] = (),
+    ):
+        self.chunk_size = chunk_size
+        self.clock = clock if clock is not None else time.perf_counter
+        self.stats = PipelineStats(chunk_size=chunk_size, pool_chunks=pool_chunks)
+        self._observers: list[PipelineObserver] = [self.stats, *observers]
+
+    def subscribe(self, observer: PipelineObserver) -> None:
+        """Attach an observer to the unified event stream."""
+        self._observers.append(observer)
+
+    def emit(self, event: PipelineEvent) -> None:
+        for observer in self._observers:
+            observer.on_event(event)
+
+    def file(self, path: str, lock: Any = None) -> FilePipeline:
+        """A per-file pipeline wired to this kernel's stream and clock."""
+        return FilePipeline(
+            path, self.chunk_size, emit=self.emit, lock=lock, clock=self.clock
+        )
+
+    def file_opened(self, path: str) -> None:
+        self.emit(FileOpened(path=path, t=self.clock()))
+
+    def file_closed(self, path: str) -> None:
+        self.emit(FileClosed(path=path, t=self.clock()))
+
+    def snapshot(self) -> dict[str, Any]:
+        """Shorthand for ``kernel.stats.snapshot()``."""
+        return self.stats.snapshot()

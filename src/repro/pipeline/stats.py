@@ -1,0 +1,126 @@
+"""PipelineStats: the counter registry behind ``stats()``.
+
+One instance per mount, shared by every pipeline component (file
+pipelines, buffer pool, work queue, IO workers) on *either* plane.  All
+counters are derived from the unified event stream in :meth:`on_event`
+and bumped under one lock, so :meth:`snapshot` returns one atomic,
+mutually-consistent view — the functional plane's ``CRFS.stats()`` and
+the timing plane's ``SimCRFS.stats()`` both return exactly this schema,
+which the cross-plane differential tests compare field-for-field.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from .events import (
+    ChunkSealed,
+    ChunkWritten,
+    ErrorLatched,
+    FileClosed,
+    FileOpened,
+    PipelineEvent,
+    PipelineObserver,
+    PoolPressure,
+    QueuePressure,
+    WriteObserved,
+)
+from .planner import SealReason
+
+__all__ = ["PipelineStats"]
+
+
+class PipelineStats(PipelineObserver):
+    """Thread-safe counter registry fed by the pipeline event stream.
+
+    ``chunk_size``/``pool_chunks`` are structural gauges reported in the
+    snapshot's ``pool`` section; everything else is counted from events.
+    Reading an individual attribute is a single-int read (atomic in
+    CPython); use :meth:`snapshot` when fields must be consistent with
+    each other.
+    """
+
+    def __init__(self, chunk_size: int = 0, pool_chunks: int = 0):
+        self.chunk_size = chunk_size
+        self.pool_chunks = pool_chunks
+        self._lock = threading.Lock()
+        # -- write path
+        self.writes = 0
+        self.bytes_in = 0
+        self.write_through_bytes = 0
+        self.seal_counts: dict[SealReason, int] = {r: 0 for r in SealReason}
+        # -- IO workers
+        self.chunks_written = 0
+        self.bytes_out = 0
+        self.io_errors = 0
+        self.errors_latched = 0
+        # -- files
+        self.open_files = 0
+        # -- pressure gauges
+        self.pool_acquires = 0
+        self.pool_waits = 0
+        self.pool_max_in_use = 0
+        self.queue_puts = 0
+        self.queue_max_depth = 0
+
+    # -- event intake ---------------------------------------------------------
+
+    def on_event(self, event: PipelineEvent) -> None:
+        with self._lock:
+            if isinstance(event, WriteObserved):
+                self.writes += 1
+                self.bytes_in += event.length
+                if event.write_through:
+                    self.write_through_bytes += event.length
+            elif isinstance(event, ChunkSealed):
+                self.seal_counts[event.reason] += 1
+            elif isinstance(event, ChunkWritten):
+                if event.error is None:
+                    self.chunks_written += 1
+                    self.bytes_out += event.length
+                else:
+                    self.io_errors += 1
+            elif isinstance(event, PoolPressure):
+                self.pool_acquires += 1
+                if event.waited:
+                    self.pool_waits += 1
+                if event.in_use > self.pool_max_in_use:
+                    self.pool_max_in_use = event.in_use
+            elif isinstance(event, QueuePressure):
+                self.queue_puts += 1
+                if event.depth > self.queue_max_depth:
+                    self.queue_max_depth = event.depth
+            elif isinstance(event, FileOpened):
+                self.open_files += 1
+            elif isinstance(event, FileClosed):
+                self.open_files -= 1
+            elif isinstance(event, ErrorLatched):
+                self.errors_latched += 1
+
+    # -- snapshot -------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """One atomic, plane-identical view of every counter."""
+        with self._lock:
+            return {
+                "writes": self.writes,
+                "bytes_in": self.bytes_in,
+                "write_through_bytes": self.write_through_bytes,
+                "chunks_written": self.chunks_written,
+                "bytes_out": self.bytes_out,
+                "io_errors": self.io_errors,
+                "seals": {r.value: c for r, c in self.seal_counts.items()},
+                "open_files": self.open_files,
+                "pool": {
+                    "chunks": self.pool_chunks,
+                    "chunk_size": self.chunk_size,
+                    "acquires": self.pool_acquires,
+                    "waits": self.pool_waits,
+                    "max_in_use": self.pool_max_in_use,
+                },
+                "queue": {
+                    "puts": self.queue_puts,
+                    "max_depth": self.queue_max_depth,
+                },
+            }

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable
 
 from ..errors import DeadlockError, SimulationError
 

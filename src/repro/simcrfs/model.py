@@ -3,8 +3,16 @@
 One :class:`SimCRFS` instance models one node's CRFS mount: a buffer
 pool (counting semaphore over pool chunks), the work queue, and
 ``io_threads`` worker processes that write sealed chunks to the backing
-:class:`~repro.simio.fsbase.SimFilesystem`.  Aggregation decisions come
-from the shared :class:`~repro.core.planner.WritePlanner`.
+:class:`~repro.simio.fsbase.SimFilesystem`.  The pipeline *state
+machine* — aggregation planning, the
+``write_chunk_count``/``complete_chunk_count`` drain accounting, the
+error latch — is the shared, plane-agnostic
+:class:`~repro.pipeline.kernel.FilePipeline`; this module supplies its
+discrete-event execution on the virtual clock.  Every state transition
+is published on the mount's
+:class:`~repro.pipeline.kernel.PipelineKernel` stream, so
+:meth:`SimCRFS.stats` reports the same schema as the functional plane's
+``CRFS.stats()`` — from the identical counting code.
 
 Costs on the write path (what the application's checkpoint time sees):
 
@@ -22,13 +30,19 @@ Costs on the write path (what the application's checkpoint time sees):
 
 from __future__ import annotations
 
-from typing import Optional
-
-import numpy as np
+from typing import Any, Iterable, Optional
 
 from ..config import CRFSConfig
-from ..core.planner import Fill, Seal, WritePlanner
 from ..errors import ShutdownError
+from ..pipeline import (
+    Fill,
+    FilePipeline,
+    PipelineKernel,
+    PipelineObserver,
+    PoolPressure,
+    QueuePressure,
+    Seal,
+)
 from ..sim import (
     SharedBandwidth,
     SimEvent,
@@ -48,28 +62,38 @@ class SimCRFSFile:
 
     __slots__ = (
         "path",
-        "planner",
+        "pipeline",
         "backend_file",
         "has_chunk",
-        "write_chunk_count",
-        "complete_chunk_count",
         "_drain_waiters",
         "pos",
     )
 
-    def __init__(self, path: str, chunk_size: int, backend_file: SimFile):
+    def __init__(self, path: str, pipeline: FilePipeline, backend_file: SimFile):
         self.path = path
-        self.planner = WritePlanner(chunk_size)
+        self.pipeline = pipeline
         self.backend_file = backend_file
         self.has_chunk = False  # a chunk is currently open for this file
-        self.write_chunk_count = 0
-        self.complete_chunk_count = 0
         self._drain_waiters: list[SimEvent] = []
         self.pos = 0  # sequential append cursor
 
+    # -- kernel passthrough ----------------------------------------------------
+
+    @property
+    def planner(self):
+        return self.pipeline.planner
+
+    @property
+    def write_chunk_count(self) -> int:
+        return self.pipeline.write_chunk_count
+
+    @property
+    def complete_chunk_count(self) -> int:
+        return self.pipeline.complete_chunk_count
+
     @property
     def drained(self) -> bool:
-        return self.complete_chunk_count >= self.write_chunk_count
+        return self.pipeline.drained
 
 
 class SimCRFS:
@@ -84,6 +108,7 @@ class SimCRFS:
         membus: SharedBandwidth,
         node: str = "node0",
         file_affine: bool = False,
+        observers: Iterable[PipelineObserver] = (),
     ):
         self.sim = sim
         self.hw = hw
@@ -95,7 +120,13 @@ class SimCRFS:
         #: keep draining the file they last wrote, so one file's chunks
         #: reach the backend back-to-back instead of interleaving.
         self.file_affine = file_affine
-        self._backlog: "dict[SimCRFSFile, list[int]]" = {}
+        self._backlog: "dict[SimCRFSFile, list[Seal]]" = {}
+        self.kernel = PipelineKernel(
+            config.chunk_size,
+            pool_chunks=config.pool_chunks,
+            clock=lambda: sim.now,
+            observers=observers,
+        )
         self.pool = SimSemaphore(sim, capacity=max(1, config.pool_chunks))
         self.queue = SimQueue(sim)
         self._io_threads = [
@@ -103,11 +134,30 @@ class SimCRFS:
             for i in range(config.io_threads)
         ]
         self._stopped = False
-        # -- stats
-        self.chunks_written = 0
-        self.bytes_written = 0
-        self.total_writes = 0
-        self.total_bytes_in = 0
+
+    # -- stats views (all counters live in kernel.stats) ------------------------
+
+    @property
+    def chunks_written(self) -> int:
+        return self.kernel.stats.chunks_written
+
+    @property
+    def bytes_written(self) -> int:
+        return self.kernel.stats.bytes_out
+
+    @property
+    def total_writes(self) -> int:
+        return self.kernel.stats.writes
+
+    @property
+    def total_bytes_in(self) -> int:
+        return self.kernel.stats.bytes_in
+
+    def stats(self) -> dict[str, Any]:
+        """One atomic snapshot of the pipeline counters — the identical
+        schema (and counting code) as the functional plane's
+        ``CRFS.stats()``."""
+        return self.kernel.snapshot()
 
     # -- file API (all generators, driven by writer processes) -----------------
 
@@ -118,28 +168,38 @@ class SimCRFS:
         # page-collision stalls interactive writers suffer (see
         # simio.ext3).
         backend_file.bulk_writer = True
-        return SimCRFSFile(path, self.config.chunk_size, backend_file)
+        self.kernel.file_opened(path)
+        return SimCRFSFile(path, self.kernel.file(path), backend_file)
 
     def write(self, f: SimCRFSFile, nbytes: int):
         """Generator: one application write() through FUSE into chunks."""
-        self.total_writes += 1
-        self.total_bytes_in += nbytes
+        t0 = self.sim.now
+        offset0 = f.pos
         for request in fuse_requests(nbytes, self.hw.fuse_max_request):
             yield self.sim.timeout(self.hw.fuse_request_overhead)
             if request >= PAGE:
                 yield self.membus.transfer(request)
-            for op in f.planner.write(f.pos, request):
+            for op in f.pipeline.plan_write(f.pos, request):
                 if isinstance(op, Fill):
                     if not f.has_chunk:
-                        yield self.pool.acquire()  # backpressure point
+                        # backpressure point
+                        waited = (
+                            self.pool.in_use >= self.pool.capacity
+                            or self.pool.waiting > 0
+                        )
+                        yield self.pool.acquire()
+                        self.kernel.emit(
+                            PoolPressure(waited=waited, in_use=self.pool.in_use)
+                        )
                         f.has_chunk = True
                 else:
                     yield from self._seal(f, op)
             f.pos += request
+        f.pipeline.note_write(offset0, nbytes, start=t0)
 
     def flush(self, f: SimCRFSFile):
         """Generator: seal the partial chunk (close/fsync path)."""
-        for op in f.planner.flush():
+        for op in f.pipeline.plan_flush():
             assert isinstance(op, Seal)
             yield from self._seal(f, op)
 
@@ -147,12 +207,15 @@ class SimCRFS:
         """Generator: Section IV-C close — flush, drain, backend close."""
         yield from self.flush(f)
         yield from self._wait_drained(f)
+        f.pipeline.raise_latched()
         yield from self.backend.close(f.backend_file)
+        self.kernel.file_closed(f.path)
 
     def fsync(self, f: SimCRFSFile):
         """Generator: Section IV-D2 fsync — flush, drain, backend fsync."""
         yield from self.flush(f)
         yield from self._wait_drained(f)
+        f.pipeline.raise_latched()
         yield from self.backend.fsync(f.backend_file)
 
     def read(self, f: SimCRFSFile, nbytes: int):
@@ -165,14 +228,15 @@ class SimCRFS:
     # -- pipeline internals ------------------------------------------------------
 
     def _seal(self, f: SimCRFSFile, seal: Seal):
-        f.write_chunk_count += 1
+        f.pipeline.note_queued(seal)
         f.has_chunk = False
         yield self.sim.timeout(self.hw.crfs_seal_overhead)
         if self.file_affine:
-            self._backlog.setdefault(f, []).append(seal.length)
+            self._backlog.setdefault(f, []).append(seal)
             yield self.queue.put(None)  # wake one IO thread
         else:
-            yield self.queue.put((f, seal.length))
+            yield self.queue.put((f, seal))
+        self.kernel.emit(QueuePressure(depth=len(self.queue)))
 
     def _wait_drained(self, f: SimCRFSFile):
         while not f.drained:
@@ -186,10 +250,10 @@ class SimCRFS:
             f = last
         else:
             f = next(iter(self._backlog))
-        length = self._backlog[f].pop(0)
+        seal = self._backlog[f].pop(0)
         if not self._backlog[f]:
             del self._backlog[f]
-        return f, length
+        return f, seal
 
     def _io_thread(self, index: int):
         last: Optional[SimCRFSFile] = None
@@ -199,16 +263,17 @@ class SimCRFS:
             except ShutdownError:  # queue closed at unmount
                 return
             if self.file_affine:
-                f, length = self._take_affine(last)
+                f, seal = self._take_affine(last)
                 last = f
             else:
-                f, length = item
-            yield from self.backend.write(f.backend_file, length)
-            f.complete_chunk_count += 1
-            self.chunks_written += 1
-            self.bytes_written += length
+                f, seal = item
+            t0 = self.sim.now
+            yield from self.backend.write(f.backend_file, seal.length)
+            drained = f.pipeline.note_complete(
+                length=seal.length, file_offset=seal.file_offset, start=t0
+            )
             self.pool.release()
-            if f.drained and f._drain_waiters:
+            if drained and f._drain_waiters:
                 waiters, f._drain_waiters = f._drain_waiters, []
                 for ev in waiters:
                     ev.succeed()

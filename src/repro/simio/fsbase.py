@@ -14,7 +14,6 @@ process (``yield from fs.write(f, n)``).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
 
 import numpy as np
 

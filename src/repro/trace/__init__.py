@@ -10,12 +10,13 @@
   scatter, seek counts, sequentiality).
 """
 
-from .recorder import WriteRecord, WriteTrace
+from .recorder import TraceObserver, WriteRecord, WriteTrace
 from .profile import ProfileRow, bucket_profile, render_profile
 from .cumulative import cumulative_curves, completion_spread
 from .blk import BlockTraceSummary, summarize_block_trace
 
 __all__ = [
+    "TraceObserver",
     "WriteRecord",
     "WriteTrace",
     "ProfileRow",

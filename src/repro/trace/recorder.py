@@ -3,16 +3,25 @@
 The paper: "We extended the BLCR library to record the information for
 all write operations, including number of writes, size of a write and
 time cost for each write."  A :class:`WriteTrace` is that log.
+
+:class:`TraceObserver` fills one from the unified pipeline event stream:
+subscribe it to a mount's :class:`~repro.pipeline.kernel.PipelineKernel`
+(either plane) and every ``WriteObserved`` event becomes a
+:class:`WriteRecord` — no manual ``trace.add`` calls around the write
+loop.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+import re
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional
 
 import numpy as np
 
-__all__ = ["WriteRecord", "WriteTrace"]
+from ..pipeline import PipelineEvent, PipelineObserver, WriteObserved
+
+__all__ = ["WriteRecord", "WriteTrace", "TraceObserver"]
 
 
 @dataclass(frozen=True)
@@ -70,3 +79,35 @@ class WriteTrace:
 
     def merge(self, other: "WriteTrace") -> "WriteTrace":
         return WriteTrace(self.records + other.records)
+
+
+_RANK_RE = re.compile(r"rank(\d+)")
+
+
+def _rank_from_path(path: str) -> int:
+    """Default rank extraction: ``.../rank7.img`` -> 7, else 0."""
+    m = _RANK_RE.search(path)
+    return int(m.group(1)) if m else 0
+
+
+class TraceObserver(PipelineObserver):
+    """Builds a :class:`WriteTrace` from ``WriteObserved`` events.
+
+    ``rank_of`` maps a file path to the writing rank; the default parses
+    ``rank<N>`` out of the path (the checkpoint-file naming convention
+    used throughout the experiments).
+    """
+
+    def __init__(
+        self,
+        trace: Optional[WriteTrace] = None,
+        rank_of: Optional[Callable[[str], int]] = None,
+    ):
+        self.trace = trace if trace is not None else WriteTrace()
+        self.rank_of = rank_of if rank_of is not None else _rank_from_path
+
+    def on_event(self, event: PipelineEvent) -> None:
+        if isinstance(event, WriteObserved):
+            self.trace.add(
+                self.rank_of(event.path), event.length, event.start, event.duration
+            )

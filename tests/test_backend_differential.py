@@ -1,9 +1,7 @@
 """Differential property tests: MemBackend and LocalDirBackend must agree
 on every operation sequence — one model checks the other."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
-from hypothesis import stateful
 
 from repro.backends import LocalDirBackend, MemBackend
 from repro.errors import CRFSError

@@ -3,7 +3,6 @@ writer, restart."""
 
 import io
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -16,7 +15,7 @@ from repro.checkpoint import (
     verify_roundtrip,
 )
 from repro.checkpoint.restart import RestartError
-from repro.units import KiB, MB, MiB
+from repro.units import KiB, MB
 from repro.util.rng import rng_for
 
 

@@ -318,7 +318,9 @@ class TestIOThreadPool:
     def test_chunks_written_to_backend(self):
         backend, queue, pool, iop = self._rig()
         fd = backend.open("/out")
-        entry = FileEntry("/out", fd, 64)
+        # Completion accounting flows over the event stream: wire the
+        # standalone entry to the io-pool's stats registry.
+        entry = FileEntry("/out", fd, 64, emit=iop.stats.on_event)
         chunk = pool.acquire()
         chunk.open_for(entry, 0)
         chunk.append(b"payload!", 0, 8)
@@ -348,7 +350,8 @@ class TestIOThreadPool:
 
     def test_write_error_latches_into_entry(self):
         backend, queue, pool, iop = self._rig()
-        entry = FileEntry("/out", 999999, 64)  # bogus fd -> pwrite fails
+        # bogus fd -> pwrite fails
+        entry = FileEntry("/out", 999999, 64, emit=iop.stats.on_event)
         chunk = pool.acquire()
         chunk.open_for(entry, 0)
         chunk.append(b"x", 0, 1)

@@ -16,7 +16,7 @@ from repro.backends import (
 from repro.config import CRFSConfig
 from repro.core import CRFS
 from repro.errors import BackendIOError, FileStateError, MountError
-from repro.units import KiB, MiB
+from repro.units import KiB
 
 
 def small_config(**kw):

@@ -1,6 +1,8 @@
 """Cross-plane validation: the functional (threaded) CRFS and the
-timing-plane (DES) CRFS drive the same WritePlanner, so for identical
-write streams they must seal identical chunk sequences.
+timing-plane (DES) CRFS drive the same pipeline kernel
+(:mod:`repro.pipeline`), so for identical write streams they must seal
+identical chunk sequences AND report field-identical ``stats()``
+snapshots.
 
 This is the test that justifies claiming both planes implement *the same
 filesystem*."""
@@ -8,7 +10,7 @@ filesystem*."""
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.backends import InstrumentedBackend, MemBackend
+from repro.backends import InstrumentedBackend, MemBackend, PipelineOpRecorder
 from repro.config import CRFSConfig
 from repro.core import CRFS
 from repro.sim import SharedBandwidth, Simulator
@@ -105,3 +107,133 @@ class TestCrossPlaneEquivalence:
         timing = timing_seals(sizes, chunk)
         assert sum(s for _, s in func) == sum(sizes)
         assert sum(s for _, s in timing) == sum(sizes)
+
+
+# -- the unified event stream / stats() differential -------------------------
+
+
+def functional_run(write_sizes, chunk_size):
+    """(chunk-write ops, stats snapshot) from the threaded plane, both
+    taken off the unified pipeline event stream."""
+    rec = PipelineOpRecorder()
+    cfg = CRFSConfig(chunk_size=chunk_size, pool_size=chunk_size * 4, io_threads=1)
+    fs = CRFS(MemBackend(), cfg, observers=[rec])
+    with fs:
+        with fs.open("/rank0.img") as f:
+            for size in write_sizes:
+                f.write(b"x" * size)
+    return rec, fs.stats()
+
+
+def timing_run(write_sizes, chunk_size):
+    """(chunk-write ops, stats snapshot) from the DES plane — same
+    observer type, same snapshot code path."""
+    sim = Simulator()
+    hw = DEFAULT_HW
+    membus = SharedBandwidth(sim, hw.membus_bandwidth)
+    rec = PipelineOpRecorder()
+    backend = NullSimFilesystem(sim, hw, rng_for(1, "xp-stats"))
+    crfs = SimCRFS(
+        sim,
+        hw,
+        CRFSConfig(chunk_size=chunk_size, pool_size=chunk_size * 4, io_threads=1),
+        backend,
+        membus,
+        observers=[rec],
+    )
+
+    def proc():
+        f = crfs.open("/rank0.img")
+        for size in write_sizes:
+            yield from crfs.write(f, size)
+        yield from crfs.close(f)
+
+    sim.run_until_complete([sim.spawn(proc())])
+    return rec, crfs.stats()
+
+
+# Snapshot fields that must be bit-identical across planes for the same
+# workload.  (pool waits/max_in_use and queue max_depth are genuinely
+# timing-dependent and excluded.)
+DETERMINISTIC_FIELDS = (
+    "writes",
+    "bytes_in",
+    "write_through_bytes",
+    "chunks_written",
+    "bytes_out",
+    "io_errors",
+    "seals",
+    "open_files",
+)
+
+
+class TestCrossPlaneStatsDifferential:
+    @pytest.mark.parametrize(
+        "sizes",
+        [
+            [100, 200, 300],
+            [4096] * 20,
+            [10 * KiB, 64, 64, 5 * KiB, 40 * KiB],
+            [65 * KiB],
+            [1],
+        ],
+    )
+    def test_stats_field_identical(self, sizes):
+        chunk = 64 * KiB
+        _, func = functional_run(sizes, chunk)
+        _, timing = timing_run(sizes, chunk)
+        for key in DETERMINISTIC_FIELDS:
+            assert func[key] == timing[key], key
+        # structural + deterministic pressure counters
+        assert func["pool"]["chunks"] == timing["pool"]["chunks"]
+        assert func["pool"]["chunk_size"] == timing["pool"]["chunk_size"]
+        assert func["pool"]["acquires"] == timing["pool"]["acquires"]
+        assert func["queue"]["puts"] == timing["queue"]["puts"]
+
+    def test_snapshot_schema_identical(self):
+        _, func = functional_run([10 * KiB] * 5, 16 * KiB)
+        _, timing = timing_run([10 * KiB] * 5, 16 * KiB)
+        assert set(func) == set(timing)
+        assert set(func["pool"]) == set(timing["pool"])
+        assert set(func["queue"]) == set(timing["queue"])
+        assert set(func["seals"]) == set(timing["seals"])
+
+    def test_seal_reason_histograms_match(self):
+        sizes = [10 * KiB, 64, 64, 5 * KiB, 40 * KiB, 130 * KiB]
+        _, func = functional_run(sizes, 32 * KiB)
+        _, timing = timing_run(sizes, 32 * KiB)
+        assert func["seals"] == timing["seals"]
+        assert sum(func["seals"].values()) == func["chunks_written"]
+
+    def test_chunk_stream_identical_via_observers(self):
+        sizes = [7 * KiB] * 33
+        func_rec, _ = functional_run(sizes, 32 * KiB)
+        timing_rec, _ = timing_run(sizes, 32 * KiB)
+        func_chunks = [(r.offset, r.size) for r in func_rec.ops("chunk_write")]
+        timing_chunks = [(r.offset, r.size) for r in timing_rec.ops("chunk_write")]
+        assert func_chunks == timing_chunks
+        # and both recorded the same application write stream
+        assert func_rec.write_sizes() == timing_rec.write_sizes() == sizes
+
+    def test_accounting_consistency_within_each_plane(self):
+        sizes = [11 * KiB] * 13
+        for _, snap in (functional_run(sizes, 16 * KiB), timing_run(sizes, 16 * KiB)):
+            assert snap["writes"] == len(sizes)
+            assert snap["bytes_in"] == sum(sizes)
+            assert snap["bytes_out"] == snap["bytes_in"]
+            assert snap["chunks_written"] == sum(snap["seals"].values())
+            assert snap["pool"]["acquires"] == snap["queue"]["puts"]
+            assert snap["open_files"] == 0
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=200 * KiB), min_size=1,
+                       max_size=20),
+        chunk_kib=st.sampled_from([16, 64]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_stats_differential_property(self, sizes, chunk_kib):
+        chunk = chunk_kib * KiB
+        _, func = functional_run(sizes, chunk)
+        _, timing = timing_run(sizes, chunk)
+        for key in DETERMINISTIC_FIELDS:
+            assert func[key] == timing[key], key

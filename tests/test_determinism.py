@@ -8,17 +8,16 @@ plane must survive concurrency stress without losing a byte.
 import threading
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.backends import MemBackend
 from repro.config import CRFSConfig
 from repro.core import CRFS
 from repro.mpi import CheckpointCoordinator, MPICH2, MPIJob
-from repro.sim import SharedBandwidth, SimQueue, Simulator
+from repro.sim import SharedBandwidth, Simulator
 from repro.simio import Ext3Filesystem
 from repro.simio.params import DEFAULT_HW
-from repro.units import KiB, MiB
+from repro.units import KiB
 from repro.util.rng import rng_for
 from repro.workloads import lu_class
 

@@ -49,7 +49,7 @@ class TestFramework:
         assert set(EXPERIMENTS) == {
             "table1", "fig3", "fig5", "table2",
             "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "restart", "internode",
+            "restart", "internode", "crossplane",
         }
 
     def test_unknown_experiment(self):
@@ -63,6 +63,11 @@ class TestCheapExperiments:
     def test_table2_passes(self):
         r = run_experiment("table2")
         assert r.ok, r.render()
+
+    def test_crossplane_fast_passes(self):
+        r = run_experiment("crossplane", fast=True)
+        assert r.ok, r.render()
+        assert r.measured["functional"]["seals"] == r.measured["timing"]["seals"]
 
     def test_fig5_fast_passes(self):
         r = run_experiment("fig5", fast=True)

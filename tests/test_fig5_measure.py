@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.experiments.fig5 import measure
 from repro.units import KiB, MB, MiB

@@ -6,7 +6,7 @@ from repro.backends import FaultRule, FaultyBackend, MemBackend
 from repro.checkpoint.sizedist import WriteSizeDistribution
 from repro.config import CRFSConfig
 from repro.core import CRFS
-from repro.errors import BackendIOError, FileStateError, MountError
+from repro.errors import BackendIOError, MountError
 from repro.units import KiB
 from repro.util.rng import rng_for
 

@@ -11,7 +11,6 @@ correct, so CRFS covers the N-1 pattern too.
 
 import threading
 
-import pytest
 
 from repro.backends import InstrumentedBackend, MemBackend
 from repro.config import CRFSConfig

@@ -138,7 +138,6 @@ class TestRunUntilComplete:
 
 class TestIOPoolShutdown:
     def test_shutdown_timeout_raises_on_stuck_thread(self):
-        import threading
         import time
 
         from repro.backends import MemBackend

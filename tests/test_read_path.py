@@ -1,7 +1,6 @@
 """Tests for the timing-plane read path (restart) and file-affine
 scheduling — the Section V-F and Section VII extensions."""
 
-import pytest
 
 from repro.config import CRFSConfig
 from repro.sim import SharedBandwidth, Simulator

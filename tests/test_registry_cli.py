@@ -1,7 +1,6 @@
 """Tests for the experiments registry CLI and export."""
 
 import json
-import pathlib
 
 import pytest
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import SimulationError
 from repro.sim import Simulator
 from repro.sim.engine import Timeout
 

@@ -1,6 +1,5 @@
 """Tests for the ext3 / NFS / Lustre / null filesystem models."""
 
-import numpy as np
 import pytest
 
 from repro.sim import SharedBandwidth, Simulator

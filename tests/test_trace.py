@@ -1,9 +1,7 @@
 """Tests for trace capture and analysis (Table I / Figs 3, 10, 11
 instruments)."""
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.simio.disk import BlockTraceEntry
