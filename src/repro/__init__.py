@@ -28,6 +28,7 @@ from .config import CRFSConfig, DEFAULT_CONFIG
 from .core import CRFS, CRFSFile, WritePlanner
 from .backends import (
     Backend,
+    FaultRule,
     FaultyBackend,
     InstrumentedBackend,
     LocalDirBackend,
@@ -35,7 +36,13 @@ from .backends import (
     NullBackend,
 )
 from .errors import BackendIOError, CRFSError, ConfigError
-from .pipeline import PipelineKernel, PipelineObserver, PipelineStats
+from .pipeline import (
+    BackendHealth,
+    PipelineKernel,
+    PipelineObserver,
+    PipelineStats,
+    RetryPolicy,
+)
 from .units import GiB, KiB, MB, MiB, format_bandwidth, format_size, parse_size
 
 __version__ = "1.0.0"
@@ -52,9 +59,12 @@ __all__ = [
     "NullBackend",
     "InstrumentedBackend",
     "FaultyBackend",
+    "FaultRule",
     "CRFSError",
     "ConfigError",
     "BackendIOError",
+    "BackendHealth",
+    "RetryPolicy",
     "PipelineKernel",
     "PipelineObserver",
     "PipelineStats",

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any
 
 from .errors import ConfigError
+from .pipeline.resilience import RetryPolicy
 from .units import KiB, MiB, parse_size
 
 __all__ = ["CRFSConfig", "DEFAULT_CONFIG"]
@@ -53,6 +54,27 @@ class CRFSConfig:
     #: behaviour, since BLCR's large writes still benefit from the
     #: asynchronous chunk pipeline.  Ablation knob.
     write_through_threshold: int = 0
+    #: Total backend write attempts per chunk (1 = fail fast, the
+    #: paper's implicit behaviour: the first writeback error latches).
+    retry_attempts: int = 1
+    #: Backoff before the second attempt, in seconds; doubles (see
+    #: ``retry_backoff_factor``) up to ``retry_backoff_max``.
+    retry_backoff: float = 0.002
+    retry_backoff_factor: float = 2.0
+    retry_backoff_max: float = 0.1
+    #: Deterministic jitter fraction applied to each backoff delay
+    #: (drawn from util.rng, so schedules are reproducible).
+    retry_jitter: float = 0.1
+    #: Per-attempt deadline in seconds; an attempt that overruns it is
+    #: treated as failed and reissued (chunk pwrites are idempotent).
+    #: 0 disables the deadline.
+    retry_timeout: float = 0.0
+    #: Root seed for the deterministic retry jitter streams.
+    retry_seed: int = 2011
+    #: Consecutive failed write attempts that trip the backend circuit
+    #: breaker, degrading the mount to synchronous write-through until a
+    #: probe write succeeds.  0 disables the breaker.
+    breaker_threshold: int = 0
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -75,6 +97,25 @@ class CRFSConfig:
             raise ConfigError(
                 f"write_through_threshold must be >= 0, got {self.write_through_threshold}"
             )
+        if self.breaker_threshold < 0:
+            raise ConfigError(
+                f"breaker_threshold must be >= 0, got {self.breaker_threshold}"
+            )
+        # Delegates the retry-knob validation (attempts >= 1, backoff
+        # bounds, jitter range) to RetryPolicy's own __post_init__.
+        self.retry_policy()
+
+    def retry_policy(self) -> RetryPolicy:
+        """The writeback :class:`RetryPolicy` these knobs describe."""
+        return RetryPolicy(
+            attempts=self.retry_attempts,
+            backoff=self.retry_backoff,
+            backoff_factor=self.retry_backoff_factor,
+            backoff_max=self.retry_backoff_max,
+            jitter=self.retry_jitter,
+            attempt_timeout=self.retry_timeout,
+            seed=self.retry_seed,
+        )
 
     @property
     def pool_chunks(self) -> int:

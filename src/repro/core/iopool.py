@@ -14,15 +14,23 @@ accounting goes through the entry's shared
 (``chunks_written``/``bytes_written``/``errors``) are views over the
 :class:`~repro.pipeline.stats.PipelineStats` registry counting those
 events.
+
+Resilience: each chunk writeback is driven under the mount's
+:class:`~repro.pipeline.resilience.RetryPolicy` before an error is
+latched — failed attempts back off and reissue (``ChunkRetried`` on the
+stream), per-attempt outcomes feed the
+:class:`~repro.pipeline.resilience.BackendHealth` circuit breaker.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..pipeline import PipelineStats
+from ..pipeline.resilience import BackendHealth, RetryPolicy, run_attempts
 from .buffer_pool import BufferPool
 from .chunk import Chunk
 from .filetable import FileEntry
@@ -53,6 +61,8 @@ class IOThreadPool:
         nthreads: int,
         name: str = "crfs-io",
         stats: PipelineStats | None = None,
+        retry: RetryPolicy | None = None,
+        health: BackendHealth | None = None,
     ):
         if nthreads < 1:
             raise ValueError(f"need at least 1 IO thread, got {nthreads}")
@@ -61,6 +71,8 @@ class IOThreadPool:
         self.pool = pool
         self.nthreads = nthreads
         self.stats = stats if stats is not None else PipelineStats()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.health = health
         self._threads: list[threading.Thread] = []
         self._started = False
 
@@ -97,13 +109,21 @@ class IOThreadPool:
                 return
             chunk, entry = item.chunk, item.entry
             start = entry.pipeline.clock()
-            error: BaseException | None = None
-            try:
-                self.backend.pwrite(
+            # Retry the pwrite under the policy before latching; only the
+            # error that survives retry exhaustion reaches the entry.
+            error = run_attempts(
+                self.retry,
+                lambda: self.backend.pwrite(
                     entry.backend_handle, chunk.payload(), chunk.file_offset
-                )
-            except BaseException as exc:  # noqa: BLE001 - latched into the entry
-                error = exc
+                ),
+                path=entry.path,
+                file_offset=chunk.file_offset,
+                clock=entry.pipeline.clock,
+                health=self.health,
+                on_retry=lambda attempt, delay, exc: entry.pipeline.note_retry(
+                    chunk.file_offset, attempt, delay, exc
+                ),
+            )
             # Account *before* recycling: once complete_chunk_count rises a
             # drain-waiter may proceed, and that is safe even if the chunk
             # is still being reset.
@@ -113,10 +133,16 @@ class IOThreadPool:
             self.pool.release(chunk)
 
     def shutdown(self, timeout: float = 30.0) -> None:
-        """Drain-close the queue and join the workers."""
+        """Drain-close the queue and join the workers.
+
+        ``timeout`` is one shared deadline across all worker joins, not
+        a per-thread allowance — N stuck threads cannot stretch shutdown
+        to N×timeout.
+        """
         self.queue.close()
+        deadline = time.monotonic() + timeout
         for t in self._threads:
-            t.join(timeout=timeout)
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
         alive = [t.name for t in self._threads if t.is_alive()]
         if alive:
             raise TimeoutError(f"IO threads did not exit: {alive}")

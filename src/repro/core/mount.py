@@ -38,6 +38,7 @@ from ..backends.base import Backend, BackendStat, normalize_path
 from ..config import CRFSConfig, DEFAULT_CONFIG
 from ..errors import FileStateError, MountError
 from ..pipeline import Fill, PipelineKernel, PipelineObserver, Seal, SealReason
+from ..pipeline.resilience import BackendHealth, run_attempts
 from .buffer_pool import BufferPool
 from .filetable import FileEntry, OpenFileTable
 from .handle import CRFSFile
@@ -71,10 +72,20 @@ class CRFS:
             observers=observers,
         )
         stats = self.kernel.stats
+        self.retry = config.retry_policy()
+        self.health = BackendHealth(
+            config.breaker_threshold, emit=self.kernel.emit, clock=self.kernel.clock
+        )
         self.pool = BufferPool(config.chunk_size, config.pool_size, stats=stats)
         self.queue = WorkQueue(config.work_queue_depth, stats=stats)
         self.iopool = IOThreadPool(
-            backend, self.queue, self.pool, config.io_threads, stats=stats
+            backend,
+            self.queue,
+            self.pool,
+            config.io_threads,
+            stats=stats,
+            retry=self.retry,
+            health=self.health,
         )
         self.table = OpenFileTable()
         self._mounted = False
@@ -196,19 +207,27 @@ class CRFS:
         With ``write_through_threshold`` set, writes at least that large
         skip aggregation: the partial chunk is sealed first (preserving
         issue order), then the data goes straight to the backend
-        synchronously.
+        synchronously.  While the backend circuit breaker is open, every
+        write takes this synchronous path (bypassing the buffer pool)
+        and doubles as a recovery probe.
         """
         self._require_mounted()
         view = memoryview(data)
         t0 = self.kernel.clock()
         threshold = self.config.write_through_threshold
-        if threshold and len(view) >= threshold:
+        degraded = self.health.degraded
+        if degraded or (threshold and len(view) >= threshold):
             with entry.write_lock:
                 for op in entry.pipeline.plan_write_through(offset, len(view)):
                     assert isinstance(op, Seal)
                     self._seal_current(entry, op)
-                self.backend.pwrite(entry.backend_handle, view, offset)
-            entry.pipeline.note_write(offset, len(view), start=t0, write_through=True)
+                if degraded:
+                    self._pwrite_degraded(entry, view, offset)
+                else:
+                    self.backend.pwrite(entry.backend_handle, view, offset)
+            entry.pipeline.note_write(
+                offset, len(view), start=t0, write_through=True, degraded=degraded
+            )
             return len(view)
         with entry.write_lock:
             # plan_write fails fast if a prior async write already failed —
@@ -229,6 +248,30 @@ class CRFS:
                     self._seal_current(entry, op)
         entry.pipeline.note_write(offset, len(view), start=t0)
         return len(view)
+
+    def _pwrite_degraded(
+        self, entry: FileEntry, view: memoryview, offset: int
+    ) -> None:
+        """Synchronous probe write while the circuit breaker is open.
+
+        Retried under the mount policy like any chunk writeback; a
+        success closes the breaker (the health tracker emits
+        ``BackendRecovered``), exhaustion raises to the writer — the
+        error is synchronous, so nothing is latched.
+        """
+        error = run_attempts(
+            self.retry,
+            lambda: self.backend.pwrite(entry.backend_handle, view, offset),
+            path=entry.path,
+            file_offset=offset,
+            clock=self.kernel.clock,
+            health=self.health,
+            on_retry=lambda attempt, delay, exc: entry.pipeline.note_retry(
+                offset, attempt, delay, exc
+            ),
+        )
+        if error is not None:
+            raise error
 
     def _seal_current(self, entry: FileEntry, seal: Seal) -> None:
         chunk = entry.current_chunk

@@ -23,6 +23,7 @@ __all__ = [
     "DirectoryNotEmpty",
     "NoSpace",
     "BackendIOError",
+    "BackendTimeoutError",
     "ShutdownError",
     "SimulationError",
     "DeadlockError",
@@ -108,6 +109,21 @@ class BackendIOError(CRFSError, OSError):
 
     def __init__(self, msg: str = "I/O error"):
         super().__init__(self.errno, msg)
+
+
+class BackendTimeoutError(BackendIOError):
+    """A backend operation exceeded its per-attempt deadline.
+
+    Raised by the writeback retry layer when an attempt overruns the
+    configured ``retry_timeout``.  Positional chunk writes are
+    idempotent, so a write that overran its deadline is safely treated
+    as failed and reissued.
+    """
+
+    errno = _errno.ETIMEDOUT
+
+    def __init__(self, msg: str = "backend operation timed out"):
+        super().__init__(msg)
 
 
 class ShutdownError(CRFSError):

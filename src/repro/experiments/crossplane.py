@@ -42,6 +42,7 @@ COMPARED_FIELDS = (
     "io_errors",
     "seals",
     "open_files",
+    "resilience",
 )
 
 

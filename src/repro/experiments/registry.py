@@ -16,6 +16,7 @@ from typing import Callable
 from .base import ExperimentResult
 from . import (
     crossplane,
+    faultsweep,
     fig3,
     fig5,
     fig6,
@@ -47,6 +48,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "restart": restart.run,  # Section V-F claim
     "internode": internode.run,  # Section VII future work, prototyped
     "crossplane": crossplane.run,  # repo artifact: shared-kernel parity
+    "faultsweep": faultsweep.run,  # repo artifact: writeback resilience
 }
 
 

@@ -17,6 +17,9 @@ tests assert.
 """
 
 from .events import (
+    BackendDegraded,
+    BackendRecovered,
+    ChunkRetried,
     ChunkSealed,
     ChunkWritten,
     ErrorLatched,
@@ -30,9 +33,14 @@ from .events import (
 )
 from .kernel import FilePipeline, PipelineKernel
 from .planner import Fill, PlanOp, Seal, SealReason, WritePlanner
+from .resilience import BackendHealth, RetryPolicy, run_attempts
 from .stats import PipelineStats
 
 __all__ = [
+    "BackendDegraded",
+    "BackendHealth",
+    "BackendRecovered",
+    "ChunkRetried",
     "ChunkSealed",
     "ChunkWritten",
     "ErrorLatched",
@@ -47,8 +55,10 @@ __all__ = [
     "PlanOp",
     "PoolPressure",
     "QueuePressure",
+    "RetryPolicy",
     "Seal",
     "SealReason",
     "WriteObserved",
     "WritePlanner",
+    "run_attempts",
 ]

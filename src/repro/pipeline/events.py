@@ -31,7 +31,10 @@ __all__ = [
     "WriteObserved",
     "ChunkSealed",
     "ChunkWritten",
+    "ChunkRetried",
     "ErrorLatched",
+    "BackendDegraded",
+    "BackendRecovered",
     "PoolPressure",
     "QueuePressure",
 ]
@@ -60,7 +63,10 @@ class FileClosed(PipelineEvent):
 
 @dataclass(frozen=True)
 class WriteObserved(PipelineEvent):
-    """One application ``write()`` was accepted (Section IV-B entry)."""
+    """One application ``write()`` was accepted (Section IV-B entry).
+
+    ``degraded`` marks a write served synchronously because the backend
+    circuit breaker is open (degraded writes are also write-through)."""
 
     path: str
     offset: int
@@ -68,6 +74,7 @@ class WriteObserved(PipelineEvent):
     start: float
     duration: float
     write_through: bool = False
+    degraded: bool = False
 
 
 @dataclass(frozen=True)
@@ -94,6 +101,41 @@ class ChunkWritten(PipelineEvent):
     start: float
     duration: float
     error: Optional[BaseException] = None
+
+
+@dataclass(frozen=True)
+class ChunkRetried(PipelineEvent):
+    """A chunk writeback attempt failed and will be retried after
+    ``delay`` seconds of backoff.  ``attempt`` is the 1-based attempt
+    that failed; degraded-mode probe writes reuse this event with the
+    write's file offset."""
+
+    path: str
+    file_offset: int
+    attempt: int
+    delay: float
+    error: BaseException
+    t: float = 0.0
+
+
+@dataclass(frozen=True)
+class BackendDegraded(PipelineEvent):
+    """The backend health tracker tripped its circuit breaker after
+    ``consecutive_failures`` failed write attempts; the mount degrades
+    to synchronous write-through until a probe write succeeds."""
+
+    consecutive_failures: int
+    t: float = 0.0
+
+
+@dataclass(frozen=True)
+class BackendRecovered(PipelineEvent):
+    """A probe write succeeded while the circuit breaker was open; the
+    mount restored asynchronous aggregation after ``downtime`` seconds
+    in degraded mode."""
+
+    downtime: float
+    t: float = 0.0
 
 
 @dataclass(frozen=True)

@@ -32,6 +32,7 @@ from typing import Any, Callable, Iterable
 
 from ..errors import BackendIOError, FileStateError
 from .events import (
+    ChunkRetried,
     ChunkSealed,
     ChunkWritten,
     ErrorLatched,
@@ -125,6 +126,7 @@ class FilePipeline:
         length: int,
         start: float | None = None,
         write_through: bool = False,
+        degraded: bool = False,
     ) -> None:
         """One application write() finished its synchronous part."""
         now = self.clock()
@@ -138,6 +140,22 @@ class FilePipeline:
                 start=start,
                 duration=now - start,
                 write_through=write_through,
+                degraded=degraded,
+            )
+        )
+
+    def note_retry(
+        self, file_offset: int, attempt: int, delay: float, error: BaseException
+    ) -> None:
+        """A writeback attempt for this file failed and will be retried."""
+        self._emit(
+            ChunkRetried(
+                path=self.path,
+                file_offset=file_offset,
+                attempt=attempt,
+                delay=delay,
+                error=error,
+                t=self.clock(),
             )
         )
 

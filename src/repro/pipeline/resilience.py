@@ -1,0 +1,244 @@
+"""Writeback resilience: retry/backoff policy and the backend circuit breaker.
+
+The paper's IO-thread pool (Section IV-B) assumes the backing filesystem
+always completes ``write()``; real checkpoint backends (NFS, Lustre,
+burst buffers) stall and flake routinely.  This module adds the one
+place that failure policy is encoded for both planes:
+
+* :class:`RetryPolicy` — how many attempts a chunk writeback gets,
+  exponential backoff between them (with deterministic jitter derived
+  from :func:`repro.util.rng.rng_for`, so identical workloads back off
+  identically run-to-run and plane-to-plane), and an optional
+  per-attempt deadline.  Positional chunk writes are idempotent, so an
+  attempt that overruns its deadline is treated as failed and reissued.
+* :class:`BackendHealth` — a per-backend consecutive-failure tracker.
+  After ``threshold`` consecutive failed attempts it trips a circuit
+  breaker (``BackendDegraded`` on the unified stream); the mount then
+  serves writes synchronously (write-through, bypassing the buffer
+  pool) until any probe write succeeds, which closes the breaker
+  (``BackendRecovered``) and restores asynchronous aggregation.
+* :func:`run_attempts` — the functional plane's retry driver (the
+  timing plane drives the same policy with virtual-clock waits in
+  :meth:`repro.simcrfs.model.SimCRFS`).
+
+Both planes consult the same policy objects, so the resilience counters
+in ``stats()`` stay cross-plane comparable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import BackendTimeoutError, ConfigError
+from ..util.rng import rng_for
+from .events import BackendDegraded, BackendRecovered, PipelineEvent
+
+__all__ = ["RetryPolicy", "BackendHealth", "run_attempts"]
+
+EmitFn = Callable[[PipelineEvent], None]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff schedule for one backend write attempt chain.
+
+    ``attempts`` counts the first try: 1 means fail-fast (the pre-retry
+    behaviour), N allows N-1 retries.  The delay before attempt k+1 is
+    ``min(backoff * backoff_factor**(k-1), backoff_max)`` scaled by a
+    deterministic jitter factor in ``[1-jitter, 1+jitter]`` derived
+    from ``(seed, path, file_offset, attempt)`` — no shared mutable RNG
+    state, so concurrent workers and the simulation plane draw
+    identical schedules for identical chunks.
+    """
+
+    attempts: int = 1
+    backoff: float = 0.002
+    backoff_factor: float = 2.0
+    backoff_max: float = 0.1
+    jitter: float = 0.1
+    attempt_timeout: float = 0.0  # 0 = no per-attempt deadline
+    seed: int = 2011
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ConfigError(f"attempts must be >= 1, got {self.attempts}")
+        if self.backoff < 0:
+            raise ConfigError(f"backoff must be >= 0, got {self.backoff}")
+        if self.backoff_factor < 1.0:
+            raise ConfigError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_max < 0:
+            raise ConfigError(f"backoff_max must be >= 0, got {self.backoff_max}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.attempt_timeout < 0:
+            raise ConfigError(
+                f"attempt_timeout must be >= 0, got {self.attempt_timeout}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any retries are allowed at all."""
+        return self.attempts > 1
+
+    def should_retry(self, attempt: int) -> bool:
+        """Whether a failure of 1-based ``attempt`` gets another try."""
+        return attempt < self.attempts
+
+    def timed_out(self, elapsed: float) -> bool:
+        """Whether an attempt that took ``elapsed`` overran its deadline."""
+        return self.attempt_timeout > 0 and elapsed > self.attempt_timeout
+
+    def delay(self, attempt: int, path: str, file_offset: int) -> float:
+        """Backoff before the attempt after 1-based ``attempt`` failed."""
+        base = min(
+            self.backoff * self.backoff_factor ** (attempt - 1), self.backoff_max
+        )
+        if base <= 0 or self.jitter <= 0:
+            return base
+        rng = rng_for(self.seed, f"retry/{path}/{file_offset}/{attempt}")
+        return base * float(rng.uniform(1.0 - self.jitter, 1.0 + self.jitter))
+
+
+class BackendHealth:
+    """Consecutive-failure tracker + circuit breaker for one backend.
+
+    State machine (``threshold <= 0`` disables the breaker entirely —
+    the tracker still counts, but never degrades)::
+
+        CLOSED (async aggregation)
+           │  record_failure() x threshold, consecutive
+           ▼  emit BackendDegraded
+        OPEN (synchronous write-through; every write is a probe)
+           │  record_success()
+           ▼  emit BackendRecovered(downtime)
+        CLOSED
+
+    Thread-safe: IO workers and degraded application writers record
+    outcomes concurrently.  Events are emitted outside the lock.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 0,
+        emit: EmitFn | None = None,
+        clock: Callable[[], float] | None = None,
+    ):
+        if threshold < 0:
+            raise ConfigError(f"threshold must be >= 0, got {threshold}")
+        self.threshold = threshold
+        self._emit = emit if emit is not None else (lambda event: None)
+        self._clock = clock if clock is not None else time.perf_counter
+        self._lock = threading.Lock()
+        self._consecutive_failures = 0
+        self._degraded = False
+        self._degraded_since = 0.0
+        self.failures = 0
+        self.successes = 0
+        self.trips = 0
+        self.recoveries = 0
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the breaker is open (mount is in write-through)."""
+        with self._lock:
+            return self._degraded
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._consecutive_failures
+
+    def record_failure(self) -> bool:
+        """One backend write attempt failed; returns True if the breaker
+        tripped on this failure."""
+        now = self._clock()
+        with self._lock:
+            self.failures += 1
+            self._consecutive_failures += 1
+            tripped = (
+                self.threshold > 0
+                and not self._degraded
+                and self._consecutive_failures >= self.threshold
+            )
+            if tripped:
+                self._degraded = True
+                self._degraded_since = now
+                self.trips += 1
+                consecutive = self._consecutive_failures
+        if tripped:
+            self._emit(BackendDegraded(consecutive_failures=consecutive, t=now))
+        return tripped
+
+    def record_success(self) -> bool:
+        """One backend write attempt succeeded; returns True if this was
+        the probe that closed the breaker."""
+        now = self._clock()
+        with self._lock:
+            self.successes += 1
+            self._consecutive_failures = 0
+            recovered = self._degraded
+            if recovered:
+                self._degraded = False
+                self.recoveries += 1
+                downtime = now - self._degraded_since
+        if recovered:
+            self._emit(BackendRecovered(downtime=downtime, t=now))
+        return recovered
+
+
+def run_attempts(
+    policy: RetryPolicy,
+    fn: Callable[[], None],
+    *,
+    path: str,
+    file_offset: int,
+    clock: Callable[[], float] | None = None,
+    health: BackendHealth | None = None,
+    on_retry: Callable[[int, float, BaseException], None] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> BaseException | None:
+    """Drive ``fn`` under ``policy`` (functional plane) and return the
+    error to surface, or None on success.
+
+    ``on_retry(attempt, delay, error)`` fires before each backoff sleep
+    (the caller publishes ``ChunkRetried`` there).  Outcomes are fed to
+    ``health`` per attempt.  Non-``Exception`` failures (KeyboardInterrupt
+    and friends) are never retried.
+    """
+    clock = clock if clock is not None else time.perf_counter
+    attempt = 1
+    while True:
+        t0 = clock()
+        error: BaseException | None = None
+        try:
+            fn()
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
+            error = exc
+        else:
+            elapsed = clock() - t0
+            if policy.timed_out(elapsed):
+                # the write landed but overran its deadline: positional
+                # writes are idempotent, so count it failed and reissue
+                error = BackendTimeoutError(
+                    f"{path}@{file_offset}: attempt took {elapsed:.3f}s "
+                    f"(limit {policy.attempt_timeout}s)"
+                )
+        if error is None:
+            if health is not None:
+                health.record_success()
+            return None
+        if health is not None:
+            health.record_failure()
+        if not isinstance(error, Exception) or not policy.should_retry(attempt):
+            return error
+        delay = policy.delay(attempt, path, file_offset)
+        if on_retry is not None:
+            on_retry(attempt, delay, error)
+        if delay > 0:
+            sleep(delay)
+        attempt += 1

@@ -15,6 +15,9 @@ import threading
 from typing import Any
 
 from .events import (
+    BackendDegraded,
+    BackendRecovered,
+    ChunkRetried,
     ChunkSealed,
     ChunkWritten,
     ErrorLatched,
@@ -55,6 +58,12 @@ class PipelineStats(PipelineObserver):
         self.bytes_out = 0
         self.io_errors = 0
         self.errors_latched = 0
+        # -- resilience (retry/backoff + circuit breaker)
+        self.chunks_retried = 0
+        self.breaker_trips = 0
+        self.breaker_recoveries = 0
+        self.degraded_writes = 0
+        self.degraded_bytes = 0
         # -- files
         self.open_files = 0
         # -- pressure gauges
@@ -73,6 +82,9 @@ class PipelineStats(PipelineObserver):
                 self.bytes_in += event.length
                 if event.write_through:
                     self.write_through_bytes += event.length
+                if event.degraded:
+                    self.degraded_writes += 1
+                    self.degraded_bytes += event.length
             elif isinstance(event, ChunkSealed):
                 self.seal_counts[event.reason] += 1
             elif isinstance(event, ChunkWritten):
@@ -97,6 +109,12 @@ class PipelineStats(PipelineObserver):
                 self.open_files -= 1
             elif isinstance(event, ErrorLatched):
                 self.errors_latched += 1
+            elif isinstance(event, ChunkRetried):
+                self.chunks_retried += 1
+            elif isinstance(event, BackendDegraded):
+                self.breaker_trips += 1
+            elif isinstance(event, BackendRecovered):
+                self.breaker_recoveries += 1
 
     # -- snapshot -------------------------------------------------------------
 
@@ -122,5 +140,13 @@ class PipelineStats(PipelineObserver):
                 "queue": {
                     "puts": self.queue_puts,
                     "max_depth": self.queue_max_depth,
+                },
+                "resilience": {
+                    "chunks_retried": self.chunks_retried,
+                    "errors_latched": self.errors_latched,
+                    "breaker_trips": self.breaker_trips,
+                    "breaker_recoveries": self.breaker_recoveries,
+                    "degraded_writes": self.degraded_writes,
+                    "degraded_bytes": self.degraded_bytes,
                 },
             }

@@ -33,8 +33,9 @@ from __future__ import annotations
 from typing import Any, Iterable, Optional
 
 from ..config import CRFSConfig
-from ..errors import ShutdownError
+from ..errors import BackendTimeoutError, ShutdownError
 from ..pipeline import (
+    BackendHealth,
     Fill,
     FilePipeline,
     PipelineKernel,
@@ -127,6 +128,10 @@ class SimCRFS:
             clock=lambda: sim.now,
             observers=observers,
         )
+        self.retry = config.retry_policy()
+        self.health = BackendHealth(
+            config.breaker_threshold, emit=self.kernel.emit, clock=lambda: sim.now
+        )
         self.pool = SimSemaphore(sim, capacity=max(1, config.pool_chunks))
         self.queue = SimQueue(sim)
         self._io_threads = [
@@ -173,6 +178,9 @@ class SimCRFS:
 
     def write(self, f: SimCRFSFile, nbytes: int):
         """Generator: one application write() through FUSE into chunks."""
+        if self.health.degraded:
+            yield from self._write_degraded(f, nbytes)
+            return
         t0 = self.sim.now
         offset0 = f.pos
         for request in fuse_requests(nbytes, self.hw.fuse_max_request):
@@ -225,6 +233,70 @@ class SimCRFS:
             yield self.sim.timeout(self.hw.fuse_request_overhead)
             yield from self.backend.read(f.backend_file, request)
 
+    # -- resilience (mirrors pipeline.resilience.run_attempts, virtual time) ----
+
+    def _write_degraded(self, f: SimCRFSFile, nbytes: int):
+        """Generator: breaker-open write — synchronous write-through.
+
+        Every degraded write doubles as a recovery probe: the first
+        backend write that succeeds closes the breaker (the health
+        tracker emits ``BackendRecovered``), and subsequent writes take
+        the asynchronous aggregation path again.  On retry exhaustion
+        the error is raised here, at the write() itself — nothing is
+        latched, because nothing was accepted asynchronously.
+        """
+        t0 = self.sim.now
+        offset0 = f.pos
+        for op in f.pipeline.plan_write_through(f.pos, nbytes):
+            assert isinstance(op, Seal)
+            yield from self._seal(f, op)
+        for request in fuse_requests(nbytes, self.hw.fuse_max_request):
+            yield self.sim.timeout(self.hw.fuse_request_overhead)
+            if request >= PAGE:
+                yield self.membus.transfer(request)
+            error = yield from self._attempt_backend_write(f, request, f.pos)
+            if error is not None:
+                raise error
+            f.pos += request
+        f.pipeline.note_write(
+            offset0, nbytes, start=t0, write_through=True, degraded=True
+        )
+
+    def _attempt_backend_write(self, f: SimCRFSFile, length: int, file_offset: int):
+        """Generator: one backend write driven under the mount's
+        :class:`RetryPolicy` — the timing-plane twin of
+        :func:`repro.pipeline.resilience.run_attempts`, with backoff as
+        virtual-clock timeouts.  Returns the error that survives retry
+        exhaustion, or None on success.
+        """
+        policy = self.retry
+        attempt = 1
+        while True:
+            t0 = self.sim.now
+            error: BaseException | None = None
+            try:
+                yield from self.backend.write(f.backend_file, length)
+            except Exception as exc:  # noqa: BLE001 - surfaced to the caller
+                error = exc
+            else:
+                elapsed = self.sim.now - t0
+                if policy.timed_out(elapsed):
+                    error = BackendTimeoutError(
+                        f"{f.path}@{file_offset}: attempt took {elapsed:.3f}s "
+                        f"(limit {policy.attempt_timeout}s)"
+                    )
+            if error is None:
+                self.health.record_success()
+                return None
+            self.health.record_failure()
+            if not policy.should_retry(attempt):
+                return error
+            delay = policy.delay(attempt, f.path, file_offset)
+            f.pipeline.note_retry(file_offset, attempt, delay, error)
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            attempt += 1
+
     # -- pipeline internals ------------------------------------------------------
 
     def _seal(self, f: SimCRFSFile, seal: Seal):
@@ -268,9 +340,14 @@ class SimCRFS:
             else:
                 f, seal = item
             t0 = self.sim.now
-            yield from self.backend.write(f.backend_file, seal.length)
+            error = yield from self._attempt_backend_write(
+                f, seal.length, seal.file_offset
+            )
             drained = f.pipeline.note_complete(
-                length=seal.length, file_offset=seal.file_offset, start=t0
+                length=seal.length,
+                file_offset=seal.file_offset,
+                error=error,
+                start=t0,
             )
             self.pool.release()
             if drained and f._drain_waiters:

@@ -12,6 +12,7 @@ from .disk import RotationalDisk, BlockTraceEntry
 from .pagecache import PageCache
 from .network import Link
 from .fsbase import SimFile, SimFilesystem
+from .faulty import FaultySimFilesystem
 from .ext3 import Ext3Filesystem
 from .nfs import NFSFilesystem, NFSServer
 from .lustre import LustreFilesystem, LustreServers
@@ -23,6 +24,7 @@ __all__ = [
     "BlockTraceEntry",
     "PageCache",
     "Link",
+    "FaultySimFilesystem",
     "SimFile",
     "SimFilesystem",
     "Ext3Filesystem",

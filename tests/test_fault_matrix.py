@@ -1,0 +1,323 @@
+"""The fault matrix: {pwrite, fsync, close} x {first op, every op,
+probabilistic} x {retry succeeds, retry exhausted}.
+
+The invariants each cell is checked against:
+
+* **pwrite** faults are asynchronous: the application ``write()`` that
+  produced the chunk never raises; the error (if retries exhaust)
+  latches and surfaces at the next ``close()``/``fsync()`` — and a cell
+  whose retries succeed leaves the backing file byte-identical to a
+  fault-free run.
+* **fsync/close** faults are synchronous backend calls: they raise at
+  the call site itself, regardless of the retry budget (the retry
+  policy covers chunk writeback only).
+
+Probabilistic rules are seeded, so every cell is deterministic.
+"""
+
+import pytest
+
+from repro.backends import FaultRule, FaultyBackend, MemBackend
+from repro.config import CRFSConfig
+from repro.core import CRFS
+from repro.errors import BackendIOError
+from repro.units import KiB
+
+CHUNK = 64 * KiB
+NCHUNKS = 4
+DATA = bytes(range(256)) * (CHUNK // 256) * NCHUNKS  # 4 whole chunks
+
+FAST = dict(retry_backoff=1e-4, retry_backoff_max=1e-3)
+
+
+def make_rules(op: str, schedule: str) -> list[FaultRule]:
+    err = OSError(f"injected-{op}")
+    if schedule == "first":
+        return [FaultRule(op=op, nth=1, error=err)]
+    if schedule == "every":
+        return [FaultRule(op=op, nth=1, every=True, error=err)]
+    if schedule == "prob":  # p=1.0: the probabilistic branch, made certain
+        return [FaultRule(op=op, p=1.0, seed=5, error=err)]
+    raise ValueError(schedule)
+
+
+def mount(rules, attempts):
+    mem = MemBackend()
+    backend = FaultyBackend(mem, rules, sleep=lambda s: None)
+    cfg = CRFSConfig(
+        chunk_size=CHUNK, pool_size=4 * CHUNK, io_threads=1,
+        retry_attempts=attempts, **FAST,
+    )
+    return mem, backend, CRFS(backend, cfg)
+
+
+def backing(mem, path, n):
+    return mem.pread(mem.open(path, create=False), n, 0)
+
+
+class TestPwriteCells:
+    """Asynchronous writeback faults: latch-at-close semantics."""
+
+    @pytest.mark.parametrize("schedule", ["first", "every", "prob"])
+    @pytest.mark.parametrize("attempts", [1, 4])
+    def test_cell(self, schedule, attempts):
+        recovers = schedule == "first" and attempts > 1
+        mem, backend, fs = mount(make_rules("pwrite", schedule), attempts)
+        with fs:
+            f = fs.open("/ckpt")
+            write_errors = 0
+            for i in range(NCHUNKS):
+                try:
+                    # one whole chunk per call: the write that carries the
+                    # faulty chunk itself never raises; only a *later*
+                    # write may fail fast on the already-latched error
+                    f.write(DATA[i * CHUNK : (i + 1) * CHUNK])
+                except BackendIOError as exc:
+                    assert "earlier async chunk write failed" in str(exc)
+                    write_errors += 1
+            if recovers:
+                f.close()
+            else:
+                with pytest.raises(BackendIOError, match="injected-pwrite"):
+                    f.close()
+            stats = fs.stats()
+
+        assert backend.faults_fired > 0
+        if recovers:
+            assert write_errors == 0
+            assert stats["resilience"]["errors_latched"] == 0
+            assert stats["resilience"]["chunks_retried"] == 1
+            assert backing(mem, "/ckpt", len(DATA)) == DATA
+        else:
+            assert stats["resilience"]["errors_latched"] == 1
+            if attempts > 1:  # exhausted after real retrying
+                assert stats["resilience"]["chunks_retried"] > 0
+
+    @pytest.mark.parametrize("attempts", [1, 6])
+    def test_probabilistic_half(self, attempts):
+        """p=0.5 with a fixed seed: whatever the (deterministic) draws
+        decide, the outcome must be internally consistent — either a
+        clean close with a byte-identical backing file, or a latched
+        error surfaced at close and nowhere else."""
+        mem, backend, fs = mount(
+            [FaultRule(op="pwrite", p=0.5, seed=17, error=OSError("flaky"))],
+            attempts,
+        )
+        close_error = None
+        with fs:
+            f = fs.open("/ckpt")
+            for i in range(NCHUNKS):
+                try:
+                    f.write(DATA[i * CHUNK : (i + 1) * CHUNK])
+                except BackendIOError as exc:
+                    # only ever the fail-fast echo of an earlier latch
+                    assert "earlier async chunk write failed" in str(exc)
+            try:
+                f.close()
+            except BackendIOError as exc:
+                close_error = exc
+            stats = fs.stats()
+
+        if close_error is None:
+            # every faulted chunk recovered within its budget
+            assert stats["resilience"]["errors_latched"] == 0
+            assert backing(mem, "/ckpt", len(DATA)) == DATA
+        else:
+            assert stats["resilience"]["errors_latched"] >= 1
+        if attempts == 1:
+            assert stats["resilience"]["chunks_retried"] == 0
+
+    def test_recovered_run_matches_fault_free_run(self):
+        """Byte-identity across the whole matrix row: recovered output
+        equals a run with no fault injection at all."""
+        mem_clean, _, fs_clean = mount([], 1)
+        with fs_clean, fs_clean.open("/ckpt") as f:
+            f.write(DATA)
+        mem_faulty, _, fs_faulty = mount(
+            [FaultRule(op="pwrite", nth=1, period=2, error=OSError("EIO"))], 3
+        )
+        with fs_faulty, fs_faulty.open("/ckpt") as f:
+            f.write(DATA)
+        assert (
+            backing(mem_clean, "/ckpt", len(DATA))
+            == backing(mem_faulty, "/ckpt", len(DATA))
+            == DATA
+        )
+
+
+class TestFsyncCells:
+    """Synchronous fsync faults raise at the fsync() call itself."""
+
+    @pytest.mark.parametrize("schedule", ["first", "every", "prob"])
+    @pytest.mark.parametrize("attempts", [1, 4])
+    def test_cell(self, schedule, attempts):
+        mem, backend, fs = mount(make_rules("fsync", schedule), attempts)
+        with fs:
+            f = fs.open("/ckpt")
+            f.write(DATA)
+            with pytest.raises(OSError, match="injected-fsync"):
+                f.fsync()
+            stats = fs.stats()
+            # the data itself still drained through the chunk pipeline
+            assert stats["resilience"]["errors_latched"] == 0
+            assert backing(mem, "/ckpt", len(DATA)) == DATA
+            if schedule == "first":
+                f.fsync()  # one-shot rule: the next fsync is clean
+            f.close()  # close never touches backend fsync: always clean
+
+    def test_budget_does_not_retry_fsync(self):
+        """The retry policy covers chunk writeback only: a one-shot fsync
+        fault raises even with a generous budget."""
+        _, backend, fs = mount(make_rules("fsync", "first"), 8)
+        with fs:
+            f = fs.open("/ckpt")
+            f.write(b"x" * CHUNK)
+            with pytest.raises(OSError, match="injected-fsync"):
+                f.fsync()
+        assert backend.faults_fired == 1  # fired once, never re-driven
+
+
+class TestCloseCells:
+    """Synchronous close faults raise at the close() call itself."""
+
+    @pytest.mark.parametrize("schedule", ["first", "every", "prob"])
+    @pytest.mark.parametrize("attempts", [1, 4])
+    def test_cell(self, schedule, attempts):
+        mem, backend, fs = mount(make_rules("close", schedule), attempts)
+        fs.mount()
+        try:
+            f = fs.open("/ckpt")
+            f.write(DATA)
+            with pytest.raises(OSError, match="injected-close"):
+                f.close()
+            stats = fs.stats()
+            # all chunks drained before the backend close failed: no data lost
+            assert stats["resilience"]["errors_latched"] == 0
+            assert stats["bytes_out"] == len(DATA)
+            assert backing(mem, "/ckpt", len(DATA)) == DATA
+        finally:
+            # the failed close already dropped the table entry, so the
+            # unmount has nothing left to close and is clean
+            fs.unmount()
+
+    def test_both_latch_and_close_fault_are_visible(self):
+        """With both a pwrite latch and a close fault pending, close()
+        raises the backend-close error with the latched writeback error
+        chained as its context — neither failure is swallowed."""
+        _, _, fs = mount(
+            [
+                FaultRule(op="pwrite", nth=1, every=True, error=OSError("wb-dead")),
+                FaultRule(op="close", nth=1, every=True, error=OSError("cl-dead")),
+            ],
+            1,
+        )
+        fs.mount()
+        try:
+            f = fs.open("/ckpt")
+            f.write(b"x" * CHUNK)
+            with pytest.raises(OSError, match="cl-dead") as excinfo:
+                f.close()
+            context = excinfo.value.__context__
+            assert isinstance(context, BackendIOError)
+            assert "wb-dead" in str(context)
+        finally:
+            fs.unmount()
+
+
+class TestProbabilisticSchedule:
+    """Branch coverage for seeded p-rules, without pipeline races."""
+
+    def rule(self, seed, p=0.5):
+        return FaultRule(op="pwrite", p=p, seed=seed, error=OSError("x"))
+
+    def test_p_half_fires_some_but_not_all(self):
+        from repro.backends.faulty import FaultSchedule
+
+        sched = FaultSchedule([self.rule(17)])
+        fired = sum(
+            1 for _ in range(200) if sched.decide("pwrite")[1] is not None
+        )
+        assert 0 < fired < 200
+        assert sched.faults_fired == fired
+
+    def test_same_seed_same_schedule(self):
+        from repro.backends.faulty import FaultSchedule
+
+        def seq(seed):
+            sched = FaultSchedule([self.rule(seed)])
+            return [sched.decide("pwrite")[1] is not None for _ in range(50)]
+
+        assert seq(17) == seq(17)
+        assert seq(17) != seq(18)
+
+    def test_p_extremes(self):
+        from repro.backends.faulty import FaultSchedule
+
+        always = FaultSchedule([self.rule(1, p=1.0)])
+        never = FaultSchedule([self.rule(1, p=0.0)])
+        for _ in range(20):
+            assert always.decide("pwrite")[1] is not None
+            assert never.decide("pwrite")[1] is None
+
+    def test_p_validation(self):
+        with pytest.raises(ValueError):
+            FaultRule(op="pwrite", p=1.5)
+        with pytest.raises(ValueError):
+            FaultRule(op="pwrite", until=2, nth=3)
+        with pytest.raises(ValueError):
+            FaultRule(op="pwrite", period=-1)
+
+
+class TestPathScopedRules:
+    """Per-path matching: a glob-scoped rule leaves other files alone."""
+
+    def test_rule_scoped_to_one_path(self):
+        mem, backend, fs = mount(
+            [
+                FaultRule(
+                    op="pwrite", nth=1, every=True, path="/bad*",
+                    error=OSError("EIO"),
+                )
+            ],
+            1,
+        )
+        with fs:
+            with fs.open("/good-a") as f:
+                f.write(DATA)
+            g = fs.open("/bad-b")
+            g.write(b"x" * CHUNK)
+            with pytest.raises(BackendIOError):
+                g.close()
+            stats = fs.stats()
+        assert stats["resilience"]["errors_latched"] == 1
+        assert backing(mem, "/good-a", len(DATA)) == DATA
+
+    def test_metadata_ops_are_checkable(self):
+        """file_size / exists / stat / listdir now route through the
+        fault schedule."""
+        mem = MemBackend()
+        backend = FaultyBackend(
+            mem,
+            [
+                FaultRule(op="exists", nth=1, error=OSError("e-exists")),
+                FaultRule(op="stat", nth=1, error=OSError("e-stat")),
+                FaultRule(op="listdir", nth=1, error=OSError("e-list")),
+                FaultRule(op="file_size", nth=1, error=OSError("e-size")),
+            ],
+        )
+        h = backend.open("/f")
+        backend.pwrite(h, b"data", 0)
+        with pytest.raises(OSError, match="e-exists"):
+            backend.exists("/f")
+        with pytest.raises(OSError, match="e-stat"):
+            backend.stat("/f")
+        with pytest.raises(OSError, match="e-list"):
+            backend.listdir("/")
+        with pytest.raises(OSError, match="e-size"):
+            backend.file_size(h)
+        # one-shot rules: everything works on the second call
+        assert backend.exists("/f")
+        assert backend.stat("/f").size == 4
+        assert backend.listdir("/") == ["f"]
+        assert backend.file_size(h) == 4
+        assert backend.faults_fired == 4

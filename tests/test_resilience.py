@@ -1,0 +1,524 @@
+"""Writeback resilience: retry policy, circuit breaker, and both planes'
+retry drivers (``pipeline/resilience.py`` plus its core/simcrfs wiring).
+
+The contract under test: transient backend faults are retried under the
+mount's :class:`RetryPolicy` before anything latches; consecutive
+failures trip the :class:`BackendHealth` breaker into synchronous
+write-through until a probe write succeeds; every transition is visible
+on the unified event stream and in ``stats()["resilience"]`` — with the
+same schema on both planes.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.backends import FaultRule, FaultyBackend, MemBackend
+from repro.config import CRFSConfig
+from repro.core import CRFS
+from repro.errors import BackendIOError, BackendTimeoutError, ConfigError
+from repro.pipeline import (
+    BackendDegraded,
+    BackendHealth,
+    BackendRecovered,
+    ChunkRetried,
+    PipelineObserver,
+    RetryPolicy,
+    run_attempts,
+)
+from repro.sim import SharedBandwidth, Simulator
+from repro.simcrfs import SimCRFS
+from repro.simio.faulty import FaultySimFilesystem
+from repro.simio.nullfs import NullSimFilesystem
+from repro.simio.params import DEFAULT_HW
+from repro.units import KiB
+from repro.util.rng import rng_for
+
+CHUNK = 64 * KiB
+
+#: Fast real-time backoff for threaded tests.
+FAST = dict(retry_backoff=1e-4, retry_backoff_max=1e-3)
+
+
+def fast_policy(**kw):
+    kw.setdefault("backoff", 1e-4)
+    kw.setdefault("backoff_max", 1e-3)
+    return RetryPolicy(**kw)
+
+
+class Recorder(PipelineObserver):
+    def __init__(self):
+        self.events = []
+
+    def on_event(self, event):
+        self.events.append(event)
+
+    def of(self, cls):
+        return [e for e in self.events if isinstance(e, cls)]
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_defaults_fail_fast(self):
+        p = RetryPolicy()
+        assert not p.enabled
+        assert not p.should_retry(1)
+
+    def test_should_retry_counts_the_first_attempt(self):
+        p = RetryPolicy(attempts=3)
+        assert p.should_retry(1) and p.should_retry(2)
+        assert not p.should_retry(3)
+
+    def test_delay_is_deterministic_per_chunk(self):
+        p = RetryPolicy(attempts=4, seed=7)
+        d1 = p.delay(1, "/f", 0)
+        assert d1 == p.delay(1, "/f", 0)  # same key, same delay
+        assert d1 != p.delay(1, "/f", CHUNK)  # different chunk
+        assert d1 != RetryPolicy(attempts=4, seed=8).delay(1, "/f", 0)
+
+    def test_delay_grows_and_caps(self):
+        p = RetryPolicy(
+            attempts=10, backoff=0.01, backoff_factor=2.0, backoff_max=0.05, jitter=0.0
+        )
+        delays = [p.delay(k, "/f", 0) for k in range(1, 6)]
+        assert delays == [0.01, 0.02, 0.04, 0.05, 0.05]
+
+    def test_jitter_bounds(self):
+        p = RetryPolicy(attempts=2, backoff=0.01, jitter=0.5)
+        for k in range(1, 20):
+            d = p.delay(1, f"/f{k}", 0)
+            assert 0.005 <= d <= 0.015
+
+    def test_timed_out(self):
+        assert not RetryPolicy().timed_out(999.0)  # disabled by default
+        p = RetryPolicy(attempt_timeout=0.1)
+        assert p.timed_out(0.2)
+        assert not p.timed_out(0.05)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(attempts=0),
+            dict(backoff=-1.0),
+            dict(backoff_factor=0.5),
+            dict(backoff_max=-0.1),
+            dict(jitter=1.5),
+            dict(attempt_timeout=-1.0),
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(ConfigError):
+            RetryPolicy(**kw)
+
+    def test_config_knobs_round_trip(self):
+        cfg = CRFSConfig(retry_attempts=5, retry_backoff=0.01, retry_seed=42)
+        p = cfg.retry_policy()
+        assert p.attempts == 5 and p.backoff == 0.01 and p.seed == 42
+        with pytest.raises(ConfigError):
+            CRFSConfig(retry_attempts=0)
+        with pytest.raises(ConfigError):
+            CRFSConfig(breaker_threshold=-1)
+
+
+# ---------------------------------------------------------------------------
+# BackendHealth
+
+
+class TestBackendHealth:
+    def test_disabled_breaker_never_degrades(self):
+        h = BackendHealth(threshold=0)
+        for _ in range(10):
+            assert not h.record_failure()
+        assert not h.degraded
+        assert h.failures == 10 and h.trips == 0
+
+    def test_trips_on_consecutive_failures_only(self):
+        h = BackendHealth(threshold=3)
+        h.record_failure()
+        h.record_failure()
+        h.record_success()  # resets the streak
+        h.record_failure()
+        h.record_failure()
+        assert not h.degraded
+        assert h.record_failure()  # third consecutive -> trip
+        assert h.degraded and h.trips == 1
+
+    def test_probe_success_recovers(self):
+        clock = iter([float(i) for i in range(100)])
+        events = []
+        h = BackendHealth(threshold=1, emit=events.append, clock=lambda: next(clock))
+        h.record_failure()
+        assert h.degraded
+        assert h.record_success()
+        assert not h.degraded and h.recoveries == 1
+        assert isinstance(events[0], BackendDegraded)
+        assert isinstance(events[1], BackendRecovered)
+        assert events[1].downtime == pytest.approx(1.0)
+
+    def test_no_double_trip_while_open(self):
+        h = BackendHealth(threshold=1)
+        assert h.record_failure()
+        assert not h.record_failure()  # already open
+        assert h.trips == 1
+
+    def test_thread_safety(self):
+        h = BackendHealth(threshold=1)
+        barrier = threading.Barrier(8)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(1000):
+                h.record_failure()
+                h.record_success()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.failures == h.successes == 8000
+        assert h.trips == h.recoveries
+
+
+# ---------------------------------------------------------------------------
+# run_attempts (the functional-plane driver)
+
+
+class TestRunAttempts:
+    def test_success_first_try(self):
+        calls = []
+        err = run_attempts(
+            fast_policy(), lambda: calls.append(1), path="/f", file_offset=0
+        )
+        assert err is None and len(calls) == 1
+
+    def test_retry_then_success(self):
+        outcomes = [OSError("EIO"), OSError("EIO"), None]
+        retries = []
+
+        def fn():
+            if (exc := outcomes.pop(0)) is not None:
+                raise exc
+
+        err = run_attempts(
+            fast_policy(attempts=3),
+            fn,
+            path="/f",
+            file_offset=0,
+            on_retry=lambda a, d, e: retries.append((a, d, e)),
+            sleep=lambda s: None,
+        )
+        assert err is None
+        assert [a for a, _, _ in retries] == [1, 2]
+        assert all(d >= 0 for _, d, _ in retries)
+
+    def test_exhaustion_returns_last_error(self):
+        err = run_attempts(
+            fast_policy(attempts=3),
+            lambda: (_ for _ in ()).throw(OSError("always")),
+            path="/f",
+            file_offset=0,
+            sleep=lambda s: None,
+        )
+        assert isinstance(err, OSError)
+
+    def test_health_fed_per_attempt(self):
+        h = BackendHealth(threshold=0)
+        outcomes = [OSError("x"), None]
+
+        def fn():
+            if (exc := outcomes.pop(0)) is not None:
+                raise exc
+
+        run_attempts(
+            fast_policy(attempts=2), fn, path="/f", file_offset=0,
+            health=h, sleep=lambda s: None,
+        )
+        assert h.failures == 1 and h.successes == 1
+
+    def test_non_exception_failures_never_retried(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            raise KeyboardInterrupt()
+
+        err = run_attempts(
+            fast_policy(attempts=5), fn, path="/f", file_offset=0,
+            sleep=lambda s: None,
+        )
+        assert isinstance(err, KeyboardInterrupt) and len(calls) == 1
+
+    def test_attempt_timeout_reissues(self):
+        # fake clock: each attempt appears to take 1.0s against a 0.5s cap
+        now = [0.0]
+
+        def clock():
+            now[0] += 0.5
+            return now[0]
+
+        calls = []
+        err = run_attempts(
+            fast_policy(attempts=2, attempt_timeout=0.3),
+            lambda: calls.append(1),
+            path="/f",
+            file_offset=0,
+            clock=clock,
+            sleep=lambda s: None,
+        )
+        assert isinstance(err, BackendTimeoutError)
+        assert len(calls) == 2  # the over-deadline write was reissued
+
+    def test_no_timeout_when_fast_enough(self):
+        err = run_attempts(
+            fast_policy(attempt_timeout=30.0), lambda: None, path="/f", file_offset=0
+        )
+        assert err is None
+
+
+# ---------------------------------------------------------------------------
+# Functional plane end-to-end
+
+
+class TestFunctionalPlaneRetry:
+    def cfg(self, **kw):
+        kw = {**FAST, **kw}
+        return CRFSConfig(
+            chunk_size=CHUNK, pool_size=4 * CHUNK, io_threads=1, **kw
+        )
+
+    def test_transient_fault_recovers_byte_identical(self):
+        """ISSUE acceptance: every pwrite fails once -> the checkpoint
+        completes with zero latched errors, retries counted, and the
+        backing file is byte-identical to a no-fault run."""
+        data = bytes(range(256)) * 2048  # 512 KiB = 8 chunks
+        mem = MemBackend()
+        backend = FaultyBackend(
+            mem,
+            [FaultRule(op="pwrite", nth=1, period=2, error=OSError("EIO"))],
+            sleep=lambda s: None,
+        )
+        rec = Recorder()
+        with CRFS(backend, self.cfg(retry_attempts=3), observers=(rec,)) as fs:
+            with fs.open("/ckpt") as f:
+                f.write(data)
+            stats = fs.stats()
+        assert stats["resilience"]["chunks_retried"] > 0
+        assert stats["resilience"]["errors_latched"] == 0
+        assert stats["io_errors"] == 0
+        assert len(rec.of(ChunkRetried)) == stats["resilience"]["chunks_retried"]
+        assert mem.pread(mem.open("/ckpt", create=False), len(data), 0) == data
+
+    def test_exhausted_retries_latch_at_close(self):
+        backend = FaultyBackend(
+            MemBackend(),
+            [FaultRule(op="pwrite", nth=1, every=True, error=OSError("dead"))],
+            sleep=lambda s: None,
+        )
+        with CRFS(backend, self.cfg(retry_attempts=3)) as fs:
+            f = fs.open("/ckpt")
+            f.write(b"x" * CHUNK)  # async path: write() itself succeeds
+            with pytest.raises(BackendIOError, match="dead"):
+                f.close()
+            stats = fs.stats()
+        assert stats["resilience"]["chunks_retried"] == 2  # 3 attempts
+        assert stats["resilience"]["errors_latched"] == 1
+
+    def test_breaker_trips_and_probe_recovers(self):
+        """Outage on pwrite ops 1-2: file A's chunk exhausts its single
+        attempt twice across two files, tripping the breaker; file C's
+        write takes the degraded synchronous path, probes op 3 (healed),
+        and restores async mode."""
+        mem = MemBackend()
+        backend = FaultyBackend(
+            mem,
+            [FaultRule(op="pwrite", nth=1, until=2, every=True, error=OSError("EIO"))],
+            sleep=lambda s: None,
+        )
+        rec = Recorder()
+        cfg = self.cfg(retry_attempts=1, breaker_threshold=2)
+        with CRFS(backend, cfg, observers=(rec,)) as fs:
+            for name in ("/a", "/b"):
+                f = fs.open(name)
+                f.write(b"x" * CHUNK)
+                with pytest.raises(BackendIOError):
+                    f.close()  # latched by the failed async write
+            assert fs.health.degraded
+            with fs.open("/c") as f:
+                f.write(b"y" * CHUNK)  # degraded write-through probe
+            assert not fs.health.degraded
+            stats = fs.stats()
+        assert stats["resilience"]["breaker_trips"] == 1
+        assert stats["resilience"]["breaker_recoveries"] == 1
+        assert stats["resilience"]["degraded_writes"] == 1
+        assert stats["resilience"]["degraded_bytes"] == CHUNK
+        assert len(rec.of(BackendDegraded)) == 1
+        assert len(rec.of(BackendRecovered)) == 1
+        assert mem.pread(mem.open("/c", create=False), CHUNK, 0) == b"y" * CHUNK
+
+    def test_degraded_write_failure_raises_at_write(self):
+        backend = FaultyBackend(
+            MemBackend(),
+            [FaultRule(op="pwrite", nth=1, every=True, error=OSError("dead"))],
+            sleep=lambda s: None,
+        )
+        cfg = self.cfg(retry_attempts=1, breaker_threshold=1)
+        with CRFS(backend, cfg) as fs:
+            f = fs.open("/a")
+            f.write(b"x" * CHUNK)
+            with pytest.raises(BackendIOError):
+                f.close()
+            assert fs.health.degraded
+            g = fs.open("/b")
+            # synchronous path: the exhausted error surfaces here, not
+            # at close — nothing was accepted asynchronously
+            with pytest.raises(OSError, match="dead"):
+                g.write(b"y" * KiB)
+            g.close()  # clean: no latched error for /b
+            stats = fs.stats()
+        assert stats["resilience"]["errors_latched"] == 1  # only /a
+
+
+# ---------------------------------------------------------------------------
+# Timing plane + cross-plane parity
+
+
+def drive_sim(rules, config, streams, seed=2011):
+    """Run named append streams through SimCRFS over a faulty backend."""
+    sim = Simulator()
+    hw = DEFAULT_HW
+    membus = SharedBandwidth(sim, hw.membus_bandwidth)
+    inner = NullSimFilesystem(sim, hw, rng_for(seed, "resilience"))
+    backend = FaultySimFilesystem(inner, rules)
+    rec = Recorder()
+    crfs = SimCRFS(sim, hw, config, backend, membus, observers=(rec,))
+    errors = []
+
+    def run_all():
+        # sequential, so each file's close (and its drain) lands before
+        # the next file writes — deterministic fault/op interleaving
+        for name, sizes in streams:
+            f = crfs.open(name)
+            try:
+                for size in sizes:
+                    yield from crfs.write(f, size)
+                yield from crfs.close(f)
+            except BackendIOError as exc:
+                errors.append((name, exc))
+
+    sim.run_until_complete([sim.spawn(run_all())])
+    return crfs, rec, errors
+
+
+class TestTimingPlaneRetry:
+    def cfg(self, **kw):
+        kw = {**FAST, **kw}
+        return CRFSConfig(chunk_size=CHUNK, pool_size=4 * CHUNK, io_threads=1, **kw)
+
+    def test_transient_fault_recovers(self):
+        crfs, rec, errors = drive_sim(
+            [FaultRule(op="pwrite", nth=1, period=2, error=OSError("EIO"))],
+            self.cfg(retry_attempts=3),
+            [("/ckpt", [CHUNK] * 4)],
+        )
+        stats = crfs.stats()
+        assert errors == []
+        assert stats["resilience"]["chunks_retried"] == 4
+        assert stats["resilience"]["errors_latched"] == 0
+        assert stats["bytes_out"] == 4 * CHUNK
+
+    def test_backoff_advances_virtual_clock(self):
+        crfs, rec, _ = drive_sim(
+            [FaultRule(op="pwrite", nth=1, period=2, error=OSError("EIO"))],
+            self.cfg(retry_attempts=2, retry_jitter=0.0),
+            [("/ckpt", [CHUNK])],
+        )
+        (retry,) = rec.of(ChunkRetried)
+        assert retry.delay == pytest.approx(1e-4)
+        assert crfs.sim.now > 0
+
+    def test_outage_trips_breaker_then_degraded_probe_recovers(self):
+        crfs, rec, errors = drive_sim(
+            [FaultRule(op="pwrite", nth=1, until=2, every=True, error=OSError("EIO"))],
+            self.cfg(retry_attempts=1, breaker_threshold=2),
+            [("/a", [CHUNK]), ("/b", [CHUNK]), ("/c", [CHUNK])],
+        )
+        stats = crfs.stats()
+        assert len(errors) == 2  # /a and /b latched
+        assert stats["resilience"]["breaker_trips"] == 1
+        assert stats["resilience"]["breaker_recoveries"] == 1
+        assert stats["resilience"]["degraded_writes"] >= 1
+        assert not crfs.health.degraded
+
+
+class TestCrossPlaneResilienceParity:
+    def test_stats_match_under_deterministic_faults(self):
+        """Same write stream + same fault rules -> field-identical
+        resilience counters on both planes."""
+        sizes = [CHUNK] * 3 + [CHUNK // 2, CHUNK]
+        rules = lambda: [  # noqa: E731 - fresh schedule per plane
+            FaultRule(op="pwrite", nth=1, period=2, error=OSError("EIO"))
+        ]
+        config = CRFSConfig(
+            chunk_size=CHUNK, pool_size=4 * CHUNK, io_threads=1,
+            retry_attempts=3, **FAST,
+        )
+
+        with CRFS(
+            FaultyBackend(MemBackend(), rules(), sleep=lambda s: None), config
+        ) as fs:
+            with fs.open("/f") as f:
+                for size in sizes:
+                    f.write(b"z" * size)
+            func = fs.stats()
+
+        crfs, _, errors = drive_sim(rules(), config, [("/f", sizes)])
+        timing = crfs.stats()
+        assert errors == []
+        for key in (
+            "writes", "bytes_in", "chunks_written", "bytes_out",
+            "io_errors", "resilience",
+        ):
+            assert func[key] == timing[key], key
+
+
+# ---------------------------------------------------------------------------
+# IOThreadPool.shutdown: shared deadline (satellite fix)
+
+
+class TestShutdownSharedDeadline:
+    def test_timeout_is_shared_not_per_thread(self):
+        """Four workers all stuck in a slow pwrite: shutdown must give
+        up after ~timeout total, not ~4x timeout."""
+        gate = threading.Event()
+
+        class Stuck(MemBackend):
+            def pwrite(self, handle, data, offset):
+                gate.wait(timeout=30.0)
+                return super().pwrite(handle, data, offset)
+
+        cfg = CRFSConfig(chunk_size=4 * KiB, pool_size=32 * KiB, io_threads=4)
+        fs = CRFS(Stuck(), cfg).mount()
+        f = fs.open("/f")
+        for i in range(4):
+            f.write(b"x" * 4 * KiB)
+        time.sleep(0.05)  # let all four workers block in pwrite
+        t0 = time.monotonic()
+        with pytest.raises(TimeoutError, match="IO threads did not exit"):
+            fs.iopool.shutdown(timeout=0.4)
+        elapsed = time.monotonic() - t0
+        assert elapsed < 1.2  # shared deadline; per-thread would be ~1.6+
+        gate.set()  # release the workers so the process exits cleanly
+        time.sleep(0.05)
+
+    def test_clean_shutdown_still_works(self):
+        cfg = CRFSConfig(chunk_size=4 * KiB, pool_size=16 * KiB, io_threads=2)
+        fs = CRFS(MemBackend(), cfg).mount()
+        with fs.open("/f") as f:
+            f.write(b"x" * 10 * KiB)
+        fs.unmount()
+        assert not fs.mounted

@@ -1,0 +1,184 @@
+"""Concurrency stress: many writers, a tiny buffer pool, and a flaky,
+slow backend — the drain and recycling invariants must hold anyway.
+
+What is asserted (per ISSUE, the concurrency stress satellite):
+
+* at every successful close, the file's drain invariant holds:
+  ``complete_chunk_count == write_chunk_count``;
+* no chunk leaks: after unmount every pool chunk is back on the free
+  list, whatever errors were latched along the way;
+* files that closed cleanly are byte-identical in the backing store;
+* the stats registry stays internally consistent under races
+  (chunks accounted = seals, bytes conserved).
+
+Faults here are probabilistic (seeded), so rare retry exhaustion is
+tolerated — the assertions are invariants, not exact outcomes.
+"""
+
+import threading
+
+import pytest
+
+from repro.backends import FaultRule, FaultyBackend, MemBackend
+from repro.config import CRFSConfig
+from repro.core import CRFS
+from repro.errors import BackendIOError
+from repro.units import KiB
+
+CHUNK = 16 * KiB
+NWRITERS = 8
+PER_WRITER = 8 * CHUNK  # bytes each writer streams
+
+
+def pattern(i: int) -> bytes:
+    return bytes([(i * 37 + 11) % 256]) * PER_WRITER
+
+
+def stress_config(**kw):
+    kw.setdefault("retry_backoff", 1e-4)
+    kw.setdefault("retry_backoff_max", 1e-3)
+    return CRFSConfig(
+        chunk_size=CHUNK,
+        pool_size=3 * CHUNK,  # tiny: constant pool backpressure
+        io_threads=3,
+        **kw,
+    )
+
+
+def run_writers(fs, results):
+    """NWRITERS threads, each streaming its own file in odd-sized slices."""
+
+    def writer(i):
+        data = pattern(i)
+        f = fs.open(f"/rank{i}.img")
+        entry = f._entry
+        try:
+            pos = 0
+            step = 3 * KiB + i * 511  # misaligned on purpose
+            while pos < len(data):
+                f.write(data[pos : pos + step])
+                pos += step
+        except BackendIOError:
+            # fail-fast echo of a latched error: still close the file so
+            # its buffers drain and the latch surfaces (and is consumed)
+            results[i] = "latched"
+            try:
+                f.close()
+            except BackendIOError:
+                pass
+            return
+        try:
+            f.close()
+        except BackendIOError:
+            results[i] = "latched"
+            return
+        # drain invariant at close: every queued chunk completed
+        assert (
+            entry.pipeline.complete_chunk_count == entry.pipeline.write_chunk_count
+        )
+        results[i] = "clean"
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(NWRITERS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=90)
+    assert not any(t.is_alive() for t in threads), "stress writers hung"
+
+
+@pytest.mark.timeout(120)
+class TestStressFlakyBackend:
+    def test_invariants_under_faults_and_delays(self):
+        mem = MemBackend()
+        backend = FaultyBackend(
+            mem,
+            [
+                FaultRule(op="pwrite", p=0.2, seed=11, error=OSError("EIO")),
+                FaultRule(op="pwrite", p=0.3, seed=13, delay=0.001),
+            ],
+        )
+        fs = CRFS(backend, stress_config(retry_attempts=6)).mount()
+        results = {}
+        run_writers(fs, results)
+        stats = fs.stats()
+        fs.unmount()
+
+        # no chunk leaks: the whole pool is back on the free list
+        assert fs.pool.free_chunks == fs.pool.nchunks == 3
+
+        # accounting is consistent despite races:
+        # every sealed chunk was either written or errored, exactly once
+        assert sum(stats["seals"].values()) == (
+            stats["chunks_written"] + stats["io_errors"]
+        )
+        assert stats["bytes_out"] <= stats["bytes_in"]
+        assert stats["pool"]["acquires"] == sum(stats["seals"].values())
+
+        # with a 6-attempt budget, p=0.2 faults virtually always recover;
+        # the schedule certainly injected faults and retries happened
+        assert backend.faults_fired > 0
+        assert stats["resilience"]["chunks_retried"] > 0
+        assert stats["resilience"]["errors_latched"] == sum(
+            1 for r in results.values() if r == "latched"
+        )
+
+        # every cleanly-closed file is byte-identical in the backing store
+        assert sum(1 for r in results.values() if r == "clean") > 0
+        for i, outcome in results.items():
+            if outcome == "clean":
+                h = mem.open(f"/rank{i}.img", create=False)
+                assert mem.pread(h, PER_WRITER, 0) == pattern(i), f"rank{i}"
+
+    def test_invariants_with_breaker_enabled(self):
+        """Same stress with the circuit breaker armed: writers may also
+        see synchronous degraded-write failures, but pool integrity and
+        the clean-unmount contract must survive breaker flapping."""
+        mem = MemBackend()
+        backend = FaultyBackend(
+            mem,
+            [FaultRule(op="pwrite", p=0.3, seed=7, error=OSError("EIO"))],
+        )
+        fs = CRFS(
+            backend, stress_config(retry_attempts=2, breaker_threshold=2)
+        ).mount()
+
+        outcomes = []
+
+        def writer(i):
+            data = pattern(i)
+            f = fs.open(f"/rank{i}.img")
+            try:
+                pos = 0
+                while pos < len(data):
+                    f.write(data[pos : pos + 4 * KiB])
+                    pos += 4 * KiB
+                f.close()
+                outcomes.append("clean")
+            except OSError:  # latched at close OR raised by a degraded write
+                outcomes.append("error")
+                try:
+                    f.close()
+                except OSError:
+                    pass
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(NWRITERS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=90)
+        assert not any(t.is_alive() for t in threads), "stress writers hung"
+
+        stats = fs.stats()
+        fs.unmount()
+        assert fs.pool.free_chunks == fs.pool.nchunks
+        assert len(outcomes) == NWRITERS
+        assert sum(stats["seals"].values()) == (
+            stats["chunks_written"] + stats["io_errors"]
+        )
+        # breaker transitions are paired: every trip is either recovered
+        # or still open at the end (at most one dangling)
+        trips = stats["resilience"]["breaker_trips"]
+        recoveries = stats["resilience"]["breaker_recoveries"]
+        assert recoveries <= trips <= recoveries + 1
