@@ -1,0 +1,35 @@
+"""Perf-harness scenarios under pytest-benchmark.
+
+``perfbench`` (the registry artifact) asserts the harness invariants;
+these benches additionally record how long each scenario itself takes
+to execute — the harness's own cost is part of the perf trajectory.
+"""
+
+import pytest
+
+from repro.perf.runner import run_scenario_real, run_scenario_sim
+from repro.perf.scenarios import SCENARIOS
+
+
+def test_perfbench_artifact(artifact):
+    artifact("perfbench", fast=True)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_sim(benchmark, name):
+    metrics = benchmark.pedantic(
+        run_scenario_sim, args=(SCENARIOS[name], 2011), kwargs={"fast": True},
+        rounds=1, iterations=1,
+    )
+    assert metrics["bytes_in"] == SCENARIOS[name].total_bytes(fast=True)
+    assert metrics["goodput_mib_s"] > 0
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_real(benchmark, name):
+    metrics = benchmark.pedantic(
+        run_scenario_real, args=(SCENARIOS[name], 2011), kwargs={"fast": True},
+        rounds=1, iterations=1,
+    )
+    assert metrics["bytes_in"] == SCENARIOS[name].total_bytes(fast=True)
+    assert metrics["stats"]["io_errors"] == 0

@@ -97,8 +97,15 @@ class FileEntry:
     def wait_drained(self, timeout: float | None = 60.0) -> None:
         """Block until complete_chunk_count == write_chunk_count, then
         surface any latched writeback error (the POSIX close/fsync
-        error-reporting contract, raised exactly once)."""
+        error-reporting contract, raised exactly once).
+
+        Drain latency is published on the event stream
+        (``FileDrained``) and accumulated in the stats registry's
+        ``drain`` section — callers read it from ``stats()`` instead of
+        timing this wait themselves."""
         with self._drain:
+            start = self.pipeline.clock()
+            outstanding = self.pipeline.outstanding
             while not self.pipeline.drained:
                 if not self._drain.wait(timeout=timeout):
                     raise FileStateError(
@@ -106,6 +113,7 @@ class FileEntry:
                         f"({self.pipeline.complete_chunk_count}"
                         f"/{self.pipeline.write_chunk_count})"
                     )
+            self.pipeline.note_drained(start, outstanding)
             self.pipeline.raise_latched()
 
 

@@ -30,6 +30,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..pipeline import PipelineStats
+from ..pipeline.events import WorkersDrained
+from ..pipeline.kernel import EmitFn
 from ..pipeline.resilience import BackendHealth, RetryPolicy, run_attempts
 from .buffer_pool import BufferPool
 from .chunk import Chunk
@@ -63,6 +65,7 @@ class IOThreadPool:
         stats: PipelineStats | None = None,
         retry: RetryPolicy | None = None,
         health: BackendHealth | None = None,
+        emit: EmitFn | None = None,
     ):
         if nthreads < 1:
             raise ValueError(f"need at least 1 IO thread, got {nthreads}")
@@ -73,6 +76,10 @@ class IOThreadPool:
         self.stats = stats if stats is not None else PipelineStats()
         self.retry = retry if retry is not None else RetryPolicy()
         self.health = health
+        # Shutdown drain time goes out on the mount's event stream when
+        # one is wired; standalone pools fall back to feeding the stats
+        # registry directly so the counter exists either way.
+        self._emit = emit if emit is not None else self.stats.on_event
         self._threads: list[threading.Thread] = []
         self._started = False
 
@@ -137,10 +144,14 @@ class IOThreadPool:
 
         ``timeout`` is one shared deadline across all worker joins, not
         a per-thread allowance — N stuck threads cannot stretch shutdown
-        to N×timeout.
+        to N×timeout.  The time the drain-close took is published as a
+        ``WorkersDrained`` event (``stats()['drain']`` accumulates it),
+        so callers never re-time shutdown themselves.
         """
+        was_started = self._started
+        start = time.monotonic()
         self.queue.close()
-        deadline = time.monotonic() + timeout
+        deadline = start + timeout
         for t in self._threads:
             t.join(timeout=max(0.0, deadline - time.monotonic()))
         alive = [t.name for t in self._threads if t.is_alive()]
@@ -148,3 +159,5 @@ class IOThreadPool:
             raise TimeoutError(f"IO threads did not exit: {alive}")
         self._threads.clear()
         self._started = False
+        if was_started:
+            self._emit(WorkersDrained(duration=time.monotonic() - start, t=start))

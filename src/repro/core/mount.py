@@ -86,6 +86,7 @@ class CRFS:
             stats=stats,
             retry=self.retry,
             health=self.health,
+            emit=self.kernel.emit,
         )
         self.table = OpenFileTable()
         self._mounted = False

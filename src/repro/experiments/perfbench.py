@@ -1,0 +1,109 @@
+"""Perf-harness self-check (repository artifact, not a paper figure).
+
+The perf-regression gate (:mod:`repro.perf`) is only trustworthy if the
+sim plane is actually deterministic and the comparator actually trips.
+This experiment proves both, the same way ``crossplane`` proves kernel
+parity: run the scenario suite twice at the same seed and require
+byte-identical metric sections, self-compare (must pass the gate), then
+inject a 20% goodput drop and require the gate to fail.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from ..perf.compare import compare_artifacts
+from ..perf.runner import run_suite
+from ..perf.schema import build_artifact, canonical_metrics
+from ..util.tables import TextTable
+from .base import Check, ExperimentResult
+from .common import DEFAULT_SEED
+
+PAPER = {
+    "narrative": "deterministic perf-regression gate "
+    "(repo artifact; scaffolding every perf PR is judged against)"
+}
+
+
+def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
+    first = build_artifact(
+        run_suite(["sim"], seed=seed, fast=fast), seed=seed, fast=fast
+    )
+    second = build_artifact(
+        run_suite(["sim"], seed=seed, fast=fast), seed=seed, fast=fast
+    )
+
+    table = TextTable(
+        ["scenario", "goodput MiB/s", "write p95 s", "chunks", "drain s"],
+        title="Perf harness, sim plane (deterministic, CI-gating)",
+    )
+    for name, m in first["planes"]["sim"].items():
+        table.add_row(
+            [
+                name,
+                f"{m['goodput_mib_s']:.2f}",
+                f"{m['write_latency_p95_s']:.2e}",
+                str(m["chunks_written"]),
+                f"{m['drain_time_s']:.2e}",
+            ]
+        )
+
+    identical = canonical_metrics(first) == canonical_metrics(second)
+    self_report = compare_artifacts(second, first)
+
+    injected = copy.deepcopy(second)
+    victim = next(iter(injected["planes"]["sim"]))
+    injected["planes"]["sim"][victim]["goodput_mib_s"] *= 0.8
+    drop_report = compare_artifacts(injected, first)
+
+    conserved = all(
+        m["stats"]["bytes_out"]
+        == m["bytes_in"] - m["stats"]["write_through_bytes"]
+        for m in first["planes"]["sim"].values()
+    )
+
+    checks = [
+        Check(
+            "two same-seed sim runs are byte-identical",
+            identical,
+            "canonical metric sections match"
+            if identical
+            else "metric sections diverged",
+        ),
+        Check(
+            "self-comparison passes the gate",
+            self_report.ok,
+            f"{len(self_report.regressions)} regression(s)",
+        ),
+        Check(
+            "an injected 20% goodput drop fails the gate",
+            not drop_report.ok
+            and any(d.metric == "goodput_mib_s" for d in drop_report.regressions),
+            f"regressions: {[(d.scenario, d.metric) for d in drop_report.regressions]}",
+        ),
+        Check(
+            "every scenario conserved its byte stream",
+            conserved,
+            "bytes_out == bytes_in - write_through_bytes in all scenarios",
+        ),
+        Check(
+            "drain time is surfaced by the stats registry",
+            all(
+                m["drain_waits"] >= 1 and m["stats"]["drain"]["shutdown_drains"] == 1
+                for m in first["planes"]["sim"].values()
+            ),
+            "drain section populated in every scenario",
+        ),
+    ]
+    return ExperimentResult(
+        name="perfbench",
+        title="Perf-regression harness self-check (sim-plane determinism + gate)",
+        table=table.render(),
+        measured={"first": first["planes"]["sim"], "identical": identical},
+        paper=PAPER,
+        checks=checks,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -26,6 +26,7 @@ from . import (
     fig10,
     fig11,
     internode,
+    perfbench,
     restart,
     table1,
     table2,
@@ -49,6 +50,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "internode": internode.run,  # Section VII future work, prototyped
     "crossplane": crossplane.run,  # repo artifact: shared-kernel parity
     "faultsweep": faultsweep.run,  # repo artifact: writeback resilience
+    "perfbench": perfbench.run,  # repo artifact: perf-regression gate
 }
 
 

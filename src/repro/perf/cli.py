@@ -1,0 +1,161 @@
+"""``python -m repro.perf`` — run / compare / update-baseline.
+
+Typical loop::
+
+    # measure (sim plane is the deterministic, CI-gating one)
+    python -m repro.perf run --plane sim --out results/perf
+
+    # gate: nonzero exit when any sim-plane metric regresses
+    python -m repro.perf compare results/perf/BENCH_*.json
+
+    # a PR that intentionally shifts perf re-pins the baseline
+    python -m repro.perf update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Any
+
+from ..util.tables import TextTable
+from .compare import compare_artifacts, render_report
+from .runner import run_suite
+from .schema import (
+    artifact_filename,
+    build_artifact,
+    dump_artifact,
+    load_artifact,
+)
+
+__all__ = ["main", "DEFAULT_BASELINE", "DEFAULT_OUT_DIR"]
+
+DEFAULT_BASELINE = pathlib.Path("benchmarks/baselines/baseline.json")
+DEFAULT_OUT_DIR = pathlib.Path("results/perf")
+
+
+def _summary_table(planes: dict[str, dict[str, Any]]) -> str:
+    table = TextTable(
+        [
+            "plane",
+            "scenario",
+            "goodput MiB/s",
+            "write p50 s",
+            "write p95 s",
+            "chunks",
+            "drain s",
+        ],
+        title="Perf harness run",
+    )
+    for plane, scenarios in planes.items():
+        for name, m in scenarios.items():
+            table.add_row(
+                [
+                    plane,
+                    name,
+                    f"{m['goodput_mib_s']:.2f}",
+                    f"{m['write_latency_p50_s']:.2e}",
+                    f"{m['write_latency_p95_s']:.2e}",
+                    str(m["chunks_written"]),
+                    f"{m['drain_time_s']:.2e}",
+                ]
+            )
+    return table.render()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    planes = ["sim", "real"] if args.plane == "both" else [args.plane]
+    section = run_suite(
+        planes, seed=args.seed, fast=args.fast, scenario_names=args.scenario
+    )
+    artifact = build_artifact(section, seed=args.seed, fast=args.fast)
+    out = args.out / artifact_filename(artifact["created"])
+    dump_artifact(artifact, out)
+    print(_summary_table(section))
+    print(f"\nwrote {out}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    new = load_artifact(args.artifact)
+    baseline = load_artifact(args.baseline)
+    report = compare_artifacts(new, baseline)
+    print(render_report(report, verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
+def _cmd_update_baseline(args: argparse.Namespace) -> int:
+    if args.from_artifact is not None:
+        artifact = load_artifact(args.from_artifact)
+        if "sim" not in artifact["planes"]:
+            print("refusing: artifact has no sim plane", file=sys.stderr)
+            return 2
+    else:
+        # The baseline pins only the deterministic plane; committing
+        # machine-dependent real-plane numbers would gate on noise.
+        section = run_suite(["sim"], seed=args.seed, fast=args.fast)
+        artifact = build_artifact(section, seed=args.seed, fast=args.fast)
+    dump_artifact(artifact, args.baseline)
+    print(f"baseline updated: {args.baseline}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run the scenario set, emit BENCH_*.json")
+    run_p.add_argument(
+        "--plane", choices=["sim", "real", "both"], default="sim",
+        help="which plane(s) to measure (default: sim)",
+    )
+    run_p.add_argument("--seed", type=int, default=2011)
+    run_p.add_argument("--fast", action="store_true", help="reduced image sizes")
+    run_p.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="run only this scenario (repeatable; default: all)",
+    )
+    run_p.add_argument(
+        "--out", type=pathlib.Path, default=DEFAULT_OUT_DIR,
+        help=f"artifact directory (default: {DEFAULT_OUT_DIR})",
+    )
+    run_p.set_defaults(fn=_cmd_run)
+
+    cmp_p = sub.add_parser(
+        "compare", help="diff an artifact against the baseline; exit 1 on regression"
+    )
+    cmp_p.add_argument("artifact", type=pathlib.Path, help="BENCH_*.json to judge")
+    cmp_p.add_argument(
+        "--baseline", type=pathlib.Path, default=DEFAULT_BASELINE,
+        help=f"baseline artifact (default: {DEFAULT_BASELINE})",
+    )
+    cmp_p.add_argument(
+        "--verbose", action="store_true", help="show all metrics, not just drift"
+    )
+    cmp_p.set_defaults(fn=_cmd_compare)
+
+    up_p = sub.add_parser(
+        "update-baseline", help="re-pin the committed sim-plane baseline"
+    )
+    up_p.add_argument("--seed", type=int, default=2011)
+    up_p.add_argument("--fast", action="store_true")
+    up_p.add_argument(
+        "--from-artifact", type=pathlib.Path, default=None, metavar="PATH",
+        help="promote an existing artifact instead of re-running",
+    )
+    up_p.add_argument(
+        "--baseline", type=pathlib.Path, default=DEFAULT_BASELINE,
+        help=f"baseline path to write (default: {DEFAULT_BASELINE})",
+    )
+    up_p.set_defaults(fn=_cmd_update_baseline)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

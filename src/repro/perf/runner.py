@@ -1,0 +1,223 @@
+"""Scenario execution on both planes.
+
+One scenario run produces one metric block (see
+:data:`~repro.perf.schema.REQUIRED_METRICS`): goodput, write/chunk
+latency percentiles off the unified event stream, chunk counts, drain
+time from the stats registry's ``drain`` section, and the full
+``stats()`` snapshot.
+
+The sim plane drives :class:`~repro.simcrfs.SimCRFS` over a
+:class:`~repro.simio.nullfs.NullSimFilesystem` (paper Fig 5's rig: raw
+aggregation, no backend noise) on the virtual clock — every number is a
+pure function of (code, seed).  The real plane drives the threaded
+:class:`~repro.core.CRFS` over a
+:class:`~repro.backends.localdir.LocalDirBackend` in a scratch
+directory, timing actual execution; its numbers are machine-dependent
+and therefore advisory.
+"""
+
+from __future__ import annotations
+
+import math
+import tempfile
+import threading
+import time
+from typing import Any
+
+from ..backends import FaultyBackend
+from ..backends.localdir import LocalDirBackend
+from ..core import CRFS
+from ..pipeline import ChunkWritten, PipelineEvent, PipelineObserver, WriteObserved
+from ..sim import SharedBandwidth, Simulator
+from ..simcrfs import SimCRFS
+from ..simio.faulty import FaultySimFilesystem
+from ..simio.nullfs import NullSimFilesystem
+from ..simio.params import DEFAULT_HW
+from ..units import MiB
+from ..util.rng import rng_for
+from .scenarios import Scenario, default_scenarios
+
+__all__ = [
+    "LatencyRecorder",
+    "percentile",
+    "run_scenario_real",
+    "run_scenario_sim",
+    "run_suite",
+]
+
+
+class LatencyRecorder(PipelineObserver):
+    """Collect per-op durations off the unified event stream."""
+
+    def __init__(self) -> None:
+        self.write_durations: list[float] = []
+        self.chunk_durations: list[float] = []
+
+    def on_event(self, event: PipelineEvent) -> None:
+        if isinstance(event, WriteObserved):
+            self.write_durations.append(event.duration)
+        elif isinstance(event, ChunkWritten) and event.error is None:
+            self.chunk_durations.append(event.duration)
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[min(len(ordered), max(1, rank)) - 1]
+
+
+def _metrics(
+    total_bytes: int,
+    nwrites: int,
+    elapsed: float,
+    recorder: LatencyRecorder,
+    stats: dict[str, Any],
+) -> dict[str, Any]:
+    return {
+        "bytes_in": total_bytes,
+        "writes": nwrites,
+        "elapsed_s": elapsed,
+        "goodput_mib_s": (total_bytes / MiB) / elapsed if elapsed > 0 else 0.0,
+        "write_latency_p50_s": percentile(recorder.write_durations, 50),
+        "write_latency_p95_s": percentile(recorder.write_durations, 95),
+        "chunk_write_p50_s": percentile(recorder.chunk_durations, 50),
+        "chunk_write_p95_s": percentile(recorder.chunk_durations, 95),
+        "chunks_queued": stats["queue"]["puts"],
+        "chunks_written": stats["chunks_written"],
+        "drain_waits": stats["drain"]["waits"],
+        "drain_time_s": stats["drain"]["time_total"],
+        "stats": stats,
+    }
+
+
+# -- sim plane ----------------------------------------------------------------
+
+
+def run_scenario_sim(scenario: Scenario, seed: int, fast: bool = False) -> dict[str, Any]:
+    """One scenario on the virtual clock; noise-free metrics."""
+    sim = Simulator()
+    hw = DEFAULT_HW
+    membus = SharedBandwidth(sim, hw.membus_bandwidth)
+    backend = NullSimFilesystem(
+        sim, hw, rng_for(seed, f"perf/{scenario.name}/backend")
+    )
+    rules = scenario.fault_rules()
+    if rules:
+        backend = FaultySimFilesystem(backend, rules)
+    recorder = LatencyRecorder()
+    crfs = SimCRFS(sim, hw, scenario.config, backend, membus, observers=(recorder,))
+
+    workloads = [
+        scenario.sizes(seed, i, fast) for i in range(scenario.nwriters)
+    ]
+
+    def writer(index: int):
+        f = crfs.open(f"/rank{index}.img")
+        for n, size in enumerate(workloads[index], start=1):
+            yield from crfs.write(f, size)
+            if scenario.fsync_every and n % scenario.fsync_every == 0:
+                yield from crfs.fsync(f)
+        yield from crfs.close(f)
+
+    procs = [
+        sim.spawn(writer(i), name=f"perf-{scenario.name}-w{i}")
+        for i in range(scenario.nwriters)
+    ]
+    sim.run_until_complete(procs)
+    elapsed = sim.now
+    crfs.shutdown()
+    return _metrics(
+        total_bytes=sum(sum(w) for w in workloads),
+        nwrites=sum(len(w) for w in workloads),
+        elapsed=elapsed,
+        recorder=recorder,
+        stats=crfs.stats(),
+    )
+
+
+# -- real plane ---------------------------------------------------------------
+
+
+def run_scenario_real(
+    scenario: Scenario,
+    seed: int,
+    fast: bool = False,
+    workdir: str | None = None,
+) -> dict[str, Any]:
+    """One scenario on the threaded mount against a scratch directory."""
+    with tempfile.TemporaryDirectory(dir=workdir, prefix="crfs-perf-") as root:
+        backend = LocalDirBackend(root)
+        rules = scenario.fault_rules()
+        if rules:
+            # No real sleeping on injected delays: scheduled delays are 0
+            # in the curated set, and timing here should measure CRFS.
+            backend = FaultyBackend(backend, rules, sleep=lambda s: None)
+        recorder = LatencyRecorder()
+        fs = CRFS(backend, scenario.config, observers=(recorder,))
+
+        workloads = [
+            scenario.sizes(seed, i, fast) for i in range(scenario.nwriters)
+        ]
+        payload = bytes(max(max(w) for w in workloads if w))
+        failures: list[BaseException] = []
+
+        def writer(index: int) -> None:
+            try:
+                with fs.open(f"/rank{index}.img") as f:
+                    for n, size in enumerate(workloads[index], start=1):
+                        f.write(memoryview(payload)[:size])
+                        if scenario.fsync_every and n % scenario.fsync_every == 0:
+                            f.fsync()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                failures.append(exc)
+
+        start = time.perf_counter()
+        with fs:
+            threads = [
+                threading.Thread(target=writer, args=(i,), name=f"perf-w{i}")
+                for i in range(scenario.nwriters)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        elapsed = time.perf_counter() - start
+        if failures:
+            raise failures[0]
+        return _metrics(
+            total_bytes=sum(sum(w) for w in workloads),
+            nwrites=sum(len(w) for w in workloads),
+            elapsed=elapsed,
+            recorder=recorder,
+            stats=fs.stats(),
+        )
+
+
+# -- suite --------------------------------------------------------------------
+
+_PLANE_RUNNERS = {"sim": run_scenario_sim, "real": run_scenario_real}
+
+
+def run_suite(
+    planes: list[str],
+    seed: int,
+    fast: bool = False,
+    scenario_names: list[str] | None = None,
+) -> dict[str, dict[str, Any]]:
+    """Run the scenario set on each requested plane.
+
+    Returns the artifact's ``planes`` section:
+    ``{plane: {scenario: metrics}}``.
+    """
+    scenarios = default_scenarios(scenario_names)
+    out: dict[str, dict[str, Any]] = {}
+    for plane in planes:
+        try:
+            runner = _PLANE_RUNNERS[plane]
+        except KeyError:
+            raise KeyError(f"unknown plane {plane!r}; know {sorted(_PLANE_RUNNERS)}") from None
+        out[plane] = {s.name: runner(s, seed, fast) for s in scenarios}
+    return out

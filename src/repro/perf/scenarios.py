@@ -1,0 +1,140 @@
+"""The curated benchmark scenario set.
+
+Each :class:`Scenario` pins one corner of the write path the harness
+must keep honest:
+
+* ``single_writer_seq`` — one rank streaming a BLCR-like (Table I)
+  write mix; the baseline aggregation pipeline.
+* ``concurrent_writers`` — N ranks into N files over an undersized
+  pool and few IO threads: pool backpressure and queue contention.
+* ``chunk_sweep_256k`` — the small-chunk sweep point (more seals per
+  byte, planner- and handoff-bound; the left edge of paper Fig 5).
+* ``fsync_heavy`` — periodic fsync forces flush+drain mid-stream, the
+  latency-sensitive path (drain time dominates).
+* ``degraded_retry`` — a bounded backend outage: retries back off,
+  the circuit breaker trips, writes degrade to synchronous
+  write-through, then the backend heals and the breaker recovers.
+
+Workloads are derived from ``rng_for(seed, "perf/<scenario>/<writer>")``
+so every writer's byte stream is a pure function of the seed — two runs
+of the same scenario at the same seed execute identical write
+sequences on either plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..backends.faulty import FaultRule
+from ..checkpoint.sizedist import WriteSizeDistribution
+from ..config import CRFSConfig
+from ..units import KiB, MiB
+from ..util.rng import rng_for
+
+__all__ = ["SCENARIOS", "Scenario", "default_scenarios"]
+
+#: Fast, bounded backoff so the functional plane's retries sleep
+#: microseconds, matching the resilience test suite's knobs.
+_RETRY_KNOBS = dict(retry_backoff=1e-4, retry_backoff_max=1e-3, retry_jitter=0.0)
+
+
+def _no_rules() -> list[FaultRule]:
+    return []
+
+
+def _outage_rules() -> list[FaultRule]:
+    """A bounded outage: the first 6 backend pwrites fail, then the
+    backend heals.  Fresh rule objects per run — the schedule counts
+    per instance."""
+    return [
+        FaultRule(op="pwrite", nth=1, every=True, until=6, error=OSError("EIO"))
+    ]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One benchmark scenario, identical on both planes."""
+
+    name: str
+    description: str
+    config: CRFSConfig
+    nwriters: int = 1
+    #: Bytes per writer (full / --fast runs).
+    image_size: int = 8 * MiB
+    fast_image_size: int = 1 * MiB
+    #: fsync after every k writes (0 = only the implicit close drain).
+    fsync_every: int = 0
+    #: Factory for the backend fault schedule (fresh rules per run).
+    fault_rules: Callable[[], list[FaultRule]] = field(default=_no_rules)
+
+    def sizes(self, seed: int, writer: int, fast: bool) -> list[int]:
+        """The writer's deterministic write-size stream."""
+        image = self.fast_image_size if fast else self.image_size
+        rng = rng_for(seed, f"perf/{self.name}/writer{writer}")
+        return WriteSizeDistribution().plan(image, rng)
+
+    def total_bytes(self, fast: bool) -> int:
+        return self.nwriters * (self.fast_image_size if fast else self.image_size)
+
+
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        Scenario(
+            name="single_writer_seq",
+            description="one rank, Table-I write mix, default pipeline",
+            config=CRFSConfig(chunk_size=1 * MiB, pool_size=8 * MiB, io_threads=4),
+        ),
+        Scenario(
+            name="concurrent_writers",
+            description="4 ranks, undersized pool: backpressure + contention",
+            config=CRFSConfig(chunk_size=1 * MiB, pool_size=4 * MiB, io_threads=2),
+            nwriters=4,
+            image_size=4 * MiB,
+            fast_image_size=512 * KiB,
+        ),
+        Scenario(
+            name="chunk_sweep_256k",
+            description="small-chunk sweep point: seal/handoff bound",
+            config=CRFSConfig(
+                chunk_size=256 * KiB, pool_size=4 * MiB, io_threads=4
+            ),
+        ),
+        Scenario(
+            name="fsync_heavy",
+            description="fsync every 8 writes: flush+drain latency path",
+            config=CRFSConfig(chunk_size=1 * MiB, pool_size=8 * MiB, io_threads=4),
+            fsync_every=8,
+            image_size=4 * MiB,
+            # 512 KiB collapses to a single Table-I draw, so fsync_every
+            # would never fire; 1 MiB keeps the drain path hot in --fast.
+            fast_image_size=1 * MiB,
+        ),
+        Scenario(
+            name="degraded_retry",
+            description="bounded outage: retry, breaker trip, recovery",
+            config=CRFSConfig(
+                chunk_size=1 * MiB,
+                pool_size=8 * MiB,
+                io_threads=1,  # seal-order faults, like the faultsweep rows
+                retry_attempts=8,
+                breaker_threshold=3,
+                **_RETRY_KNOBS,
+            ),
+            image_size=4 * MiB,
+            fast_image_size=1 * MiB,
+            fault_rules=_outage_rules,
+        ),
+    )
+}
+
+
+def default_scenarios(names: list[str] | None = None) -> list[Scenario]:
+    """Resolve scenario names (all of them when ``names`` is falsy)."""
+    if not names:
+        return list(SCENARIOS.values())
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        raise KeyError(f"unknown scenario(s) {unknown}; know {sorted(SCENARIOS)}")
+    return [SCENARIOS[n] for n in names]

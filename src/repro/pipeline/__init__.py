@@ -24,17 +24,19 @@ from .events import (
     ChunkWritten,
     ErrorLatched,
     FileClosed,
+    FileDrained,
     FileOpened,
     PipelineEvent,
     PipelineObserver,
     PoolPressure,
     QueuePressure,
+    WorkersDrained,
     WriteObserved,
 )
 from .kernel import FilePipeline, PipelineKernel
 from .planner import Fill, PlanOp, Seal, SealReason, WritePlanner
 from .resilience import BackendHealth, RetryPolicy, run_attempts
-from .stats import PipelineStats
+from .stats import PipelineStats, flatten_snapshot
 
 __all__ = [
     "BackendDegraded",
@@ -45,6 +47,7 @@ __all__ = [
     "ChunkWritten",
     "ErrorLatched",
     "FileClosed",
+    "FileDrained",
     "FileOpened",
     "Fill",
     "FilePipeline",
@@ -58,7 +61,9 @@ __all__ = [
     "RetryPolicy",
     "Seal",
     "SealReason",
+    "WorkersDrained",
     "WriteObserved",
     "WritePlanner",
+    "flatten_snapshot",
     "run_attempts",
 ]

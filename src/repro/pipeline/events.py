@@ -32,6 +32,8 @@ __all__ = [
     "ChunkSealed",
     "ChunkWritten",
     "ChunkRetried",
+    "FileDrained",
+    "WorkersDrained",
     "ErrorLatched",
     "BackendDegraded",
     "BackendRecovered",
@@ -135,6 +137,30 @@ class BackendRecovered(PipelineEvent):
     in degraded mode."""
 
     downtime: float
+    t: float = 0.0
+
+
+@dataclass(frozen=True)
+class FileDrained(PipelineEvent):
+    """A drain wait (close()/fsync()/unmount, or a read-your-writes
+    read) observed ``complete_chunk_count == write_chunk_count`` after
+    ``duration`` seconds.  ``outstanding`` is how many chunks were in
+    flight when the wait began — 0 means the wait was satisfied
+    immediately."""
+
+    path: str
+    duration: float
+    outstanding: int = 0
+    t: float = 0.0
+
+
+@dataclass(frozen=True)
+class WorkersDrained(PipelineEvent):
+    """The IO worker pool finished its drain-close at shutdown:
+    the work queue emptied and every worker exited after ``duration``
+    seconds."""
+
+    duration: float
     t: float = 0.0
 
 

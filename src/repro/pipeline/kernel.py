@@ -37,6 +37,7 @@ from .events import (
     ChunkWritten,
     ErrorLatched,
     FileClosed,
+    FileDrained,
     FileOpened,
     PipelineEvent,
     PipelineObserver,
@@ -214,6 +215,25 @@ class FilePipeline:
             assert error is not None
             self._emit(ErrorLatched(path=self.path, error=error))
         return drained
+
+    def note_drained(self, start: float, outstanding: int = 0) -> None:
+        """A drain wait that began at ``start`` (with ``outstanding``
+        chunks then in flight) observed the drained state.
+
+        Called by the plane's blocking primitive once the wait is over
+        — this is the one place drain latency is measured, so callers
+        (experiments, the perf harness) read it from ``stats()``
+        instead of re-timing close()/fsync() themselves.
+        """
+        now = self.clock()
+        self._emit(
+            FileDrained(
+                path=self.path,
+                duration=now - start,
+                outstanding=outstanding,
+                t=now,
+            )
+        )
 
     # -- drain protocol --------------------------------------------------------
 

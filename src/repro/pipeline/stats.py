@@ -22,16 +22,38 @@ from .events import (
     ChunkWritten,
     ErrorLatched,
     FileClosed,
+    FileDrained,
     FileOpened,
     PipelineEvent,
     PipelineObserver,
     PoolPressure,
     QueuePressure,
+    WorkersDrained,
     WriteObserved,
 )
 from .planner import SealReason
 
-__all__ = ["PipelineStats"]
+__all__ = ["PipelineStats", "flatten_snapshot"]
+
+
+def flatten_snapshot(
+    snapshot: dict[str, Any], prefix: str = "", sep: str = "."
+) -> dict[str, Any]:
+    """Flatten a nested ``stats()`` snapshot into dot-keyed scalars.
+
+    ``{"pool": {"waits": 3}}`` becomes ``{"pool.waits": 3}`` — the form
+    the perf harness records in its JSON artifacts and diffs between
+    runs.  Key order follows the snapshot's own (insertion) order, so
+    the output is deterministic for a deterministic snapshot.
+    """
+    flat: dict[str, Any] = {}
+    for key, value in snapshot.items():
+        name = f"{prefix}{sep}{key}" if prefix else key
+        if isinstance(value, dict):
+            flat.update(flatten_snapshot(value, prefix=name, sep=sep))
+        else:
+            flat[name] = value
+    return flat
 
 
 class PipelineStats(PipelineObserver):
@@ -66,6 +88,13 @@ class PipelineStats(PipelineObserver):
         self.degraded_bytes = 0
         # -- files
         self.open_files = 0
+        # -- drain waits (close/fsync/unmount) and pool shutdown
+        self.drain_waits = 0
+        self.drain_waits_blocked = 0
+        self.drain_time_total = 0.0
+        self.drain_time_max = 0.0
+        self.shutdown_drains = 0
+        self.shutdown_drain_time = 0.0
         # -- pressure gauges
         self.pool_acquires = 0
         self.pool_waits = 0
@@ -115,6 +144,16 @@ class PipelineStats(PipelineObserver):
                 self.breaker_trips += 1
             elif isinstance(event, BackendRecovered):
                 self.breaker_recoveries += 1
+            elif isinstance(event, FileDrained):
+                self.drain_waits += 1
+                if event.outstanding:
+                    self.drain_waits_blocked += 1
+                self.drain_time_total += event.duration
+                if event.duration > self.drain_time_max:
+                    self.drain_time_max = event.duration
+            elif isinstance(event, WorkersDrained):
+                self.shutdown_drains += 1
+                self.shutdown_drain_time += event.duration
 
     # -- snapshot -------------------------------------------------------------
 
@@ -140,6 +179,14 @@ class PipelineStats(PipelineObserver):
                 "queue": {
                     "puts": self.queue_puts,
                     "max_depth": self.queue_max_depth,
+                },
+                "drain": {
+                    "waits": self.drain_waits,
+                    "waits_blocked": self.drain_waits_blocked,
+                    "time_total": self.drain_time_total,
+                    "time_max": self.drain_time_max,
+                    "shutdown_drains": self.shutdown_drains,
+                    "shutdown_time_total": self.shutdown_drain_time,
                 },
                 "resilience": {
                     "chunks_retried": self.chunks_retried,

@@ -43,6 +43,7 @@ from ..pipeline import (
     PoolPressure,
     QueuePressure,
     Seal,
+    WorkersDrained,
 )
 from ..sim import (
     SharedBandwidth,
@@ -311,10 +312,13 @@ class SimCRFS:
         self.kernel.emit(QueuePressure(depth=len(self.queue)))
 
     def _wait_drained(self, f: SimCRFSFile):
+        start = self.sim.now
+        outstanding = f.pipeline.outstanding
         while not f.drained:
             ev = SimEvent(self.sim)
             f._drain_waiters.append(ev)
             yield ev
+        f.pipeline.note_drained(start, outstanding)
 
     def _take_affine(self, last: Optional[SimCRFSFile]):
         """Pick the next backlog item, preferring the thread's last file."""
@@ -358,3 +362,6 @@ class SimCRFS:
     def shutdown(self) -> None:
         self._stopped = True
         self.queue.close()
+        # Closing the queue wakes the IO processes at the current virtual
+        # instant, so the drain-close itself takes no modelled time.
+        self.kernel.emit(WorkersDrained(duration=0.0, t=self.sim.now))

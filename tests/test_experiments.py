@@ -49,7 +49,7 @@ class TestFramework:
         assert set(EXPERIMENTS) == {
             "table1", "fig3", "fig5", "table2",
             "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "restart", "internode", "crossplane", "faultsweep",
+            "restart", "internode", "crossplane", "faultsweep", "perfbench",
         }
 
     def test_unknown_experiment(self):
