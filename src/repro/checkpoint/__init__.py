@@ -15,7 +15,7 @@
 from .sizedist import BucketSpec, TABLE1_BUCKETS, WriteSizeDistribution
 from .image import MemoryRegion, ProcessImage
 from .blcr import BLCRWriter, CheckpointStats
-from .restart import restore_image, verify_roundtrip, RestartError
+from .restart import restore_image, restore_via_mount, verify_roundtrip, RestartError
 
 __all__ = [
     "BucketSpec",
@@ -26,6 +26,7 @@ __all__ = [
     "BLCRWriter",
     "CheckpointStats",
     "restore_image",
+    "restore_via_mount",
     "verify_roundtrip",
     "RestartError",
 ]

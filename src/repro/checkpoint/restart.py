@@ -4,6 +4,11 @@ Paper Section V-F: CRFS forwards reads untouched and never changes file
 layout, so "an application can be restarted directly from the back-end
 filesystem, without the need to mount CRFS."  The tests exercise exactly
 that: checkpoint through CRFS, restart straight from the backend.
+
+Restarting *through* a mount also works (:func:`restore_via_mount`) —
+with ``read_cache_chunks`` configured the image streams through the
+restart readahead cache, prefetching ahead of the parser; otherwise the
+reads are the paper's pure passthrough.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from ..errors import CRFSError
 from .blcr import MAGIC, VERSION
 from .image import MemoryRegion, ProcessImage
 
-__all__ = ["RestartError", "restore_image", "verify_roundtrip"]
+__all__ = ["RestartError", "restore_image", "restore_via_mount", "verify_roundtrip"]
 
 
 class RestartError(CRFSError):
@@ -48,6 +53,18 @@ def restore_image(f) -> ProcessImage:
         data = _read_exact(f, size)
         regions.append(MemoryRegion(name=name, start=start, data=data))
     return ProcessImage(rank=rank, pid=pid, regions=regions)
+
+
+def restore_via_mount(fs, path: str) -> ProcessImage:
+    """Restart through a CRFS mount instead of the raw backend.
+
+    The handle's cursor ``read()`` is exactly the file-like surface
+    :func:`restore_image` wants; whether the bytes come through the
+    readahead cache or the passthrough is the mount's configuration
+    (``read_cache_chunks``), not the caller's concern.
+    """
+    with fs.open(path) as f:
+        return restore_image(f)
 
 
 def verify_roundtrip(original: ProcessImage, restored: ProcessImage) -> None:

@@ -48,6 +48,17 @@ class CRFSConfig:
     #: Pad the final partial chunk write?  The paper writes only valid
     #: bytes; padding is an ablation knob (always False for fidelity).
     pad_partial_chunks: bool = False
+    #: Per-file restart readahead cache, in chunks leased from the
+    #: buffer pool.  0 (the paper's behaviour, and the default) keeps
+    #: reads pure passthrough; > 0 serves chunk-aligned reads from a
+    #: bounded LRU cache with read-your-writes semantics.  Must leave
+    #: pool headroom (<= pool_chunks) and exceed ``readahead_chunks``.
+    read_cache_chunks: int = 0
+    #: Sliding prefetch window: after every cached read access, the next
+    #: N absent chunks are fetched asynchronously through the IO thread
+    #: pool (prioritized below writeback).  0 disables prefetch (the
+    #: cache, if any, fills on demand only); > 0 requires a cache.
+    readahead_chunks: int = 0
     #: Writes of at least this many bytes bypass aggregation and go
     #: straight to the backend (after flushing the partial chunk, so
     #: issue order is preserved).  0 disables write-through — the paper's
@@ -101,6 +112,31 @@ class CRFSConfig:
             raise ConfigError(
                 f"breaker_threshold must be >= 0, got {self.breaker_threshold}"
             )
+        if self.read_cache_chunks < 0:
+            raise ConfigError(
+                f"read_cache_chunks must be >= 0, got {self.read_cache_chunks}"
+            )
+        if self.readahead_chunks < 0:
+            raise ConfigError(
+                f"readahead_chunks must be >= 0, got {self.readahead_chunks}"
+            )
+        if self.readahead_chunks and not self.read_cache_chunks:
+            raise ConfigError(
+                "readahead_chunks requires a read cache (read_cache_chunks > 0)"
+            )
+        if self.read_cache_chunks:
+            if self.readahead_chunks >= self.read_cache_chunks:
+                raise ConfigError(
+                    f"read_cache_chunks ({self.read_cache_chunks}) must exceed "
+                    f"readahead_chunks ({self.readahead_chunks}) so the window "
+                    "cannot evict the chunk being served"
+                )
+            if self.read_cache_chunks > self.pool_chunks:
+                raise ConfigError(
+                    f"read_cache_chunks ({self.read_cache_chunks}) exceeds the "
+                    f"pool ({self.pool_chunks} chunks) — the cache leases its "
+                    "buffers from the shared pool"
+                )
         # Delegates the retry-knob validation (attempts >= 1, backoff
         # bounds, jitter range) to RetryPolicy's own __post_init__.
         self.retry_policy()

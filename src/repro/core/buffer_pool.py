@@ -97,6 +97,25 @@ class BufferPool:
             )
             return chunk
 
+    def try_acquire(self) -> Chunk | None:
+        """Take a free chunk without ever blocking; None when the pool
+        is empty or closed.
+
+        This is the readahead-cache lease path: IO workers servicing a
+        prefetch must never block on the pool (a worker parked in
+        :meth:`acquire` behind a full pool would deadlock
+        ``IOThreadPool.shutdown``), so a starved prefetch is simply
+        dropped and the chunk refetched on demand.
+        """
+        with self._available:
+            if self._closed or not self._free:
+                return None
+            chunk = self._free.pop()
+            self.stats.on_event(
+                PoolPressure(waited=False, in_use=self.nchunks - len(self._free))
+            )
+            return chunk
+
     def release(self, chunk: Chunk) -> None:
         """Recycle a chunk (resets its metadata)."""
         chunk.reset()

@@ -42,6 +42,11 @@ class FileEntry:
         self.backend_handle = backend_handle
         self.refcount = 1
         self.current_chunk: Optional[Chunk] = None
+        #: Restart-readahead cache (:class:`~repro.core.readcache.ReadCache`),
+        #: attached by the mount when ``config.read_cache_chunks > 0``;
+        #: None keeps reads on the paper's passthrough path.  Typed Any
+        #: to keep the file table free of read-path dependencies.
+        self.read_cache: Any = None
         # Serializes the write path for this file (writers to *different*
         # files proceed in parallel, as on the real mount).
         self.write_lock = threading.Lock()

@@ -54,7 +54,11 @@ class CRFSFile:
         return self._fs._write(self._entry, data, offset)
 
     def pread(self, size: int, offset: int) -> bytes:
-        """Read at an explicit offset (passthrough; does not move cursor)."""
+        """Read at an explicit offset (does not move the cursor).
+
+        Passthrough by default; with ``read_cache_chunks`` configured
+        the mount serves it from the per-file readahead cache with
+        read-your-writes semantics (see :meth:`CRFS._read`)."""
         self._check_open()
         return self._fs._read(self._entry, size, offset)
 

@@ -15,6 +15,11 @@ accounting goes through the entry's shared
 :class:`~repro.pipeline.stats.PipelineStats` registry counting those
 events.
 
+The same workers also service restart-readahead prefetches
+(:class:`~repro.core.readcache.ReadChunk`), queued on the work queue's
+low-priority band so speculative reads never delay a checkpoint
+writeback.
+
 Resilience: each chunk writeback is driven under the mount's
 :class:`~repro.pipeline.resilience.RetryPolicy` before an error is
 latched — failed attempts back off and reissue (``ChunkRetried`` on the
@@ -36,6 +41,7 @@ from ..pipeline.resilience import BackendHealth, RetryPolicy, run_attempts
 from .buffer_pool import BufferPool
 from .chunk import Chunk
 from .filetable import FileEntry
+from .readcache import ReadChunk
 from .workqueue import QueueClosed, WorkQueue
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -111,9 +117,16 @@ class IOThreadPool:
     def _worker(self) -> None:
         while True:
             try:
-                item: WorkItem = self.queue.get()
+                item = self.queue.get()
             except QueueClosed:
                 return
+            if isinstance(item, ReadChunk):
+                # Readahead prefetch (low band): the cache leases its
+                # buffer with try_acquire and drops starved fetches, so
+                # this path can never park the worker on a full pool —
+                # shutdown() always drains.
+                item.cache.service_prefetch(item)
+                continue
             chunk, entry = item.chunk, item.entry
             start = entry.pipeline.clock()
             # Retry the pwrite under the policy before latching; only the

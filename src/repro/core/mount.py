@@ -38,11 +38,13 @@ from ..backends.base import Backend, BackendStat, normalize_path
 from ..config import CRFSConfig, DEFAULT_CONFIG
 from ..errors import FileStateError, MountError
 from ..pipeline import Fill, PipelineKernel, PipelineObserver, Seal, SealReason
+from ..pipeline.readahead import ReadaheadCore
 from ..pipeline.resilience import BackendHealth, run_attempts
 from .buffer_pool import BufferPool
 from .filetable import FileEntry, OpenFileTable
 from .handle import CRFSFile
 from .iopool import IOThreadPool, WorkItem
+from .readcache import ReadCache
 from .workqueue import WorkQueue
 
 __all__ = ["CRFS"]
@@ -136,6 +138,11 @@ class CRFS:
                 with entry.write_lock:
                     self._flush_locked(entry)
                 entry.wait_drained(timeout=timeout)
+                if entry.read_cache is not None:
+                    # Before iopool.shutdown: in-flight prefetch entries
+                    # are marked evicted and the (still running) workers
+                    # return their buffers themselves.
+                    entry.read_cache.clear()
                 # drop all remaining references
                 last = False
                 while not last:
@@ -175,13 +182,31 @@ class CRFS:
         def make_entry() -> FileEntry:
             handle = self.backend.open(norm, create=create, truncate=truncate)
             self.kernel.file_opened(norm)
-            return FileEntry(
+            entry = FileEntry(
                 norm,
                 handle,
                 self.config.chunk_size,
                 emit=self.kernel.emit,
                 clock=self.kernel.clock,
             )
+            if self.config.read_cache_chunks > 0:
+                entry.read_cache = ReadCache(
+                    norm,
+                    self.backend,
+                    handle,
+                    ReadaheadCore(
+                        norm,
+                        self.config.chunk_size,
+                        capacity=self.config.read_cache_chunks,
+                        depth=self.config.readahead_chunks,
+                        emit=self.kernel.emit,
+                        clock=self.kernel.clock,
+                    ),
+                    self.pool,
+                    self.queue,
+                    health=self.health,
+                )
+            return entry
 
         entry = self.table.open(norm, make_entry)
         return CRFSFile(self, entry)
@@ -197,6 +222,8 @@ class CRFS:
         finally:
             _, last = self.table.close(entry.path)
             if last:
+                if entry.read_cache is not None:
+                    entry.read_cache.clear()
                 self.backend.close(entry.backend_handle)
                 self.kernel.file_closed(entry.path)
 
@@ -219,6 +246,8 @@ class CRFS:
         degraded = self.health.degraded
         if degraded or (threshold and len(view) >= threshold):
             with entry.write_lock:
+                if entry.read_cache is not None:
+                    entry.read_cache.invalidate(offset, len(view))
                 for op in entry.pipeline.plan_write_through(offset, len(view)):
                     assert isinstance(op, Seal)
                     self._seal_current(entry, op)
@@ -231,6 +260,11 @@ class CRFS:
             )
             return len(view)
         with entry.write_lock:
+            if entry.read_cache is not None:
+                # Cached chunks covering these bytes are stale the moment
+                # the write is accepted (reads go flush+drain first, but
+                # the cache would otherwise keep serving the old bytes).
+                entry.read_cache.invalidate(offset, len(view))
             # plan_write fails fast if a prior async write already failed —
             # writing more data into chunks would be silently lost.
             ops = entry.pipeline.plan_write(offset, len(view))
@@ -305,22 +339,46 @@ class CRFS:
         entry.wait_drained(timeout=timeout)
         self.backend.fsync(entry.backend_handle)
 
-    # -- read path (passthrough) ----------------------------------------------
+    # -- read path (passthrough or readahead cache) ----------------------------
 
     def _read(self, entry: FileEntry, size: int, offset: int) -> bytes:
-        """read(): "we directly pass it to the underlying filesystem
-        without any additional operation" (Section IV-D1).
+        """read(): passthrough by default, cached with readahead on.
 
-        With ``read_passthrough=False`` the file's pending chunks are
-        flushed and drained first, so the read observes every prior
-        write (read-your-writes, for non-checkpoint workloads).
+        The paper's behaviour (Section IV-D1) — "we directly pass it to
+        the underlying filesystem without any additional operation" —
+        is the default and the ``read_cache_chunks=0`` path.  With
+        ``read_passthrough=False`` a passthrough read still flushes and
+        drains first (read-your-writes for non-checkpoint workloads).
+
+        With a read cache configured, reads flush+drain (read-your-
+        writes through pending chunks), then serve chunk-aligned slices
+        from the per-file cache, prefetching the next
+        ``readahead_chunks`` through the IO pool.  While the circuit
+        breaker is open the cache is bypassed entirely — every backend
+        op is suspect, so reads degrade to the synchronous passthrough
+        the paper ships.
         """
         self._require_mounted()
-        if not self.config.read_passthrough:
-            with entry.write_lock:
-                self._flush_locked(entry)
-            entry.wait_drained()
-        return self.backend.pread(entry.backend_handle, size, offset)
+        t0 = self.kernel.clock()
+        cache = entry.read_cache
+        if cache is None or self.health.degraded:
+            if not self.config.read_passthrough:
+                with entry.write_lock:
+                    self._flush_locked(entry)
+                entry.wait_drained()
+            data = self.backend.pread(entry.backend_handle, size, offset)
+            entry.pipeline.note_read(offset, size, start=t0)
+            return data
+        with entry.write_lock:
+            self._flush_locked(entry)
+        entry.wait_drained()
+        file_size = max(
+            self.backend.file_size(entry.backend_handle),
+            entry.planner.append_point,
+        )
+        data = cache.read(size, offset, file_size)
+        entry.pipeline.note_read(offset, size, start=t0)
+        return data
 
     # -- namespace passthrough (Section IV-D3) -----------------------------------
 

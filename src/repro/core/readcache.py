@@ -1,0 +1,248 @@
+"""Threaded execution of the readahead cache (restart read path).
+
+:class:`~repro.pipeline.readahead.ReadaheadCore` makes every decision
+(hit/miss, admit/evict, the prefetch window); this module executes them
+on the functional plane: chunk buffers leased from the mount's
+:class:`~repro.core.buffer_pool.BufferPool`, demand fetches performed
+synchronously by the reading thread, and prefetches pushed through the
+existing :class:`~repro.core.workqueue.WorkQueue` as low-priority
+:class:`ReadChunk` items the IO workers service between writebacks.
+
+Deadlock discipline (the shutdown-safety contract the regression tests
+pin):
+
+* IO workers never block on the pool — a prefetch uses
+  :meth:`BufferPool.try_acquire` and is *dropped* when starved, so a
+  full pool cannot park a worker and hang ``IOThreadPool.shutdown``;
+* low-band queue puts never block, so a reader holding the cache lock
+  cannot stall behind write backpressure;
+* teardown (:meth:`ReadCache.clear`) never waits for in-flight
+  fetches — it marks their entries evicted and the worker releases the
+  buffer itself when the fetch lands.
+
+Lock order: ``entry.write_lock`` → ``ReadCache._cond`` → pool/queue
+internal locks.  The backend ``pread`` for a *demand* miss runs under
+``_cond`` (same-file readers serialize, different files don't);
+prefetch workers drop ``_cond`` around their ``pread`` so foreground
+hits overlap with background fetches.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable
+
+from ..errors import BackendIOError, FileStateError, ShutdownError
+from ..pipeline.readahead import DEMAND, PREFETCH, CacheEntry, ReadaheadCore
+from ..pipeline.resilience import BackendHealth
+from .buffer_pool import BufferPool
+from .workqueue import WorkQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..backends.base import Backend
+
+__all__ = ["ReadCache", "ReadChunk"]
+
+
+@dataclass
+class ReadChunk:
+    """A low-priority prefetch bound for the IO thread pool."""
+
+    cache: "ReadCache"
+    centry: CacheEntry
+    file_offset: int
+    length: int
+
+
+class ReadCache:
+    """Per-file readahead cache on the functional plane."""
+
+    def __init__(
+        self,
+        path: str,
+        backend: "Backend",
+        backend_handle: Any,
+        core: ReadaheadCore,
+        pool: BufferPool,
+        queue: WorkQueue,
+        health: BackendHealth | None = None,
+    ):
+        self.path = path
+        self.backend = backend
+        self.backend_handle = backend_handle
+        self.core = core
+        self.pool = pool
+        self.queue = queue
+        self.health = health
+        self._cond = threading.Condition()
+
+    # -- the foreground read path ---------------------------------------------
+
+    def read(self, size: int, offset: int, file_size: int) -> bytes:
+        """Serve one pread from the cache, fetching and prefetching.
+
+        ``file_size`` is the caller-resolved size (backend size fused
+        with the planner's append point, after flush+drain), used both
+        to clamp the read like a passthrough pread would and to stop the
+        prefetch window at EOF.
+        """
+        end = min(offset + size, file_size)
+        if size <= 0 or end <= offset:
+            return b""
+        cs = self.core.chunk_size
+        parts: list[bytes] = []
+        with self._cond:
+            for index in range(offset // cs, (end - 1) // cs + 1):
+                lo = max(offset, index * cs)
+                hi = min(end, (index + 1) * cs)
+                parts.append(self._chunk_slice(index, lo, hi, file_size))
+                self._issue_prefetches(index, file_size)
+        return b"".join(parts)
+
+    def _chunk_slice(self, index: int, lo: int, hi: int, file_size: int) -> bytes:
+        """One chunk's contribution to a read (caller holds _cond)."""
+        base = index * self.core.chunk_size
+        while True:
+            centry = self.core.access(index)
+            if centry is None:
+                return self._demand_fetch(centry_index=index, lo=lo, hi=hi,
+                                          file_size=file_size)
+            if not centry.ready:
+                # In flight (a hit on our own prefetch): wait for the
+                # worker; on a drop/eviction, retry from a fresh access.
+                while not centry.ready and not centry.evicted:
+                    if not self._cond.wait(timeout=30.0):
+                        raise FileStateError(
+                            f"{self.path}: readahead fetch stuck (chunk @{base})"
+                        )
+                if centry.evicted:
+                    continue
+            return bytes(centry.payload.buffer[lo - base : hi - base])
+
+    def _demand_fetch(
+        self, centry_index: int, lo: int, hi: int, file_size: int
+    ) -> bytes:
+        """Foreground miss: fetch the whole aligned chunk synchronously
+        (caller holds _cond).  A starved pool degrades to an uncached
+        slice read; a backend failure surfaces as :class:`CRFSError`
+        (counted by the breaker) — demand reads are never silent."""
+        cs = self.core.chunk_size
+        base = centry_index * cs
+        centry, evicted = self.core.admit(centry_index, DEMAND)
+        self._release_evicted(evicted)
+        chunk = self.pool.try_acquire()
+        if chunk is None:
+            self.core.fetch_failed(centry)  # silent un-admit (demand origin)
+            return self.backend.pread(self.backend_handle, hi - lo, lo)
+        length = min(cs, file_size - base)
+        try:
+            data = self.backend.pread(self.backend_handle, length, base)
+        except Exception as exc:
+            self.core.fetch_failed(centry)
+            self.pool.release(chunk)
+            self._cond.notify_all()
+            if self.health is not None:
+                self.health.record_failure()
+            raise BackendIOError(
+                f"{self.path}: demand read of chunk @{base} failed: {exc}"
+            ) from exc
+        chunk.open_for(self, base)
+        chunk.append(data, 0, len(data))
+        if self.core.fetch_done(centry, chunk, len(data)):
+            self._cond.notify_all()
+        else:  # evicted while we fetched (a concurrent writer invalidated)
+            self.pool.release(chunk)
+        return bytes(data[lo - base : hi - base])
+
+    def _issue_prefetches(self, index: int, file_size: int) -> None:
+        """Slide the window (caller holds _cond).  Degraded mode issues
+        nothing: with the breaker open every backend op is suspect, and
+        speculative reads would only feed it more failures."""
+        if self.core.depth <= 0 or (self.health is not None and self.health.degraded):
+            return
+        cs = self.core.chunk_size
+        for pidx in self.core.plan_prefetch(index, file_size):
+            centry, evicted = self.core.admit(pidx, PREFETCH)
+            self._release_evicted(evicted)
+            base = pidx * cs
+            item = ReadChunk(
+                cache=self,
+                centry=centry,
+                file_offset=base,
+                length=min(cs, file_size - base),
+            )
+            try:
+                self.queue.put(item, low=True)
+            except ShutdownError:  # racing unmount: drop, never block
+                self.core.fetch_failed(centry)
+
+    # -- the background (IO worker) path ---------------------------------------
+
+    def service_prefetch(self, item: ReadChunk) -> None:
+        """Execute one queued prefetch; called from an IO worker.
+
+        Never blocks on the pool (try_acquire; starved → dropped) and
+        drops _cond around the backend pread so foreground cache hits
+        proceed while the fetch is in flight.
+        """
+        centry = item.centry
+        with self._cond:
+            if centry.evicted:  # invalidated/cleared while queued
+                return
+            chunk = self.pool.try_acquire()
+            if chunk is None:
+                self.core.fetch_failed(centry)
+                self._cond.notify_all()
+                return
+        try:
+            data = self.backend.pread(
+                self.backend_handle, item.length, item.file_offset
+            )
+        except Exception:
+            # Prefetch failures are silent: drop the entry, the chunk is
+            # refetched on demand if a read actually wants it.
+            with self._cond:
+                if not centry.evicted:
+                    self.core.fetch_failed(centry)
+                self._cond.notify_all()
+            self.pool.release(chunk)
+            if self.health is not None:
+                self.health.record_failure()
+            return
+        with self._cond:
+            chunk.open_for(self, item.file_offset)
+            chunk.append(data, 0, len(data))
+            if self.core.fetch_done(centry, chunk, len(data)):
+                self._cond.notify_all()
+            else:  # evicted while in flight; drop-accounted at eviction
+                self.pool.release(chunk)
+
+    # -- write-path and teardown hooks -----------------------------------------
+
+    def invalidate(self, offset: int, length: int) -> None:
+        """Drop cached chunks overlapping a just-accepted write (called
+        under the file's write_lock)."""
+        with self._cond:
+            self._release_evicted(self.core.invalidate(offset, length))
+
+    def clear(self) -> None:
+        """Teardown (last close / unmount): drop everything without
+        waiting.  In-flight fetches are marked evicted; the worker
+        holding the buffer releases it when its pread lands, before
+        ``IOThreadPool.shutdown`` joins it."""
+        with self._cond:
+            self._release_evicted(self.core.clear())
+
+    def _release_evicted(self, entries: Iterable[CacheEntry]) -> None:
+        """Return evictees' buffers to the pool and wake waiters parked
+        on in-flight ones (caller holds _cond)."""
+        woke = False
+        for entry in entries:
+            if entry.payload is not None:
+                self.pool.release(entry.payload)
+                entry.payload = None
+            if not entry.ready:
+                woke = True
+        if woke:
+            self._cond.notify_all()

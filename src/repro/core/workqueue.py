@@ -29,6 +29,13 @@ class QueueClosed(ShutdownError):
 class WorkQueue:
     """Bounded (optionally unbounded) thread-safe FIFO with drain-close.
 
+    Two priority bands: the default (high) band carries writeback
+    chunks, the low band readahead prefetches — ``get`` always drains
+    the high band first, so prefetch never delays a checkpoint write.
+    ``capacity`` bounds the high band only; low-band puts never block
+    (prefetch volume is already bounded by cache admission, and a
+    blocking low put from a reader holding cache locks could deadlock).
+
     Depth accounting is published as ``QueuePressure`` events into the
     shared :class:`~repro.pipeline.stats.PipelineStats` registry.
     """
@@ -39,6 +46,7 @@ class WorkQueue:
         self.capacity = capacity  # 0 = unbounded
         self.stats = stats if stats is not None else PipelineStats()
         self._items: Deque[Any] = deque()
+        self._low: Deque[Any] = deque()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._not_full = threading.Condition(self._lock)
@@ -56,15 +64,24 @@ class WorkQueue:
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._items)
+            return len(self._items) + len(self._low)
 
     @property
     def closed(self) -> bool:
         with self._lock:
             return self._closed
 
-    def put(self, item: Any, timeout: float | None = 30.0) -> None:
+    def put(self, item: Any, timeout: float | None = 30.0, low: bool = False) -> None:
         with self._not_full:
+            if low:
+                if self._closed:
+                    raise QueueClosed("work queue closed")
+                self._low.append(item)
+                self.stats.on_event(
+                    QueuePressure(depth=len(self._items) + len(self._low))
+                )
+                self._not_empty.notify()
+                return
             while (
                 self.capacity
                 and len(self._items) >= self.capacity
@@ -75,20 +92,25 @@ class WorkQueue:
             if self._closed:
                 raise QueueClosed("work queue closed")
             self._items.append(item)
-            self.stats.on_event(QueuePressure(depth=len(self._items)))
+            self.stats.on_event(
+                QueuePressure(depth=len(self._items) + len(self._low))
+            )
             self._not_empty.notify()
 
     def get(self, timeout: float | None = None) -> Any:
-        """Take the next item; blocks while empty; raises QueueClosed once
-        closed *and* drained."""
+        """Take the next item, high band first; blocks while empty;
+        raises QueueClosed once closed *and* both bands drained."""
         with self._not_empty:
-            while not self._items:
+            while not self._items and not self._low:
                 if self._closed:
                     raise QueueClosed("work queue closed")
                 if not self._not_empty.wait(timeout=timeout):
                     raise TimeoutError("work queue get timed out")
-            item = self._items.popleft()
-            self._not_full.notify()
+            if self._items:
+                item = self._items.popleft()
+                self._not_full.notify()
+            else:
+                item = self._low.popleft()
             return item
 
     def close(self) -> None:

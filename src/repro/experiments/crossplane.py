@@ -4,8 +4,10 @@ The repo's claim that both planes implement *the same filesystem* rests
 on the shared pipeline kernel (:mod:`repro.pipeline`): the threaded
 functional plane and the discrete-event timing plane drive identical
 aggregation, drain, and accounting logic.  This experiment runs one
-checkpoint-like write stream through both planes and diffs their
-``stats()`` snapshots — every workload-determined counter must be
+checkpoint-like write stream — followed by a restart-like sequential
+read-back through the readahead cache — through both planes and diffs
+their ``stats()`` snapshots — every workload-determined counter,
+including the ``read`` section's hit/miss/prefetch accounting, must be
 bit-identical (timing-dependent gauges like queue depth are excluded).
 """
 
@@ -42,8 +44,12 @@ COMPARED_FIELDS = (
     "io_errors",
     "seals",
     "open_files",
+    "read",
     "resilience",
 )
+
+#: Restart read-back request size (both planes replay the same stream).
+READ_REQUEST = 48 * KiB
 
 
 def _workload(seed: int, fast: bool) -> list[int]:
@@ -52,12 +58,24 @@ def _workload(seed: int, fast: bool) -> list[int]:
     return WriteSizeDistribution().plan(total, rng_for(seed, "crossplane"))
 
 
+def _read_plan(sizes: list[int]) -> list[int]:
+    """The sequential read-back request stream for this write stream."""
+    total, out = sum(sizes), []
+    while total > 0:
+        out.append(min(READ_REQUEST, total))
+        total -= out[-1]
+    return out
+
+
 def _functional_stats(sizes: list[int], config: CRFSConfig) -> dict[str, Any]:
     fs = CRFS(MemBackend(), config)
     with fs:
         with fs.open("/rank0.img") as f:
             for size in sizes:
                 f.write(b"\x00" * size)
+            f.seek(0)
+            for size in _read_plan(sizes):
+                f.read(size)
     return fs.stats()
 
 
@@ -72,6 +90,9 @@ def _timing_stats(sizes: list[int], config: CRFSConfig, seed: int) -> dict[str, 
         f = crfs.open("/rank0.img")
         for size in sizes:
             yield from crfs.write(f, size)
+        crfs.seek(f, 0)
+        for size in _read_plan(sizes):
+            yield from crfs.read(f, size)
         yield from crfs.close(f)
 
     sim.run_until_complete([sim.spawn(proc())])
@@ -80,7 +101,19 @@ def _timing_stats(sizes: list[int], config: CRFSConfig, seed: int) -> dict[str, 
 
 def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
     sizes = _workload(seed, fast)
-    config = CRFSConfig(chunk_size=256 * KiB, pool_size=1 * MiB, io_threads=2)
+    # Pool of 4 chunks, cache of 4, window of 2: reads start after the
+    # write stream drains, so the whole pool is free for the cache and
+    # the prefetch try-acquire can never starve on either plane — every
+    # hit/miss/prefetch decision is workload-determined.  Capacity >=
+    # window + 2 keeps sequential reads from churning the window
+    # (current + previous + the two in-flight prefetches all fit).
+    config = CRFSConfig(
+        chunk_size=256 * KiB,
+        pool_size=1 * MiB,
+        io_threads=2,
+        read_cache_chunks=4,
+        readahead_chunks=2,
+    )
     func = _functional_stats(sizes, config)
     timing = _timing_stats(sizes, config, seed)
 
@@ -124,6 +157,13 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
             func["bytes_out"] == func["bytes_in"] == sum(sizes)
             and timing["bytes_out"] == timing["bytes_in"] == sum(sizes),
             f"{sum(sizes)} bytes through {func['chunks_written']} chunks",
+        ),
+        Check(
+            "restart read-back exercised the readahead cache",
+            func["read"]["hits"] > 0
+            and func["read"]["prefetched"] > 0
+            and func["read"]["bytes_read"] == sum(sizes),
+            f"read section: {func['read']}",
         ),
     ]
     return ExperimentResult(

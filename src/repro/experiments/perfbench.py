@@ -11,9 +11,11 @@ inject a 20% goodput drop and require the gate to fail.
 from __future__ import annotations
 
 import copy
+import dataclasses
 
 from ..perf.compare import compare_artifacts
-from ..perf.runner import run_suite
+from ..perf.runner import run_scenario_sim, run_suite
+from ..perf.scenarios import SCENARIOS
 from ..perf.schema import build_artifact, canonical_metrics
 from ..util.tables import TextTable
 from .base import Check, ExperimentResult
@@ -62,6 +64,22 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
         for m in first["planes"]["sim"].values()
     )
 
+    # Readahead ablation: the restart scenario with the cache knocked
+    # out (pure passthrough reads) must be measurably slower — the
+    # deterministic, virtual-clock proof the read plane optimization
+    # pays for itself.  Full image size: the fast image is too small
+    # for the prefetch pipeline to amortize its fill.
+    ra = SCENARIOS["restart_readahead"]
+    ra_on = run_scenario_sim(ra, seed=seed)
+    ra_off = run_scenario_sim(
+        dataclasses.replace(
+            ra, config=ra.config.with_(read_cache_chunks=0, readahead_chunks=0)
+        ),
+        seed=seed,
+    )
+    ra_gain = ra_on["goodput_mib_s"] / ra_off["goodput_mib_s"] - 1.0
+    ra_stats = ra_on["stats"]["read"]
+
     checks = [
         Check(
             "two same-seed sim runs are byte-identical",
@@ -93,6 +111,19 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
                 for m in first["planes"]["sim"].values()
             ),
             "drain section populated in every scenario",
+        ),
+        Check(
+            "restart readahead beats passthrough by >= 5%",
+            ra_gain >= 0.05,
+            f"goodput {ra_on['goodput_mib_s']:.2f} vs "
+            f"{ra_off['goodput_mib_s']:.2f} MiB/s ({ra_gain:+.1%})",
+        ),
+        Check(
+            "readahead served the restart from the cache",
+            ra_stats["hits"] > 0
+            and ra_stats["prefetched"] > 0
+            and ra_stats["prefetch_wasted"] == 0,
+            f"read section: {ra_stats}",
         ),
     ]
     return ExperimentResult(

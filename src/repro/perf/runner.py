@@ -8,8 +8,10 @@ time from the stats registry's ``drain`` section, and the full
 
 The sim plane drives :class:`~repro.simcrfs.SimCRFS` over a
 :class:`~repro.simio.nullfs.NullSimFilesystem` (paper Fig 5's rig: raw
-aggregation, no backend noise) on the virtual clock — every number is a
-pure function of (code, seed).  The real plane drives the threaded
+aggregation, no backend noise) — or, per scenario, the shared-server
+:class:`~repro.simio.nfs.NFSFilesystem` model whose staged read path
+the restart readahead pipelines — on the virtual clock; every number is
+a pure function of (code, seed).  The real plane drives the threaded
 :class:`~repro.core.CRFS` over a
 :class:`~repro.backends.localdir.LocalDirBackend` in a scratch
 directory, timing actual execution; its numbers are machine-dependent
@@ -31,6 +33,7 @@ from ..pipeline import ChunkWritten, PipelineEvent, PipelineObserver, WriteObser
 from ..sim import SharedBandwidth, Simulator
 from ..simcrfs import SimCRFS
 from ..simio.faulty import FaultySimFilesystem
+from ..simio.nfs import NFSFilesystem, NFSServer
 from ..simio.nullfs import NullSimFilesystem
 from ..simio.params import DEFAULT_HW
 from ..units import MiB
@@ -101,9 +104,11 @@ def run_scenario_sim(scenario: Scenario, seed: int, fast: bool = False) -> dict[
     sim = Simulator()
     hw = DEFAULT_HW
     membus = SharedBandwidth(sim, hw.membus_bandwidth)
-    backend = NullSimFilesystem(
-        sim, hw, rng_for(seed, f"perf/{scenario.name}/backend")
-    )
+    rng = rng_for(seed, f"perf/{scenario.name}/backend")
+    if scenario.sim_backend == "nfs":
+        backend = NFSFilesystem(sim, hw, rng, membus, NFSServer(sim, hw))
+    else:
+        backend = NullSimFilesystem(sim, hw, rng)
     rules = scenario.fault_rules()
     if rules:
         backend = FaultySimFilesystem(backend, rules)
@@ -120,6 +125,18 @@ def run_scenario_sim(scenario: Scenario, seed: int, fast: bool = False) -> dict[
             yield from crfs.write(f, size)
             if scenario.fsync_every and n % scenario.fsync_every == 0:
                 yield from crfs.fsync(f)
+        if scenario.read_request:
+            # Restart phase: settle the checkpoint (restart never
+            # overlaps writeback), then re-read the image sequentially
+            # through the same handle (the planner's append point sizes
+            # the file).
+            yield from crfs.fsync(f)
+            crfs.seek(f, 0)
+            image, done = sum(workloads[index]), 0
+            while done < image:
+                n = min(scenario.read_request, image - done)
+                yield from crfs.read(f, n)
+                done += n
         yield from crfs.close(f)
 
     procs = [
@@ -171,6 +188,13 @@ def run_scenario_real(
                         f.write(memoryview(payload)[:size])
                         if scenario.fsync_every and n % scenario.fsync_every == 0:
                             f.fsync()
+                    if scenario.read_request:
+                        f.fsync()
+                        image, done = sum(workloads[index]), 0
+                        while done < image:
+                            n = min(scenario.read_request, image - done)
+                            f.pread(n, done)
+                            done += n
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 failures.append(exc)
 

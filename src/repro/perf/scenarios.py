@@ -14,6 +14,9 @@ must keep honest:
 * ``degraded_retry`` — a bounded backend outage: retries back off,
   the circuit breaker trips, writes degrade to synchronous
   write-through, then the backend heals and the breaker recovers.
+* ``restart_readahead`` — write an image then read it back
+  sequentially over the NFS model: the restart read plane, with the
+  chunked readahead cache prefetching through the IO pool.
 
 Workloads are derived from ``rng_for(seed, "perf/<scenario>/<writer>")``
 so every writer's byte stream is a pure function of the seed — two runs
@@ -65,6 +68,14 @@ class Scenario:
     fast_image_size: int = 1 * MiB
     #: fsync after every k writes (0 = only the implicit close drain).
     fsync_every: int = 0
+    #: Restart read-back: after its write phase each writer seeks to 0
+    #: and re-reads its image sequentially in requests of this size
+    #: (0 = write-only scenario).
+    read_request: int = 0
+    #: Sim-plane backing filesystem: "null" (Fig-5 rig, raw aggregation)
+    #: or "nfs" (the shared-server NFSv3 model, whose staged read path —
+    #: link, server CPU, disk — readahead can pipeline).
+    sim_backend: str = "null"
     #: Factory for the backend fault schedule (fresh rules per run).
     fault_rules: Callable[[], list[FaultRule]] = field(default=_no_rules)
 
@@ -125,6 +136,22 @@ SCENARIOS: dict[str, Scenario] = {
             image_size=4 * MiB,
             fast_image_size=1 * MiB,
             fault_rules=_outage_rules,
+        ),
+        Scenario(
+            name="restart_readahead",
+            description="restart read-back over NFS: chunked readahead "
+            "prefetched through the IO pool",
+            config=CRFSConfig(
+                chunk_size=512 * KiB,
+                pool_size=8 * MiB,
+                io_threads=4,
+                read_cache_chunks=8,
+                readahead_chunks=4,
+            ),
+            image_size=8 * MiB,
+            fast_image_size=2 * MiB,
+            read_request=256 * KiB,
+            sim_backend="nfs",
         ),
     )
 }

@@ -19,6 +19,7 @@ tests assert.
 from .events import (
     BackendDegraded,
     BackendRecovered,
+    ChunkPrefetched,
     ChunkRetried,
     ChunkSealed,
     ChunkWritten,
@@ -29,12 +30,18 @@ from .events import (
     PipelineEvent,
     PipelineObserver,
     PoolPressure,
+    PrefetchDropped,
+    PrefetchWasted,
     QueuePressure,
+    ReadHit,
+    ReadMiss,
+    ReadObserved,
     WorkersDrained,
     WriteObserved,
 )
 from .kernel import FilePipeline, PipelineKernel
 from .planner import Fill, PlanOp, Seal, SealReason, WritePlanner
+from .readahead import DEMAND, PREFETCH, CacheEntry, ReadaheadCore
 from .resilience import BackendHealth, RetryPolicy, run_attempts
 from .stats import PipelineStats, flatten_snapshot
 
@@ -42,22 +49,32 @@ __all__ = [
     "BackendDegraded",
     "BackendHealth",
     "BackendRecovered",
+    "CacheEntry",
+    "ChunkPrefetched",
     "ChunkRetried",
     "ChunkSealed",
     "ChunkWritten",
+    "DEMAND",
     "ErrorLatched",
     "FileClosed",
     "FileDrained",
     "FileOpened",
     "Fill",
     "FilePipeline",
+    "PREFETCH",
     "PipelineEvent",
     "PipelineKernel",
     "PipelineObserver",
     "PipelineStats",
     "PlanOp",
     "PoolPressure",
+    "PrefetchDropped",
+    "PrefetchWasted",
     "QueuePressure",
+    "ReadHit",
+    "ReadMiss",
+    "ReadObserved",
+    "ReadaheadCore",
     "RetryPolicy",
     "Seal",
     "SealReason",

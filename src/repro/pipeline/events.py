@@ -39,6 +39,12 @@ __all__ = [
     "BackendRecovered",
     "PoolPressure",
     "QueuePressure",
+    "ReadObserved",
+    "ReadHit",
+    "ReadMiss",
+    "ChunkPrefetched",
+    "PrefetchWasted",
+    "PrefetchDropped",
 ]
 
 
@@ -187,6 +193,77 @@ class QueuePressure(PipelineEvent):
     """A chunk was enqueued on the work queue at the given depth."""
 
     depth: int
+
+
+@dataclass(frozen=True)
+class ReadObserved(PipelineEvent):
+    """One application ``read()``/``pread()`` was served.
+
+    Emitted on every read path — passthrough, degraded and cached alike
+    — so the ``read`` stats section counts reads even with the readahead
+    cache disabled.  ``length`` is the *requested* size (both planes
+    agree on it; the functional plane's short reads at EOF would
+    otherwise diverge from the data-free timing plane)."""
+
+    path: str
+    offset: int
+    length: int
+    start: float
+    duration: float
+
+
+@dataclass(frozen=True)
+class ReadHit(PipelineEvent):
+    """A chunk-aligned cache lookup found the chunk resident or already
+    in flight (a wait-then-serve on an issued prefetch still counts as a
+    hit: the fetch was saved either way)."""
+
+    path: str
+    file_offset: int
+    t: float = 0.0
+
+
+@dataclass(frozen=True)
+class ReadMiss(PipelineEvent):
+    """A chunk-aligned cache lookup found nothing; the chunk is fetched
+    on demand (or, with the pool starved, the slice is read uncached)."""
+
+    path: str
+    file_offset: int
+    t: float = 0.0
+
+
+@dataclass(frozen=True)
+class ChunkPrefetched(PipelineEvent):
+    """An asynchronous readahead fetch completed and its chunk entered
+    the cache."""
+
+    path: str
+    file_offset: int
+    length: int
+    t: float = 0.0
+
+
+@dataclass(frozen=True)
+class PrefetchWasted(PipelineEvent):
+    """A successfully prefetched chunk left the cache (eviction,
+    invalidation or teardown) without ever serving a read."""
+
+    path: str
+    file_offset: int
+    t: float = 0.0
+
+
+@dataclass(frozen=True)
+class PrefetchDropped(PipelineEvent):
+    """An issued prefetch was abandoned before delivering: the pool had
+    no free chunk, the backend fetch failed, or the entry was evicted
+    while still in flight.  Dropped prefetches are silent — the chunk is
+    simply refetched on demand when a read wants it."""
+
+    path: str
+    file_offset: int
+    t: float = 0.0
 
 
 class PipelineObserver:

@@ -41,6 +41,7 @@ from .events import (
     FileOpened,
     PipelineEvent,
     PipelineObserver,
+    ReadObserved,
     WriteObserved,
 )
 from .planner import PlanOp, Seal, WritePlanner
@@ -142,6 +143,24 @@ class FilePipeline:
                 duration=now - start,
                 write_through=write_through,
                 degraded=degraded,
+            )
+        )
+
+    def note_read(
+        self, offset: int, length: int, start: float | None = None
+    ) -> None:
+        """One application read()/pread() was served (any read path —
+        passthrough, degraded or cached)."""
+        now = self.clock()
+        if start is None:
+            start = now
+        self._emit(
+            ReadObserved(
+                path=self.path,
+                offset=offset,
+                length=length,
+                start=start,
+                duration=now - start,
             )
         )
 

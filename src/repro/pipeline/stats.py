@@ -17,6 +17,7 @@ from typing import Any
 from .events import (
     BackendDegraded,
     BackendRecovered,
+    ChunkPrefetched,
     ChunkRetried,
     ChunkSealed,
     ChunkWritten,
@@ -27,7 +28,12 @@ from .events import (
     PipelineEvent,
     PipelineObserver,
     PoolPressure,
+    PrefetchDropped,
+    PrefetchWasted,
     QueuePressure,
+    ReadHit,
+    ReadMiss,
+    ReadObserved,
     WorkersDrained,
     WriteObserved,
 )
@@ -86,6 +92,14 @@ class PipelineStats(PipelineObserver):
         self.breaker_recoveries = 0
         self.degraded_writes = 0
         self.degraded_bytes = 0
+        # -- read path (readahead cache; zeros with the cache disabled)
+        self.reads = 0
+        self.bytes_read = 0
+        self.read_hits = 0
+        self.read_misses = 0
+        self.chunks_prefetched = 0
+        self.prefetch_dropped = 0
+        self.prefetch_wasted = 0
         # -- files
         self.open_files = 0
         # -- drain waits (close/fsync/unmount) and pool shutdown
@@ -154,6 +168,19 @@ class PipelineStats(PipelineObserver):
             elif isinstance(event, WorkersDrained):
                 self.shutdown_drains += 1
                 self.shutdown_drain_time += event.duration
+            elif isinstance(event, ReadObserved):
+                self.reads += 1
+                self.bytes_read += event.length
+            elif isinstance(event, ReadHit):
+                self.read_hits += 1
+            elif isinstance(event, ReadMiss):
+                self.read_misses += 1
+            elif isinstance(event, ChunkPrefetched):
+                self.chunks_prefetched += 1
+            elif isinstance(event, PrefetchDropped):
+                self.prefetch_dropped += 1
+            elif isinstance(event, PrefetchWasted):
+                self.prefetch_wasted += 1
 
     # -- snapshot -------------------------------------------------------------
 
@@ -187,6 +214,15 @@ class PipelineStats(PipelineObserver):
                     "time_max": self.drain_time_max,
                     "shutdown_drains": self.shutdown_drains,
                     "shutdown_time_total": self.shutdown_drain_time,
+                },
+                "read": {
+                    "reads": self.reads,
+                    "bytes_read": self.bytes_read,
+                    "hits": self.read_hits,
+                    "misses": self.read_misses,
+                    "prefetched": self.chunks_prefetched,
+                    "prefetch_dropped": self.prefetch_dropped,
+                    "prefetch_wasted": self.prefetch_wasted,
                 },
                 "resilience": {
                     "chunks_retried": self.chunks_retried,

@@ -127,14 +127,15 @@ class _Get(Waitable):
 
 
 class _Put(Waitable):
-    __slots__ = ("queue", "item")
+    __slots__ = ("queue", "item", "low")
 
-    def __init__(self, queue: "SimQueue", item: Any):
+    def __init__(self, queue: "SimQueue", item: Any, low: bool = False):
         self.queue = queue
         self.item = item
+        self.low = low
 
     def _subscribe(self, sim: Simulator, proc: Process) -> None:
-        self.queue._enqueue_putter(proc, self.item)
+        self.queue._enqueue_putter(proc, self.item, self.low)
 
 
 class SimQueue:
@@ -144,6 +145,11 @@ class SimQueue:
     * ``yield q.get()`` blocks while it is empty; returns the item.
     * :meth:`close` wakes all blocked getters with :class:`ShutdownError`
       and makes further puts fail — the IO-thread shutdown protocol.
+
+    Two priority bands, mirroring the functional plane's WorkQueue:
+    ``put(item, low=True)`` enqueues on the low band (readahead
+    prefetches), which getters drain only when the high band is empty;
+    ``capacity`` bounds the high band only and low puts never block.
     """
 
     def __init__(self, sim: Simulator, capacity: int = 0):
@@ -152,6 +158,7 @@ class SimQueue:
         self.sim = sim
         self.capacity = capacity  # 0 = unbounded
         self._items: Deque[Any] = deque()
+        self._low: Deque[Any] = deque()
         self._getters: Deque[Process] = deque()
         self._putters: Deque[tuple[Process, Any]] = deque()
         self.closed = False
@@ -159,15 +166,15 @@ class SimQueue:
         self.total_puts = 0
 
     def __len__(self) -> int:
-        return len(self._items)
+        return len(self._items) + len(self._low)
 
-    def put(self, item: Any) -> Waitable:
-        return _Put(self, item)
+    def put(self, item: Any, low: bool = False) -> Waitable:
+        return _Put(self, item, low)
 
     def get(self) -> Waitable:
         return _Get(self)
 
-    def _enqueue_putter(self, proc: Process, item: Any) -> None:
+    def _enqueue_putter(self, proc: Process, item: Any, low: bool = False) -> None:
         if self.closed:
             self.sim.schedule(0.0, proc._throw, ShutdownError("queue closed"))
             return
@@ -176,9 +183,13 @@ class SimQueue:
             getter = self._getters.popleft()
             self.sim.schedule(0.0, getter._resume, item)
             self.sim.schedule(0.0, proc._resume, None)
+        elif low:
+            self._low.append(item)
+            self.max_depth = max(self.max_depth, len(self))
+            self.sim.schedule(0.0, proc._resume, None)
         elif self.capacity == 0 or len(self._items) < self.capacity:
             self._items.append(item)
-            self.max_depth = max(self.max_depth, len(self._items))
+            self.max_depth = max(self.max_depth, len(self))
             self.sim.schedule(0.0, proc._resume, None)
         else:
             self._putters.append((proc, item))
@@ -189,9 +200,11 @@ class SimQueue:
             if self._putters:
                 putter, pitem = self._putters.popleft()
                 self._items.append(pitem)
-                self.max_depth = max(self.max_depth, len(self._items))
+                self.max_depth = max(self.max_depth, len(self))
                 self.sim.schedule(0.0, putter._resume, None)
             self.sim.schedule(0.0, proc._resume, item)
+        elif self._low:
+            self.sim.schedule(0.0, proc._resume, self._low.popleft())
         elif self.closed:
             self.sim.schedule(0.0, proc._throw, ShutdownError("queue closed"))
         else:
@@ -199,11 +212,11 @@ class SimQueue:
 
     def close(self) -> None:
         """Close the queue: blocked getters get ShutdownError once the
-        queue is empty of items (drain-then-stop)."""
+        queue is empty of items (drain-then-stop, both bands)."""
         self.closed = True
         # Items still queued will be consumed first; only wake getters if
         # there is nothing left to hand them.
-        if not self._items:
+        if not self._items and not self._low:
             getters, self._getters = self._getters, deque()
             for g in getters:
                 self.sim.schedule(0.0, g._throw, ShutdownError("queue closed"))

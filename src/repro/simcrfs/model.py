@@ -30,10 +30,11 @@ Costs on the write path (what the application's checkpoint time sees):
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Iterable, Optional
 
 from ..config import CRFSConfig
-from ..errors import BackendTimeoutError, ShutdownError
+from ..errors import BackendIOError, BackendTimeoutError, ShutdownError
 from ..pipeline import (
     BackendHealth,
     Fill,
@@ -45,6 +46,7 @@ from ..pipeline import (
     Seal,
     WorkersDrained,
 )
+from ..pipeline.readahead import DEMAND, PREFETCH, CacheEntry, ReadaheadCore
 from ..sim import (
     SharedBandwidth,
     SimEvent,
@@ -69,15 +71,33 @@ class SimCRFSFile:
         "has_chunk",
         "_drain_waiters",
         "pos",
+        "read_pos",
+        "known_size",
+        "read_core",
     )
 
-    def __init__(self, path: str, pipeline: FilePipeline, backend_file: SimFile):
+    def __init__(
+        self,
+        path: str,
+        pipeline: FilePipeline,
+        backend_file: SimFile,
+        known_size: int = 0,
+        read_core: Optional[ReadaheadCore] = None,
+    ):
         self.path = path
         self.pipeline = pipeline
         self.backend_file = backend_file
         self.has_chunk = False  # a chunk is currently open for this file
         self._drain_waiters: list[SimEvent] = []
         self.pos = 0  # sequential append cursor
+        self.read_pos = 0  # sequential read cursor (restart path)
+        #: Pre-existing size, as passed to :meth:`SimCRFS.open` — restart
+        #: opens an image written earlier; checkpoint data in the timing
+        #: plane is a stream of sizes, so the size must be declared.
+        self.known_size = known_size
+        #: Restart-readahead decisions (shared, plane-agnostic core);
+        #: None keeps reads on the paper's passthrough path.
+        self.read_core = read_core
 
     # -- kernel passthrough ----------------------------------------------------
 
@@ -96,6 +116,16 @@ class SimCRFSFile:
     @property
     def drained(self) -> bool:
         return self.pipeline.drained
+
+
+@dataclass
+class _SimReadFetch:
+    """A low-priority readahead prefetch on the simulated work queue."""
+
+    f: SimCRFSFile
+    centry: CacheEntry
+    file_offset: int
+    length: int
 
 
 class SimCRFS:
@@ -167,7 +197,10 @@ class SimCRFS:
 
     # -- file API (all generators, driven by writer processes) -----------------
 
-    def open(self, path: str) -> SimCRFSFile:
+    def open(self, path: str, size: int = 0) -> SimCRFSFile:
+        """Open a file; ``size`` declares pre-existing bytes (timing-plane
+        data is a stream of sizes, so a restart read-back of an image
+        written in an earlier mount must state how large it is)."""
         backend_file = self.backend.open(path)
         # Chunk writeback is issued by CRFS's few dedicated IO threads as
         # large aligned writes of brand-new pages — it dodges the
@@ -175,7 +208,23 @@ class SimCRFS:
         # simio.ext3).
         backend_file.bulk_writer = True
         self.kernel.file_opened(path)
-        return SimCRFSFile(path, self.kernel.file(path), backend_file)
+        read_core = None
+        if self.config.read_cache_chunks > 0:
+            read_core = ReadaheadCore(
+                path,
+                self.config.chunk_size,
+                capacity=self.config.read_cache_chunks,
+                depth=self.config.readahead_chunks,
+                emit=self.kernel.emit,
+                clock=lambda: self.sim.now,
+            )
+        return SimCRFSFile(
+            path,
+            self.kernel.file(path),
+            backend_file,
+            known_size=size,
+            read_core=read_core,
+        )
 
     def write(self, f: SimCRFSFile, nbytes: int):
         """Generator: one application write() through FUSE into chunks."""
@@ -184,6 +233,7 @@ class SimCRFS:
             return
         t0 = self.sim.now
         offset0 = f.pos
+        self._invalidate_read_cache(f, offset0, nbytes)
         for request in fuse_requests(nbytes, self.hw.fuse_max_request):
             yield self.sim.timeout(self.hw.fuse_request_overhead)
             if request >= PAGE:
@@ -217,6 +267,10 @@ class SimCRFS:
         yield from self.flush(f)
         yield from self._wait_drained(f)
         f.pipeline.raise_latched()
+        if f.read_core is not None:
+            # Teardown mirror of ReadCache.clear(): cached-but-unused
+            # prefetches are waste-accounted, pool slots go back.
+            self._release_read_evicted(f.read_core.clear())
         yield from self.backend.close(f.backend_file)
         self.kernel.file_closed(f.path)
 
@@ -228,11 +282,174 @@ class SimCRFS:
         yield from self.backend.fsync(f.backend_file)
 
     def read(self, f: SimCRFSFile, nbytes: int):
-        """Generator: Section IV-D1 read — passthrough to the backend,
-        plus the FUSE request round-trips the mount itself costs."""
-        for request in fuse_requests(nbytes, self.hw.fuse_max_request):
-            yield self.sim.timeout(self.hw.fuse_request_overhead)
-            yield from self.backend.read(f.backend_file, request)
+        """Generator: one sequential read() at the file's read cursor.
+
+        Passthrough (the paper's Section IV-D1 behaviour) when no read
+        cache is configured or while the circuit breaker is open; with
+        ``read_cache_chunks`` set, the restart-readahead mirror of the
+        functional plane's :class:`~repro.core.readcache.ReadCache` —
+        flush + drain (read-your-writes), then chunk-aligned fetches
+        against the shared :class:`ReadaheadCore` decisions, with
+        prefetches serviced by the IO threads off the queue's low band.
+        """
+        t0 = self.sim.now
+        offset = f.read_pos
+        if f.read_core is None or self.health.degraded:
+            if not self.config.read_passthrough:
+                yield from self.flush(f)
+                yield from self._wait_drained(f)
+                f.pipeline.raise_latched()
+            for request in fuse_requests(nbytes, self.hw.fuse_max_request):
+                yield self.sim.timeout(self.hw.fuse_request_overhead)
+                yield from self.backend.read(f.backend_file, request)
+            f.pipeline.note_read(offset, nbytes, start=t0)
+            f.read_pos += nbytes
+            return
+        yield from self.flush(f)
+        yield from self._wait_drained(f)
+        f.pipeline.raise_latched()
+        file_size = max(f.known_size, f.planner.append_point)
+        end = min(offset + nbytes, file_size)
+        if nbytes > 0 and end > offset:
+            cs = self.config.chunk_size
+            for index in range(offset // cs, (end - 1) // cs + 1):
+                lo = max(offset, index * cs)
+                hi = min(end, (index + 1) * cs)
+                yield from self._cached_chunk(f, index, lo, hi, file_size)
+                yield from self._issue_read_prefetches(f, index, file_size)
+            # Serving pass: the mount's own cost of handing the cached
+            # bytes back — FUSE request round-trips plus the copy out of
+            # the chunk over the shared memory bus.
+            for request in fuse_requests(end - offset, self.hw.fuse_max_request):
+                yield self.sim.timeout(self.hw.fuse_request_overhead)
+                if request >= PAGE:
+                    yield self.membus.transfer(request)
+        f.pipeline.note_read(offset, nbytes, start=t0)
+        f.read_pos += nbytes
+
+    def seek(self, f: SimCRFSFile, pos: int) -> None:
+        """Reposition the sequential read cursor (restart replays)."""
+        f.read_pos = pos
+
+    # -- readahead internals (mirror of core.readcache, virtual time) ----------
+
+    def _cached_chunk(self, f: SimCRFSFile, index: int, lo: int, hi: int,
+                      file_size: int):
+        """Generator: one chunk's contribution to a cached read."""
+        core = f.read_core
+        cs = core.chunk_size
+        base = index * cs
+        while True:
+            centry = core.access(index)
+            if centry is None:
+                # Foreground miss: fetch the whole aligned chunk.  A full
+                # pool degrades to an uncached slice read (mirror of
+                # BufferPool.try_acquire returning None); a backend
+                # failure surfaces — demand reads are never silent.
+                centry, evicted = core.admit(index, DEMAND)
+                self._release_read_evicted(evicted)
+                if self.pool.in_use >= self.pool.capacity:
+                    core.fetch_failed(centry)  # silent un-admit (demand)
+                    self._wake_read_waiters(centry)
+                    yield from self.backend.read(f.backend_file, hi - lo)
+                    return
+                yield self.pool.acquire()
+                self.kernel.emit(
+                    PoolPressure(waited=False, in_use=self.pool.in_use)
+                )
+                length = min(cs, file_size - base)
+                try:
+                    yield from self.backend.read(f.backend_file, length)
+                except Exception as exc:  # noqa: BLE001 - surfaced to caller
+                    core.fetch_failed(centry)
+                    self._wake_read_waiters(centry)
+                    self.pool.release()
+                    self.health.record_failure()
+                    raise BackendIOError(
+                        f"{f.path}: demand read of chunk @{base} failed: {exc}"
+                    ) from exc
+                if core.fetch_done(centry, True, length):
+                    self._wake_read_waiters(centry)
+                else:  # evicted while fetching (concurrent invalidation)
+                    self.pool.release()
+                return
+            if centry.ready:
+                return
+            # In flight (a hit on our own prefetch): park on the entry;
+            # on a drop/eviction, retry from a fresh access.
+            ev = SimEvent(self.sim)
+            centry.waiters.append(ev)
+            yield ev
+            if centry.evicted:
+                continue
+            return
+
+    def _issue_read_prefetches(self, f: SimCRFSFile, index: int, file_size: int):
+        """Generator: slide the window after an access.  Degraded mode
+        issues nothing — with the breaker open every backend op is
+        suspect, and speculative reads would only feed it more failures."""
+        core = f.read_core
+        if core.depth <= 0 or self.health.degraded:
+            return
+        cs = core.chunk_size
+        for pidx in core.plan_prefetch(index, file_size):
+            centry, evicted = core.admit(pidx, PREFETCH)
+            self._release_read_evicted(evicted)
+            base = pidx * cs
+            item = _SimReadFetch(
+                f=f, centry=centry, file_offset=base,
+                length=min(cs, file_size - base),
+            )
+            yield self.queue.put(item, low=True)
+            self.kernel.emit(QueuePressure(depth=len(self.queue)))
+
+    def _service_read_fetch(self, item: _SimReadFetch):
+        """Generator: one queued prefetch, run by an IO thread.  Never
+        parks on a full pool (starved → dropped), so shutdown drains."""
+        centry = item.centry
+        core = item.f.read_core
+        if centry.evicted:  # invalidated/cleared while queued
+            return
+        if self.pool.in_use >= self.pool.capacity:
+            core.fetch_failed(centry)
+            self._wake_read_waiters(centry)
+            return
+        yield self.pool.acquire()
+        self.kernel.emit(PoolPressure(waited=False, in_use=self.pool.in_use))
+        try:
+            yield from self.backend.read(item.f.backend_file, item.length)
+        except Exception:  # noqa: BLE001 - prefetch failures are silent
+            if not centry.evicted:
+                core.fetch_failed(centry)
+            self._wake_read_waiters(centry)
+            self.pool.release()
+            self.health.record_failure()
+            return
+        if core.fetch_done(centry, True, item.length):
+            self._wake_read_waiters(centry)
+        else:  # evicted while in flight; drop-accounted at eviction
+            self.pool.release()
+
+    def _invalidate_read_cache(self, f: SimCRFSFile, offset: int, nbytes: int) -> None:
+        """Drop cached chunks overlapping a just-accepted write."""
+        if f.read_core is None:
+            return
+        self._release_read_evicted(f.read_core.invalidate(offset, nbytes))
+
+    def _release_read_evicted(self, entries: Iterable[CacheEntry]) -> None:
+        """Return evictees' pool slots and wake parked readers."""
+        for entry in entries:
+            if entry.payload is not None:
+                entry.payload = None
+                self.pool.release()
+            self._wake_read_waiters(entry)
+
+    @staticmethod
+    def _wake_read_waiters(entry: CacheEntry) -> None:
+        if entry.waiters:
+            waiters, entry.waiters = entry.waiters, []
+            for ev in waiters:
+                ev.succeed()
 
     # -- resilience (mirrors pipeline.resilience.run_attempts, virtual time) ----
 
@@ -248,6 +465,7 @@ class SimCRFS:
         """
         t0 = self.sim.now
         offset0 = f.pos
+        self._invalidate_read_cache(f, offset0, nbytes)
         for op in f.pipeline.plan_write_through(f.pos, nbytes):
             assert isinstance(op, Seal)
             yield from self._seal(f, op)
@@ -338,6 +556,12 @@ class SimCRFS:
                 item = yield self.queue.get()
             except ShutdownError:  # queue closed at unmount
                 return
+            if isinstance(item, _SimReadFetch):
+                # Readahead prefetch off the low band — serviced between
+                # writebacks; carries itself even in file_affine mode
+                # (the backlog holds only write seals).
+                yield from self._service_read_fetch(item)
+                continue
             if self.file_affine:
                 f, seal = self._take_affine(last)
                 last = f

@@ -160,11 +160,19 @@ class NFSFilesystem(SimFilesystem):
         yield from self.cache.dirty(f.stream, nbytes)
 
     def _read(self, f: SimFile, nbytes: int):
-        """Restart path: sequential read RPCs with client readahead."""
+        """Restart path: sequential read RPCs with client readahead.
+
+        ``state`` is [bytes demanded, bytes fetched] per stream.  The
+        fetch cursor advances at *issue* time (window reservation), so
+        concurrent readers of one stream — CRFS's restart prefetchers —
+        fetch disjoint windows and pipeline the link/CPU/disk stages
+        instead of duplicating work.
+        """
         state = self._read_state.setdefault(f.stream, [0, 0])
         state[0] += nbytes
         window = self.hw.readahead_window
         while state[1] < state[0]:
+            state[1] += window
             yield from self.server.link.roundtrip(window)
             yield self.server.cpu.use(
                 max(1, -(-window // self.hw.nfs_wsize))
@@ -172,7 +180,6 @@ class NFSFilesystem(SimFilesystem):
             )
             block = self.server.allocator.alloc(nbytes=window)
             yield self.server.disk.io(block, window, "R", f.stream)
-            state[1] += window
         if nbytes >= PAGE:
             yield self.membus.transfer(nbytes)
 

@@ -237,3 +237,115 @@ class TestCrossPlaneStatsDifferential:
         _, timing = timing_run(sizes, chunk)
         for key in DETERMINISTIC_FIELDS:
             assert func[key] == timing[key], key
+
+
+# -- the restart read plane differential --------------------------------------
+
+
+def _read_config(chunk_size):
+    """Readahead config whose read accounting is workload-determined on
+    both planes: reads start only after the write stream drains, so the
+    whole pool (4 chunks) is free for the cache (4 chunks) and the
+    prefetch try-acquire can never starve; cache capacity >= readahead
+    window + 2 keeps sequential reads from churning the LRU window."""
+    return CRFSConfig(
+        chunk_size=chunk_size,
+        pool_size=chunk_size * 4,
+        io_threads=1,
+        read_cache_chunks=4,
+        readahead_chunks=2,
+    )
+
+
+def _read_plan(total, request):
+    out = []
+    while total > 0:
+        out.append(min(request, total))
+        total -= out[-1]
+    return out
+
+
+def functional_read_run(write_sizes, read_request, chunk_size):
+    """stats snapshot from the threaded plane after write + sequential
+    read-back through the readahead cache."""
+    fs = CRFS(MemBackend(), _read_config(chunk_size))
+    with fs:
+        with fs.open("/rank0.img") as f:
+            for size in write_sizes:
+                f.write(b"x" * size)
+            f.seek(0)
+            for size in _read_plan(sum(write_sizes), read_request):
+                f.read(size)
+    return fs.stats()
+
+
+def timing_read_run(write_sizes, read_request, chunk_size):
+    """stats snapshot from the DES plane — same workload, same snapshot
+    code path."""
+    sim = Simulator()
+    hw = DEFAULT_HW
+    membus = SharedBandwidth(sim, hw.membus_bandwidth)
+    backend = NullSimFilesystem(sim, hw, rng_for(1, "xp-read"))
+    crfs = SimCRFS(sim, hw, _read_config(chunk_size), backend, membus)
+
+    def proc():
+        f = crfs.open("/rank0.img")
+        for size in write_sizes:
+            yield from crfs.write(f, size)
+        crfs.seek(f, 0)
+        for size in _read_plan(sum(write_sizes), read_request):
+            yield from crfs.read(f, size)
+        yield from crfs.close(f)
+
+    sim.run_until_complete([sim.spawn(proc())])
+    return crfs.stats()
+
+
+class TestCrossPlaneReadDifferential:
+    """The ``read`` section — hits, misses, prefetched, dropped, wasted —
+    is a pure function of the access sequence, so it must be
+    bit-identical across planes for the same workload."""
+
+    @pytest.mark.parametrize(
+        "sizes,request_size",
+        [
+            ([100 * KiB, 100 * KiB, 56 * KiB], 48 * KiB),
+            ([4096] * 40, 7 * KiB),       # sub-chunk requests
+            ([65 * KiB], 65 * KiB),       # one chunk + spill, one read
+            ([300 * KiB], 96 * KiB),      # requests spanning chunks
+            ([1], 1),
+        ],
+    )
+    def test_read_section_identical(self, sizes, request_size):
+        chunk = 64 * KiB
+        func = functional_read_run(sizes, request_size, chunk)
+        timing = timing_read_run(sizes, request_size, chunk)
+        assert func["read"] == timing["read"]
+        # reads ride the same pool/queue as writes: the acquire and put
+        # counters stay workload-determined too
+        assert func["pool"]["acquires"] == timing["pool"]["acquires"]
+        assert func["queue"]["puts"] == timing["queue"]["puts"]
+
+    def test_read_back_hits_cache_on_both_planes(self):
+        sizes = [70 * KiB] * 6
+        func = functional_read_run(sizes, 48 * KiB, 64 * KiB)
+        timing = timing_read_run(sizes, 48 * KiB, 64 * KiB)
+        for snap in (func, timing):
+            assert snap["read"]["bytes_read"] == sum(sizes)
+            assert snap["read"]["hits"] > 0
+            assert snap["read"]["misses"] >= 1
+            assert snap["read"]["prefetched"] > 0
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=150 * KiB), min_size=1,
+                       max_size=15),
+        request_kib=st.sampled_from([4, 48, 100]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_read_differential_property(self, sizes, request_kib):
+        chunk = 64 * KiB
+        func = functional_read_run(sizes, request_kib * KiB, chunk)
+        timing = timing_read_run(sizes, request_kib * KiB, chunk)
+        assert func["read"] == timing["read"]
+        for key in DETERMINISTIC_FIELDS:
+            assert func[key] == timing[key], key

@@ -1,5 +1,5 @@
-"""The fault matrix: {pwrite, fsync, close} x {first op, every op,
-probabilistic} x {retry succeeds, retry exhausted}.
+"""The fault matrix: {pwrite, pread, fsync, close} x {first op, every
+op, probabilistic} x {retry succeeds, retry exhausted}.
 
 The invariants each cell is checked against:
 
@@ -8,12 +8,18 @@ The invariants each cell is checked against:
   latches and surfaces at the next ``close()``/``fsync()`` — and a cell
   whose retries succeed leaves the backing file byte-identical to a
   fault-free run.
+* **pread** faults split by origin: a *prefetch* failure is silent (the
+  entry is dropped and refetched on demand), a *demand* (foreground)
+  failure raises :class:`BackendIOError` at the read call itself; both
+  count toward the circuit breaker.
 * **fsync/close** faults are synchronous backend calls: they raise at
   the call site itself, regardless of the retry budget (the retry
   policy covers chunk writeback only).
 
 Probabilistic rules are seeded, so every cell is deterministic.
 """
+
+import time
 
 import pytest
 
@@ -143,6 +149,181 @@ class TestPwriteCells:
             == backing(mem_faulty, "/ckpt", len(DATA))
             == DATA
         )
+
+
+def read_mount(rules, **overrides):
+    """A mount with the readahead cache on (pool 4 chunks, cache 4,
+    window 2) over a faulty MemBackend."""
+    mem = MemBackend()
+    backend = FaultyBackend(mem, rules, sleep=lambda s: None)
+    cfg = CRFSConfig(
+        chunk_size=CHUNK, pool_size=4 * CHUNK, io_threads=1,
+        read_cache_chunks=4, readahead_chunks=2,
+        retry_attempts=1, **FAST, **overrides,
+    )
+    return mem, backend, CRFS(backend, cfg)
+
+
+def wait_read_stats(fs, predicate, timeout=10.0):
+    """Poll stats()["read"] until the background prefetches settle."""
+    deadline = time.monotonic() + timeout
+    while True:
+        section = fs.stats()["read"]
+        if predicate(section):
+            return section
+        assert time.monotonic() < deadline, f"read section stuck: {section}"
+        time.sleep(0.001)
+
+
+class TestPreadCells:
+    """Read-plane faults: demand reads are loud, prefetches silent."""
+
+    def test_demand_read_fault_raises(self):
+        """A foreground (demand) pread failure surfaces at the read call
+        as a BackendIOError — never silently short data — and the chunk
+        is refetched cleanly on the next demand."""
+        _, backend, fs = read_mount(make_rules("pread", "first"))
+        with fs:
+            f = fs.open("/ckpt")
+            f.write(DATA)
+            f.fsync()
+            with pytest.raises(BackendIOError, match="demand read"):
+                f.pread(CHUNK, 0)
+            stats = fs.stats()
+            assert stats["read"]["misses"] == 1
+            assert stats["read"]["hits"] == 0
+            assert stats["resilience"]["errors_latched"] == 0
+            # one-shot rule: the demand refetch serves the bytes
+            assert f.pread(CHUNK, 0) == DATA[:CHUNK]
+        assert backend.faults_fired == 1
+
+    def test_prefetch_fault_is_silent_and_refetched_on_demand(self):
+        """pread #1 is the demand fetch of chunk 0; #2 is the queued
+        prefetch of chunk 1.  Failing #2 must not surface anywhere — the
+        entry drops, and reading chunk 1 refetches it on demand."""
+        _, backend, fs = read_mount(
+            [FaultRule(op="pread", nth=2, error=OSError("injected-prefetch"))]
+        )
+        with fs:
+            f = fs.open("/ckpt")
+            f.write(DATA)
+            f.fsync()
+            assert f.pread(CHUNK, 0) == DATA[:CHUNK]
+            # both issued prefetches (chunks 1 and 2) must resolve: the
+            # faulted one as a drop, the other as a delivery
+            section = wait_read_stats(
+                fs, lambda r: r["prefetched"] + r["prefetch_dropped"] == 2
+            )
+            assert section["prefetch_dropped"] == 1
+            assert section["prefetched"] == 1
+            # the dropped chunk comes back on demand, byte-identical
+            assert f.pread(CHUNK, CHUNK) == DATA[CHUNK : 2 * CHUNK]
+            stats = fs.stats()
+            assert stats["read"]["misses"] == 2  # chunk 0 + the refetch
+            assert stats["resilience"]["errors_latched"] == 0
+        assert backend.faults_fired == 1
+
+    def test_read_failures_count_toward_breaker(self):
+        """Consecutive demand-read failures trip the circuit breaker;
+        while it is open the cache is bypassed entirely (synchronous
+        passthrough, no prefetch issue)."""
+        rules = [
+            FaultRule(op="pread", nth=1, every=True, until=2,
+                      error=OSError("injected-pread"))
+        ]
+        _, _, fs = read_mount(rules, breaker_threshold=2)
+        with fs:
+            f = fs.open("/ckpt")
+            f.write(DATA)
+            f.fsync()
+            for _ in range(2):
+                with pytest.raises(BackendIOError, match="demand read"):
+                    f.pread(CHUNK, 0)
+            stats = fs.stats()
+            assert stats["resilience"]["breaker_trips"] == 1
+            assert fs.health.degraded
+            # the outage is over (until=2) and the breaker is open:
+            # reads pass through and never touch the cache
+            assert f.pread(CHUNK, 0) == DATA[:CHUNK]
+            after = fs.stats()["read"]
+            assert after["misses"] == stats["read"]["misses"]
+            assert after["prefetched"] == 0
+
+
+class TestSimPreadCells:
+    """The same pread cells on the timing plane, via the shared
+    FaultSchedule — deterministic on the virtual clock."""
+
+    def _run(self, rules, proc_body):
+        from repro.sim import SharedBandwidth, Simulator
+        from repro.simcrfs import SimCRFS
+        from repro.simio.faulty import FaultySimFilesystem
+        from repro.simio.nullfs import NullSimFilesystem
+        from repro.simio.params import DEFAULT_HW
+        from repro.util.rng import rng_for
+
+        sim = Simulator()
+        hw = DEFAULT_HW
+        membus = SharedBandwidth(sim, hw.membus_bandwidth)
+        backend = FaultySimFilesystem(
+            NullSimFilesystem(sim, hw, rng_for(1, "fault-pread")), rules
+        )
+        cfg = CRFSConfig(
+            chunk_size=CHUNK, pool_size=4 * CHUNK, io_threads=1,
+            read_cache_chunks=4, readahead_chunks=2,
+            retry_attempts=1, **FAST,
+        )
+        crfs = SimCRFS(sim, hw, cfg, backend, membus)
+        sim.run_until_complete([sim.spawn(proc_body(crfs))])
+        crfs.shutdown()
+        return backend, crfs.stats()
+
+    def test_sim_demand_read_fault_raises(self):
+        errors = []
+
+        def proc(crfs):
+            f = crfs.open("/ckpt")
+            for _ in range(NCHUNKS):
+                yield from crfs.write(f, CHUNK)
+            yield from crfs.fsync(f)
+            crfs.seek(f, 0)
+            try:
+                yield from crfs.read(f, CHUNK)
+            except BackendIOError as exc:
+                errors.append(exc)
+            yield from crfs.read(f, CHUNK)  # clean demand refetch
+            yield from crfs.close(f)
+
+        backend, stats = self._run(make_rules("pread", "first"), proc)
+        assert len(errors) == 1 and "demand read" in str(errors[0])
+        assert stats["read"]["misses"] == 2
+        assert stats["read"]["hits"] == 0
+        assert backend.faults_fired == 1
+
+    def test_sim_prefetch_fault_silent(self):
+        """Sequential read-back with the chunk-1 prefetch faulted: no
+        error escapes, the drop is accounted, every byte is read."""
+
+        def proc(crfs):
+            f = crfs.open("/ckpt")
+            for _ in range(NCHUNKS):
+                yield from crfs.write(f, CHUNK)
+            yield from crfs.fsync(f)
+            crfs.seek(f, 0)
+            for _ in range(NCHUNKS):
+                yield from crfs.read(f, CHUNK)
+            yield from crfs.close(f)
+
+        rules = [FaultRule(op="pread", nth=2, error=OSError("injected-prefetch"))]
+        backend, stats = self._run(rules, proc)
+        read = stats["read"]
+        assert read["bytes_read"] == NCHUNKS * CHUNK
+        assert read["prefetch_dropped"] == 1
+        assert read["prefetched"] == 2
+        assert read["misses"] == 2  # chunk 0, plus the dropped chunk 1
+        assert read["prefetch_wasted"] == 0
+        assert stats["resilience"]["errors_latched"] == 0
+        assert backend.faults_fired == 1
 
 
 class TestFsyncCells:

@@ -182,3 +182,63 @@ class TestStressFlakyBackend:
         trips = stats["resilience"]["breaker_trips"]
         recoveries = stats["resilience"]["breaker_recoveries"]
         assert recoveries <= trips <= recoveries + 1
+
+
+@pytest.mark.timeout(120)
+class TestStressReadersAndWriters:
+    def test_readback_under_pool_contention_leaks_nothing(self):
+        """NWRITERS threads each write their image then read it back
+        through the readahead cache, all sharing a 3-chunk pool: demand
+        fetches, prefetch drops, and LRU evictions race with write-path
+        acquires — after unmount every chunk must be back on the free
+        list and every byte read must be correct."""
+        mem = MemBackend()
+        fs = CRFS(
+            mem,
+            stress_config(read_cache_chunks=3, readahead_chunks=1),
+        ).mount()
+
+        failures = []
+
+        def worker(i):
+            data = pattern(i)
+            try:
+                f = fs.open(f"/rank{i}.img")
+                pos, step = 0, 3 * KiB + i * 511
+                while pos < len(data):
+                    f.write(data[pos : pos + step])
+                    pos += step
+                f.fsync()
+                # sequential read-back in chunk-misaligned requests
+                pos, req = 0, 5 * KiB + i * 257
+                while pos < len(data):
+                    part = f.pread(min(req, len(data) - pos), pos)
+                    if part != data[pos : pos + len(part)] or not part:
+                        failures.append(f"rank{i}: bad bytes @{pos}")
+                        return
+                    pos += len(part)
+                f.close()
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                failures.append(f"rank{i}: {exc!r}")
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(NWRITERS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=90)
+        assert not any(t.is_alive() for t in threads), "stress workers hung"
+        assert not failures, failures
+
+        stats = fs.stats()
+        fs.unmount()
+        # the no-leak contract: cache entries, in-flight prefetches and
+        # write buffers all returned their pool chunks
+        assert fs.pool.free_chunks == fs.pool.nchunks == 3
+        read = stats["read"]
+        assert read["bytes_read"] == NWRITERS * PER_WRITER
+        assert read["hits"] + read["misses"] > 0
+        # every issued prefetch resolved exactly one way
+        assert read["prefetch_wasted"] <= read["prefetched"]
+        assert stats["resilience"]["errors_latched"] == 0
