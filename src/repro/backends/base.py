@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Sequence
 
 __all__ = ["Backend", "BackendStat"]
 
@@ -44,6 +44,23 @@ class Backend(ABC):
     @abstractmethod
     def pwrite(self, handle: Any, data: bytes | memoryview, offset: int) -> int:
         """Write ``data`` at ``offset``; returns bytes written (all of it)."""
+
+    def pwritev(
+        self, handle: Any, views: Sequence[bytes | memoryview], offset: int
+    ) -> int:
+        """Write ``views`` back-to-back starting at ``offset``; returns
+        the total bytes written (all of them).
+
+        The coalesced-writeback capability: one vectored call per batch
+        of contiguous chunks.  The default loops over :meth:`pwrite`, so
+        every backend supports it; backends with a real gather primitive
+        (``os.pwritev``, a single buffer splice) override it to make the
+        batch one backend operation.
+        """
+        total = 0
+        for view in views:
+            total += self.pwrite(handle, view, offset + total)
+        return total
 
     @abstractmethod
     def pread(self, handle: Any, size: int, offset: int) -> bytes:

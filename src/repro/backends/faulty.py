@@ -22,7 +22,7 @@ import fnmatch
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -214,6 +214,16 @@ class FaultyBackend(Backend):
         inner, path = _unwrap(handle)
         self._check("pwrite", path)
         return self.inner.pwrite(inner, data, offset)
+
+    def pwritev(
+        self, handle: Any, views: Sequence[bytes | memoryview], offset: int
+    ) -> int:
+        # A vectored write is one backend op: one "pwritev" count, one
+        # possible fault for the whole batch (mirrored by the timing
+        # plane's FaultySimFilesystem.writev).
+        inner, path = _unwrap(handle)
+        self._check("pwritev", path)
+        return self.inner.pwritev(inner, views, offset)
 
     def pread(self, handle: Any, size: int, offset: int) -> bytes:
         inner, path = _unwrap(handle)

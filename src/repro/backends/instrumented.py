@@ -18,7 +18,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Sequence
 
 from ..pipeline import (
     ChunkSealed,
@@ -178,6 +178,15 @@ class InstrumentedBackend(Backend):
         start = self.clock()
         n = self.inner.pwrite(handle, data, offset)
         self._record("pwrite", self._path_of(handle), len(data), offset, start)
+        return n
+
+    def pwritev(
+        self, handle: Any, views: Sequence[bytes | memoryview], offset: int
+    ) -> int:
+        start = self.clock()
+        n = self.inner.pwritev(handle, views, offset)
+        size = sum(len(v) for v in views)
+        self._record("pwritev", self._path_of(handle), size, offset, start)
         return n
 
     def pread(self, handle: Any, size: int, offset: int) -> bytes:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import Any
+from typing import Any, Sequence
 
 from ..errors import (
     DirectoryNotEmpty,
@@ -63,6 +63,26 @@ class LocalDirBackend(Backend):
         total = 0
         while total < len(view):
             total += os.pwrite(handle, view[total:], offset + total)
+        return total
+
+    def pwritev(
+        self, handle: Any, views: Sequence[bytes | memoryview], offset: int
+    ) -> int:
+        if not hasattr(os, "pwritev"):  # pragma: no cover - platform fallback
+            return super().pwritev(handle, views, offset)
+        bufs = [memoryview(v) for v in views if len(v)]
+        if not bufs:
+            return 0
+        expected = sum(len(b) for b in bufs)
+        total = os.pwritev(handle, bufs, offset)
+        while total < expected:  # pragma: no cover - rare partial pwritev
+            skip = total
+            for b in bufs:
+                if skip >= len(b):
+                    skip -= len(b)
+                    continue
+                total += self.pwrite(handle, b[skip:], offset + total)
+                skip = 0
         return total
 
     def pread(self, handle: Any, size: int, offset: int) -> bytes:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 import threading
-from typing import Any, Dict
+from typing import Any, Dict, Sequence
 
 from ..errors import (
     BadFileDescriptor,
@@ -135,6 +135,24 @@ class MemBackend(Backend):
             if end > len(node.data):
                 node.data.extend(b"\x00" * (end - len(node.data)))
             node.data[offset:end] = buf
+        self.total_pwrites += 1
+        self.total_bytes_written += len(buf)
+        return len(buf)
+
+    def pwritev(
+        self, handle: Any, views: Sequence[bytes | memoryview], offset: int
+    ) -> int:
+        h = self._handle(handle)
+        buf = b"".join(bytes(v) for v in views)
+        if not buf:
+            return 0
+        node = h.node
+        with node.lock:
+            end = offset + len(buf)
+            if end > len(node.data):
+                node.data.extend(b"\x00" * (end - len(node.data)))
+            node.data[offset:end] = buf
+        # One splice, one backend op: the whole point of the batch.
         self.total_pwrites += 1
         self.total_bytes_written += len(buf)
         return len(buf)

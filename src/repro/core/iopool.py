@@ -72,13 +72,17 @@ class IOThreadPool:
         retry: RetryPolicy | None = None,
         health: BackendHealth | None = None,
         emit: EmitFn | None = None,
+        batch_chunks: int = 1,
     ):
         if nthreads < 1:
             raise ValueError(f"need at least 1 IO thread, got {nthreads}")
+        if batch_chunks < 1:
+            raise ValueError(f"batch_chunks must be >= 1, got {batch_chunks}")
         self.backend = backend
         self.queue = queue
         self.pool = pool
         self.nthreads = nthreads
+        self.batch_chunks = batch_chunks
         self.stats = stats if stats is not None else PipelineStats()
         self.retry = retry if retry is not None else RetryPolicy()
         self.health = health
@@ -114,39 +118,102 @@ class IOThreadPool:
             t.start()
             self._threads.append(t)
 
+    @staticmethod
+    def _chainable(prev: object, nxt: object) -> bool:
+        """Whether ``nxt`` extends ``prev``'s file run: same entry, and
+        its chunk starts exactly where ``prev``'s valid bytes end."""
+        if not isinstance(prev, WorkItem) or not isinstance(nxt, WorkItem):
+            return False
+        if prev.entry is not nxt.entry:
+            return False
+        return nxt.chunk.file_offset == prev.chunk.file_offset + prev.chunk.valid
+
     def _worker(self) -> None:
         while True:
             try:
-                item = self.queue.get()
+                if self.batch_chunks > 1:
+                    items = self.queue.get_batch(self.batch_chunks, self._chainable)
+                else:
+                    items = [self.queue.get()]
             except QueueClosed:
                 return
-            if isinstance(item, ReadChunk):
+            if isinstance(items[0], ReadChunk):
                 # Readahead prefetch (low band): the cache leases its
                 # buffer with try_acquire and drops starved fetches, so
                 # this path can never park the worker on a full pool —
-                # shutdown() always drains.
-                item.cache.service_prefetch(item)
+                # shutdown() always drains.  Low-band items are never
+                # batched, so the list is a singleton.
+                items[0].cache.service_prefetch(items[0])
                 continue
-            chunk, entry = item.chunk, item.entry
-            start = entry.pipeline.clock()
-            # Retry the pwrite under the policy before latching; only the
-            # error that survives retry exhaustion reaches the entry.
-            error = run_attempts(
-                self.retry,
-                lambda: self.backend.pwrite(
-                    entry.backend_handle, chunk.payload(), chunk.file_offset
-                ),
-                path=entry.path,
-                file_offset=chunk.file_offset,
-                clock=entry.pipeline.clock,
-                health=self.health,
-                on_retry=lambda attempt, delay, exc: entry.pipeline.note_retry(
-                    chunk.file_offset, attempt, delay, exc
-                ),
-            )
-            # Account *before* recycling: once complete_chunk_count rises a
-            # drain-waiter may proceed, and that is safe even if the chunk
-            # is still being reset.
+            if len(items) == 1:
+                self._write_one(items[0])
+            else:
+                self._write_batch(items)
+
+    def _write_one(self, item: WorkItem) -> None:
+        chunk, entry = item.chunk, item.entry
+        start = entry.pipeline.clock()
+        # Retry the pwrite under the policy before latching; only the
+        # error that survives retry exhaustion reaches the entry.
+        error = run_attempts(
+            self.retry,
+            lambda: self.backend.pwrite(
+                entry.backend_handle, chunk.payload(), chunk.file_offset
+            ),
+            path=entry.path,
+            file_offset=chunk.file_offset,
+            clock=entry.pipeline.clock,
+            health=self.health,
+            on_retry=lambda attempt, delay, exc: entry.pipeline.note_retry(
+                chunk.file_offset, attempt, delay, exc
+            ),
+        )
+        # Account *before* recycling: once complete_chunk_count rises a
+        # drain-waiter may proceed, and that is safe even if the chunk
+        # is still being reset.
+        entry.note_chunk_complete(
+            error, nbytes=chunk.valid, file_offset=chunk.file_offset, start=start
+        )
+        self.pool.release(chunk)
+
+    def _write_batch(self, items: list[WorkItem]) -> None:
+        """Issue a gathered run of contiguous chunks as one pwritev.
+
+        The batch is one backend op: one retry schedule at the batch's
+        base offset, one health record, and — on exhaustion — the same
+        surviving error attributed to every chunk in the batch.  If the
+        breaker is already open the batch is broken back into per-chunk
+        writes, which route through the degraded accounting individually.
+        """
+        entry = items[0].entry
+        chunks = [item.chunk for item in items]
+        base = chunks[0].file_offset
+        total = sum(c.valid for c in chunks)
+        if self.health is not None and self.health.degraded:
+            entry.pipeline.note_batch_broken(base, len(chunks), "degraded")
+            for item in items:
+                self._write_one(item)
+            return
+        start = entry.pipeline.clock()
+        error = run_attempts(
+            self.retry,
+            lambda: self.backend.pwritev(
+                entry.backend_handle, [c.payload() for c in chunks], base
+            ),
+            path=entry.path,
+            file_offset=base,
+            clock=entry.pipeline.clock,
+            health=self.health,
+            on_retry=lambda attempt, delay, exc: entry.pipeline.note_retry(
+                base, attempt, delay, exc
+            ),
+        )
+        entry.pipeline.note_batch(base, len(chunks), total, start=start, error=error)
+        # Per-chunk completion in offset order keeps the drain counters
+        # and the error latch exactly as the unbatched path would have
+        # left them (a failed vectored write latches on the first chunk
+        # and counts an io_error for every one).
+        for chunk in chunks:
             entry.note_chunk_complete(
                 error, nbytes=chunk.valid, file_offset=chunk.file_offset, start=start
             )

@@ -89,6 +89,7 @@ class CRFS:
             retry=self.retry,
             health=self.health,
             emit=self.kernel.emit,
+            batch_chunks=config.writeback_batch_chunks,
         )
         self.table = OpenFileTable()
         self._mounted = False
@@ -251,10 +252,16 @@ class CRFS:
                 for op in entry.pipeline.plan_write_through(offset, len(view)):
                     assert isinstance(op, Seal)
                     self._seal_current(entry, op)
-                if degraded:
-                    self._pwrite_degraded(entry, view, offset)
-                else:
+                if not degraded:
                     self.backend.pwrite(entry.backend_handle, view, offset)
+            if degraded:
+                # Outside write_lock: the degraded probe retries with
+                # backoff, and sleeping under the per-file lock would
+                # stall every concurrent writer to this file for the
+                # full retry budget.  Issue order is already pinned —
+                # the seals above were enqueued under the lock, and
+                # positional pwrites to disjoint offsets commute.
+                self._pwrite_degraded(entry, view, offset)
             entry.pipeline.note_write(
                 offset, len(view), start=t0, write_through=True, degraded=degraded
             )

@@ -14,12 +14,17 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Any, Deque
+from typing import Any, Callable, Deque
 
-from ..errors import ShutdownError
+from ..errors import QueueFullTimeout, ShutdownError
 from ..pipeline import PipelineStats, QueuePressure
 
-__all__ = ["WorkQueue", "QueueClosed"]
+__all__ = ["WorkQueue", "QueueClosed", "QueueFullTimeout"]
+
+#: Sentinel distinguishing "caller never passed timeout" (fine for any
+#: band) from an explicit value (a contract violation for the low band,
+#: whose puts never block).
+_DEFAULT_TIMEOUT: Any = object()
 
 
 class QueueClosed(ShutdownError):
@@ -71,7 +76,27 @@ class WorkQueue:
         with self._lock:
             return self._closed
 
-    def put(self, item: Any, timeout: float | None = 30.0, low: bool = False) -> None:
+    def put(
+        self, item: Any, timeout: float | None = _DEFAULT_TIMEOUT, low: bool = False
+    ) -> None:
+        """Enqueue ``item``; raises :class:`QueueClosed` once closed.
+
+        Band contract: high-band puts block while the band is at
+        ``capacity`` and raise :class:`QueueFullTimeout` after
+        ``timeout`` seconds (None = wait forever; default 30 s).
+        Low-band puts NEVER block — the band is unbounded by design
+        (prefetch volume is capped upstream by cache admission, and a
+        blocking low put from a reader holding cache locks could
+        deadlock) — so passing ``timeout`` with ``low=True`` is a
+        contract violation and raises :class:`ValueError` instead of
+        being silently ignored.
+        """
+        if low and timeout is not _DEFAULT_TIMEOUT:
+            raise ValueError(
+                "timeout does not apply to low-band puts — they never block"
+            )
+        if timeout is _DEFAULT_TIMEOUT:
+            timeout = 30.0
         with self._not_full:
             if low:
                 if self._closed:
@@ -88,7 +113,9 @@ class WorkQueue:
                 and not self._closed
             ):
                 if not self._not_full.wait(timeout=timeout):
-                    raise ShutdownError(f"work queue full for {timeout}s — IO stalled?")
+                    raise QueueFullTimeout(
+                        f"work queue full for {timeout}s — IO stalled?"
+                    )
             if self._closed:
                 raise QueueClosed("work queue closed")
             self._items.append(item)
@@ -112,6 +139,48 @@ class WorkQueue:
             else:
                 item = self._low.popleft()
             return item
+
+    def get_batch(
+        self,
+        limit: int,
+        chain: Callable[[Any, Any], bool],
+        timeout: float | None = None,
+    ) -> list[Any]:
+        """Take the next item plus up to ``limit - 1`` queued high-band
+        items that ``chain`` accepts as its continuation.
+
+        Blocking, close and band semantics are exactly :meth:`get`'s: the
+        wait is for the *first* item only, the high band drains before
+        the low band, and a low-band item is never batched (prefetches
+        carry no contiguity).  The gather scans the whole high band —
+        ``chain(batch[-1], candidate)`` — skipping non-matching items
+        and preserving their relative order, so interleaved multi-writer
+        queues still coalesce each writer's contiguous runs.
+        """
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        with self._not_empty:
+            while not self._items and not self._low:
+                if self._closed:
+                    raise QueueClosed("work queue closed")
+                if not self._not_empty.wait(timeout=timeout):
+                    raise TimeoutError("work queue get timed out")
+            if not self._items:
+                return [self._low.popleft()]
+            batch = [self._items.popleft()]
+            self._not_full.notify()
+            if limit > 1:
+                remaining: Deque[Any] = deque()
+                while self._items and len(batch) < limit:
+                    candidate = self._items.popleft()
+                    if chain(batch[-1], candidate):
+                        batch.append(candidate)
+                        self._not_full.notify()
+                    else:
+                        remaining.append(candidate)
+                remaining.extend(self._items)
+                self._items = remaining
+            return batch
 
     def close(self) -> None:
         with self._lock:

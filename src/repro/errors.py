@@ -25,6 +25,7 @@ __all__ = [
     "BackendIOError",
     "BackendTimeoutError",
     "ShutdownError",
+    "QueueFullTimeout",
     "SimulationError",
     "DeadlockError",
 ]
@@ -128,6 +129,15 @@ class BackendTimeoutError(BackendIOError):
 
 class ShutdownError(CRFSError):
     """The component has been shut down and cannot accept more work."""
+
+
+class QueueFullTimeout(ShutdownError):
+    """A bounded work-queue put() waited out its timeout while the queue
+    stayed full — the IO path behind it is stalled or undersized.
+
+    Subclasses :class:`ShutdownError` so existing handlers of the old
+    generic error keep catching it.
+    """
 
 
 class SimulationError(CRFSError):

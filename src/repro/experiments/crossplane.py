@@ -13,14 +13,17 @@ bit-identical (timing-dependent gauges like queue depth are excluded).
 
 from __future__ import annotations
 
+import threading
 from typing import Any
 
-from ..backends import MemBackend
+from ..backends import FaultyBackend, MemBackend
+from ..backends.faulty import FaultRule
 from ..config import CRFSConfig
 from ..core import CRFS
 from ..checkpoint.sizedist import WriteSizeDistribution
 from ..sim import SharedBandwidth, Simulator
 from ..simcrfs import SimCRFS
+from ..simio.faulty import FaultySimFilesystem
 from ..simio.nullfs import NullSimFilesystem
 from ..simio.params import DEFAULT_HW
 from ..units import KiB, MiB
@@ -46,6 +49,7 @@ COMPARED_FIELDS = (
     "open_files",
     "read",
     "resilience",
+    "batch",
 )
 
 #: Restart read-back request size (both planes replay the same stream).
@@ -99,6 +103,72 @@ def _timing_stats(sizes: list[int], config: CRFSConfig, seed: int) -> dict[str, 
     return crfs.stats()
 
 
+# -- batched-writeback parity arm ---------------------------------------------
+#
+# Batch formation depends on how many contiguous chunks sit in the work
+# queue when a worker gathers, so a free-running differential would be
+# racy on the functional plane.  Both planes therefore run the same
+# gated workload: a one-chunk file is written first and its backend
+# pwrite is held open (a threading.Event on the functional plane, a
+# long virtual-clock delay on the timing plane) while the writer queues
+# every chunk of a second file.  The lone worker can only reach the
+# second file after the gate lifts, by which point the whole run is
+# queued — the gather outcome is then a pure function of the workload
+# and ``stats()["batch"]`` must be bit-identical across planes.
+
+#: Second file's chunk count: two full gathers at batch limit 8.
+_BATCH_RUN_CHUNKS = 16
+
+
+def _batched_config() -> CRFSConfig:
+    return CRFSConfig(
+        chunk_size=64 * KiB,
+        pool_size=2 * MiB,  # all 17 chunks fit: no pool backpressure
+        io_threads=1,
+        writeback_batch_chunks=8,
+    )
+
+
+def _functional_batched_stats(config: CRFSConfig) -> dict[str, Any]:
+    gate = threading.Event()
+    backend = FaultyBackend(
+        MemBackend(),
+        [FaultRule(op="pwrite", nth=1, delay=1.0)],
+        sleep=lambda _s: gate.wait(),
+    )
+    fs = CRFS(backend, config)
+    with fs:
+        with fs.open("/gate.img") as fa, fs.open("/rank0.img") as fb:
+            fa.write(b"\x00" * config.chunk_size)
+            for _ in range(_BATCH_RUN_CHUNKS):
+                fb.write(b"\x00" * config.chunk_size)
+            gate.set()
+    return fs.stats()
+
+
+def _timing_batched_stats(config: CRFSConfig, seed: int) -> dict[str, Any]:
+    sim = Simulator()
+    hw = DEFAULT_HW
+    membus = SharedBandwidth(sim, hw.membus_bandwidth)
+    backend = FaultySimFilesystem(
+        NullSimFilesystem(sim, hw, rng_for(seed, "crossplane/batched")),
+        [FaultRule(op="pwrite", nth=1, delay=1.0)],
+    )
+    crfs = SimCRFS(sim, hw, config, backend, membus)
+
+    def proc():
+        fa = crfs.open("/gate.img")
+        yield from crfs.write(fa, config.chunk_size)
+        fb = crfs.open("/rank0.img")
+        for _ in range(_BATCH_RUN_CHUNKS):
+            yield from crfs.write(fb, config.chunk_size)
+        yield from crfs.close(fb)
+        yield from crfs.close(fa)
+
+    sim.run_until_complete([sim.spawn(proc())])
+    return crfs.stats()
+
+
 def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
     sizes = _workload(seed, fast)
     # Pool of 4 chunks, cache of 4, window of 2: reads start after the
@@ -136,6 +206,22 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
             [f"{section}.{field}", str(a), str(b), "yes" if match else "NO"]
         )
 
+    bconfig = _batched_config()
+    bfunc = _functional_batched_stats(bconfig)
+    btiming = _timing_batched_stats(bconfig, seed)
+    for key in ("batch", "chunks_written", "bytes_out", "io_errors"):
+        match = bfunc[key] == btiming[key]
+        if not match:
+            mismatches.append(f"batched.{key}")
+        table.add_row(
+            [
+                f"batched.{key}",
+                str(bfunc[key]),
+                str(btiming[key]),
+                "yes" if match else "NO",
+            ]
+        )
+
     schema_ok = (
         set(func) == set(timing)
         and set(func["pool"]) == set(timing["pool"])
@@ -164,6 +250,13 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
             and func["read"]["prefetched"] > 0
             and func["read"]["bytes_read"] == sum(sizes),
             f"read section: {func['read']}",
+        ),
+        Check(
+            "gated batched workload coalesced identically on both planes",
+            bfunc["batch"] == btiming["batch"]
+            and bfunc["batch"]["batches"] > 0
+            and bfunc["batch"]["chunks"] == _BATCH_RUN_CHUNKS,
+            f"batch section: {bfunc['batch']}",
         ),
     ]
     return ExperimentResult(

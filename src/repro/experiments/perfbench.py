@@ -80,6 +80,28 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
     ra_gain = ra_on["goodput_mib_s"] / ra_off["goodput_mib_s"] - 1.0
     ra_stats = ra_on["stats"]["read"]
 
+    # Batching ablation: the coalesced-writeback scenario with the
+    # gather knocked out (writeback_batch_chunks=1, every chunk its own
+    # backend op) must be measurably slower — the virtual-clock proof
+    # the drain-stage gather pays for itself.  Substituting the
+    # unbatched metrics into the artifact must then trip the gate: the
+    # committed baseline really does pin batching on.
+    bw = SCENARIOS["batched_writeback"]
+    bw_on = run_scenario_sim(bw, seed=seed, fast=fast)
+    bw_off = run_scenario_sim(
+        dataclasses.replace(
+            bw, config=bw.config.with_(writeback_batch_chunks=1)
+        ),
+        seed=seed,
+        fast=fast,
+    )
+    bw_gain = bw_on["goodput_mib_s"] / bw_off["goodput_mib_s"] - 1.0
+    bw_batch = bw_on["stats"]["batch"]
+
+    unbatched = copy.deepcopy(second)
+    unbatched["planes"]["sim"]["batched_writeback"] = bw_off
+    unbatched_report = compare_artifacts(unbatched, first)
+
     checks = [
         Check(
             "two same-seed sim runs are byte-identical",
@@ -124,6 +146,29 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
             and ra_stats["prefetched"] > 0
             and ra_stats["prefetch_wasted"] == 0,
             f"read section: {ra_stats}",
+        ),
+        Check(
+            "coalesced writeback beats unbatched by >= 10%",
+            bw_gain >= 0.10,
+            f"goodput {bw_on['goodput_mib_s']:.2f} vs "
+            f"{bw_off['goodput_mib_s']:.2f} MiB/s ({bw_gain:+.1%})",
+        ),
+        Check(
+            "the gather actually coalesced multi-chunk batches",
+            bw_batch["batches"] > 0
+            and bw_batch["chunks"] > bw_batch["batches"]
+            and bw_off["stats"]["batch"]["batches"] == 0,
+            f"batch section: {bw_batch}",
+        ),
+        Check(
+            "disabling batching fails the goodput gate",
+            not unbatched_report.ok
+            and any(
+                d.scenario == "batched_writeback" and d.metric == "goodput_mib_s"
+                for d in unbatched_report.regressions
+            ),
+            f"regressions: "
+            f"{[(d.scenario, d.metric) for d in unbatched_report.regressions]}",
         ),
     ]
     return ExperimentResult(

@@ -101,6 +101,56 @@ def _cmd_update_baseline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trend(args: argparse.Namespace) -> int:
+    """Summarise sim-plane goodput across committed BENCH artifacts."""
+    paths = sorted(args.dir.glob("BENCH_*.json"))
+    if not paths:
+        print(f"no BENCH_*.json artifacts under {args.dir}")
+        return 1
+    artifacts = []
+    for path in paths:
+        try:
+            artifacts.append((path, load_artifact(path)))
+        except Exception as exc:  # noqa: BLE001 - a bad file shouldn't kill trend
+            print(f"skipping {path}: {exc}", file=sys.stderr)
+    if not artifacts:
+        return 1
+    scenarios: list[str] = []
+    for _, art in artifacts:
+        for name in art["planes"].get("sim", {}):
+            if name not in scenarios:
+                scenarios.append(name)
+    table = TextTable(
+        ["artifact", "created", *scenarios],
+        title="Sim-plane goodput trend (MiB/s)",
+    )
+    for path, art in artifacts:
+        sim = art["planes"].get("sim", {})
+        table.add_row(
+            [
+                path.name,
+                str(art.get("created", "?"))[:19],
+                *(
+                    f"{sim[name]['goodput_mib_s']:.2f}" if name in sim else "-"
+                    for name in scenarios
+                ),
+            ]
+        )
+    print(table.render())
+    first_sim = artifacts[0][1]["planes"].get("sim", {})
+    last_sim = artifacts[-1][1]["planes"].get("sim", {})
+    deltas = []
+    for name in scenarios:
+        if name in first_sim and name in last_sim:
+            a = first_sim[name]["goodput_mib_s"]
+            b = last_sim[name]["goodput_mib_s"]
+            if a > 0:
+                deltas.append(f"{name} {100.0 * (b - a) / a:+.1f}%")
+    if len(artifacts) > 1 and deltas:
+        print("\nfirst -> last: " + ", ".join(deltas))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.perf", description=__doc__,
@@ -152,6 +202,15 @@ def main(argv: list[str] | None = None) -> int:
         help=f"baseline path to write (default: {DEFAULT_BASELINE})",
     )
     up_p.set_defaults(fn=_cmd_update_baseline)
+
+    trend_p = sub.add_parser(
+        "trend", help="summarise sim-plane goodput across committed BENCH files"
+    )
+    trend_p.add_argument(
+        "--dir", type=pathlib.Path, default=DEFAULT_OUT_DIR,
+        help=f"directory holding BENCH_*.json (default: {DEFAULT_OUT_DIR})",
+    )
+    trend_p.set_defaults(fn=_cmd_trend)
 
     args = parser.parse_args(argv)
     return args.fn(args)

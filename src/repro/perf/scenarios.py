@@ -14,6 +14,9 @@ must keep honest:
 * ``degraded_retry`` — a bounded backend outage: retries back off,
   the circuit breaker trips, writes degrade to synchronous
   write-through, then the backend heals and the breaker recovers.
+* ``batched_writeback`` — 4 ranks at 16 KiB chunks through one IO
+  thread with ``writeback_batch_chunks=8``: contiguous queued runs
+  coalesce into single vectored backend writes (the drain-stage gather).
 * ``restart_readahead`` — write an image then read it back
   sequentially over the NFS model: the restart read plane, with the
   chunked readahead cache prefetching through the IO pool.
@@ -136,6 +139,20 @@ SCENARIOS: dict[str, Scenario] = {
             image_size=4 * MiB,
             fast_image_size=1 * MiB,
             fault_rules=_outage_rules,
+        ),
+        Scenario(
+            name="batched_writeback",
+            description="4 ranks, small chunks, coalesced writeback: "
+            "contiguous runs issued as single vectored backend writes",
+            config=CRFSConfig(
+                chunk_size=16 * KiB,
+                pool_size=4 * MiB,
+                io_threads=1,
+                writeback_batch_chunks=8,
+            ),
+            nwriters=4,
+            image_size=4 * MiB,
+            fast_image_size=1 * MiB,
         ),
         Scenario(
             name="restart_readahead",

@@ -19,6 +19,8 @@ tests assert.
 from .events import (
     BackendDegraded,
     BackendRecovered,
+    BatchBroken,
+    BatchWritten,
     ChunkPrefetched,
     ChunkRetried,
     ChunkSealed,
@@ -49,6 +51,8 @@ __all__ = [
     "BackendDegraded",
     "BackendHealth",
     "BackendRecovered",
+    "BatchBroken",
+    "BatchWritten",
     "CacheEntry",
     "ChunkPrefetched",
     "ChunkRetried",

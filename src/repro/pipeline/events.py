@@ -31,6 +31,8 @@ __all__ = [
     "WriteObserved",
     "ChunkSealed",
     "ChunkWritten",
+    "BatchWritten",
+    "BatchBroken",
     "ChunkRetried",
     "FileDrained",
     "WorkersDrained",
@@ -109,6 +111,37 @@ class ChunkWritten(PipelineEvent):
     start: float
     duration: float
     error: Optional[BaseException] = None
+
+
+@dataclass(frozen=True)
+class BatchWritten(PipelineEvent):
+    """An IO worker finished one coalesced writeback: ``chunks``
+    contiguous chunks of one file (``length`` bytes in total, starting
+    at ``file_offset``) issued as a single vectored backend write.
+    Emitted alongside the per-chunk ``ChunkWritten`` events, which keep
+    the drain accounting; ``error`` is the backend failure, if any — it
+    is then attributed to every chunk in the batch."""
+
+    path: str
+    file_offset: int
+    chunks: int
+    length: int
+    start: float
+    duration: float
+    error: Optional[BaseException] = None
+
+
+@dataclass(frozen=True)
+class BatchBroken(PipelineEvent):
+    """A gathered batch was not issued as one vectored write and fell
+    back to per-chunk writes — e.g. the circuit breaker opened between
+    the gather and the issue (``reason`` says why)."""
+
+    path: str
+    file_offset: int
+    chunks: int
+    reason: str
+    t: float = 0.0
 
 
 @dataclass(frozen=True)

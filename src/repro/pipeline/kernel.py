@@ -32,6 +32,8 @@ from typing import Any, Callable, Iterable
 
 from ..errors import BackendIOError, FileStateError
 from .events import (
+    BatchBroken,
+    BatchWritten,
     ChunkRetried,
     ChunkSealed,
     ChunkWritten,
@@ -234,6 +236,49 @@ class FilePipeline:
             assert error is not None
             self._emit(ErrorLatched(path=self.path, error=error))
         return drained
+
+    def note_batch(
+        self,
+        file_offset: int,
+        chunks: int,
+        length: int,
+        start: float | None = None,
+        error: BaseException | None = None,
+    ) -> None:
+        """An IO worker issued ``chunks`` contiguous chunks as one
+        vectored backend write.
+
+        Purely observational: the drain counters and the error latch are
+        still advanced by the per-chunk :meth:`note_complete` calls the
+        plane makes for every member of the batch (with the batch's
+        ``error``, if any, attributed to each of them).
+        """
+        now = self.clock()
+        if start is None:
+            start = now
+        self._emit(
+            BatchWritten(
+                path=self.path,
+                file_offset=file_offset,
+                chunks=chunks,
+                length=length,
+                start=start,
+                duration=now - start,
+                error=error,
+            )
+        )
+
+    def note_batch_broken(self, file_offset: int, chunks: int, reason: str) -> None:
+        """A gathered batch fell back to per-chunk writes."""
+        self._emit(
+            BatchBroken(
+                path=self.path,
+                file_offset=file_offset,
+                chunks=chunks,
+                reason=reason,
+                t=self.clock(),
+            )
+        )
 
     def note_drained(self, start: float, outstanding: int = 0) -> None:
         """A drain wait that began at ``start`` (with ``outstanding``

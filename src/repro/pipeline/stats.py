@@ -17,6 +17,8 @@ from typing import Any
 from .events import (
     BackendDegraded,
     BackendRecovered,
+    BatchBroken,
+    BatchWritten,
     ChunkPrefetched,
     ChunkRetried,
     ChunkSealed,
@@ -86,6 +88,13 @@ class PipelineStats(PipelineObserver):
         self.bytes_out = 0
         self.io_errors = 0
         self.errors_latched = 0
+        # -- coalesced writeback (all zero with writeback_batch_chunks=1)
+        self.batches_written = 0
+        self.batch_chunks = 0
+        self.batch_bytes = 0
+        self.batch_errors = 0
+        self.batches_broken = 0
+        self.batch_histogram: dict[int, int] = {}
         # -- resilience (retry/backoff + circuit breaker)
         self.chunks_retried = 0
         self.breaker_trips = 0
@@ -136,6 +145,18 @@ class PipelineStats(PipelineObserver):
                     self.bytes_out += event.length
                 else:
                     self.io_errors += 1
+            elif isinstance(event, BatchWritten):
+                if event.error is None:
+                    self.batches_written += 1
+                    self.batch_chunks += event.chunks
+                    self.batch_bytes += event.length
+                    self.batch_histogram[event.chunks] = (
+                        self.batch_histogram.get(event.chunks, 0) + 1
+                    )
+                else:
+                    self.batch_errors += 1
+            elif isinstance(event, BatchBroken):
+                self.batches_broken += 1
             elif isinstance(event, PoolPressure):
                 self.pool_acquires += 1
                 if event.waited:
@@ -206,6 +227,18 @@ class PipelineStats(PipelineObserver):
                 "queue": {
                     "puts": self.queue_puts,
                     "max_depth": self.queue_max_depth,
+                },
+                "batch": {
+                    "batches": self.batches_written,
+                    "chunks": self.batch_chunks,
+                    "bytes": self.batch_bytes,
+                    "errors": self.batch_errors,
+                    "broken": self.batches_broken,
+                    # str keys so the section survives a JSON round trip
+                    # unchanged (perf artifacts re-load it for diffing)
+                    "per_batch": {
+                        str(k): v for k, v in sorted(self.batch_histogram.items())
+                    },
                 },
                 "drain": {
                     "waits": self.drain_waits,

@@ -8,7 +8,7 @@ keeps simulations deterministic.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque
+from typing import Any, Callable, Deque
 
 from ..errors import ShutdownError, SimulationError
 from .engine import Process, Simulator, Waitable
@@ -209,6 +209,42 @@ class SimQueue:
             self.sim.schedule(0.0, proc._throw, ShutdownError("queue closed"))
         else:
             self._getters.append(proc)
+
+    def take_adjacent(
+        self, last: Any, limit: int, chain: Callable[[Any, Any], bool]
+    ) -> list[Any]:
+        """Synchronously take up to ``limit`` queued high-band items that
+        ``chain`` accepts as the continuation of ``last``.
+
+        The batch-gather mirror of the functional plane's
+        ``WorkQueue.get_batch``: called by a getter right after its
+        ``yield q.get()`` returned ``last``, it scans the whole high band
+        — ``chain(tail, candidate)`` with a rolling tail — skipping
+        non-matching items and preserving their relative order.  Never
+        blocks; freeing high-band slots re-admits parked putters.
+        """
+        batch: list[Any] = []
+        if limit <= 0 or not self._items:
+            return batch
+        tail = last
+        remaining: Deque[Any] = deque()
+        while self._items and len(batch) < limit:
+            candidate = self._items.popleft()
+            if chain(tail, candidate):
+                batch.append(candidate)
+                tail = candidate
+            else:
+                remaining.append(candidate)
+        remaining.extend(self._items)
+        self._items = remaining
+        while self._putters and (
+            self.capacity == 0 or len(self._items) < self.capacity
+        ):
+            putter, pitem = self._putters.popleft()
+            self._items.append(pitem)
+            self.max_depth = max(self.max_depth, len(self))
+            self.sim.schedule(0.0, putter._resume, None)
+        return batch
 
     def close(self) -> None:
         """Close the queue: blocked getters get ShutdownError once the

@@ -488,13 +488,33 @@ class SimCRFS:
         virtual-clock timeouts.  Returns the error that survives retry
         exhaustion, or None on success.
         """
+        return (
+            yield from self._attempt_op(
+                f, file_offset, lambda: self.backend.write(f.backend_file, length)
+            )
+        )
+
+    def _attempt_backend_writev(self, f: SimCRFSFile, sizes: list, file_offset: int):
+        """Generator: one vectored backend write under the retry policy —
+        the whole batch is one backend op, retried (and health-recorded)
+        as one, mirroring the functional plane's pwritev-under-
+        run_attempts."""
+        return (
+            yield from self._attempt_op(
+                f, file_offset, lambda: self.backend.writev(f.backend_file, sizes)
+            )
+        )
+
+    def _attempt_op(self, f: SimCRFSFile, file_offset: int, make_op):
+        """Shared attempt loop; ``make_op`` supplies a fresh backend-op
+        generator per attempt."""
         policy = self.retry
         attempt = 1
         while True:
             t0 = self.sim.now
             error: BaseException | None = None
             try:
-                yield from self.backend.write(f.backend_file, length)
+                yield from make_op()
             except Exception as exc:  # noqa: BLE001 - surfaced to the caller
                 error = exc
             else:
@@ -549,8 +569,38 @@ class SimCRFS:
             del self._backlog[f]
         return f, seal
 
+    @staticmethod
+    def _chain_seals(prev: Any, nxt: Any) -> bool:
+        """Whether queued item ``nxt`` extends ``prev``'s file run — the
+        timing-plane twin of ``IOThreadPool._chainable``."""
+        if not isinstance(prev, tuple) or not isinstance(nxt, tuple):
+            return False
+        pf, ps = prev
+        nf, ns = nxt
+        if pf is not nf:
+            return False
+        return ns.file_offset == ps.file_offset + ps.length
+
+    def _complete_seal(
+        self, f: SimCRFSFile, seal: Seal, error: BaseException | None, t0: float
+    ) -> None:
+        """Per-chunk completion accounting: drain counters, error latch,
+        pool recycle, drain-waiter wakeup."""
+        drained = f.pipeline.note_complete(
+            length=seal.length,
+            file_offset=seal.file_offset,
+            error=error,
+            start=t0,
+        )
+        self.pool.release()
+        if drained and f._drain_waiters:
+            waiters, f._drain_waiters = f._drain_waiters, []
+            for ev in waiters:
+                ev.succeed()
+
     def _io_thread(self, index: int):
         last: Optional[SimCRFSFile] = None
+        batch_limit = self.config.writeback_batch_chunks
         while True:
             try:
                 item = yield self.queue.get()
@@ -563,25 +613,50 @@ class SimCRFS:
                 yield from self._service_read_fetch(item)
                 continue
             if self.file_affine:
+                # file_affine already drains one file back-to-back via
+                # the backlog; coalescing is not applied on top of it.
                 f, seal = self._take_affine(last)
                 last = f
             else:
                 f, seal = item
+                if batch_limit > 1:
+                    gathered = self.queue.take_adjacent(
+                        item, batch_limit - 1, self._chain_seals
+                    )
+                    if gathered:
+                        yield from self._write_batch(
+                            f, [seal] + [g[1] for g in gathered]
+                        )
+                        continue
             t0 = self.sim.now
             error = yield from self._attempt_backend_write(
                 f, seal.length, seal.file_offset
             )
-            drained = f.pipeline.note_complete(
-                length=seal.length,
-                file_offset=seal.file_offset,
-                error=error,
-                start=t0,
-            )
-            self.pool.release()
-            if drained and f._drain_waiters:
-                waiters, f._drain_waiters = f._drain_waiters, []
-                for ev in waiters:
-                    ev.succeed()
+            self._complete_seal(f, seal, error, t0)
+
+    def _write_batch(self, f: SimCRFSFile, seals: "list[Seal]"):
+        """Generator: one gathered run of contiguous seals as a single
+        vectored backend write — identical batch accounting (one backend
+        op, one BatchWritten, per-chunk completions in offset order) to
+        the functional plane's ``IOThreadPool._write_batch``."""
+        base = seals[0].file_offset
+        total = sum(s.length for s in seals)
+        if self.health.degraded:
+            f.pipeline.note_batch_broken(base, len(seals), "degraded")
+            for seal in seals:
+                t0 = self.sim.now
+                error = yield from self._attempt_backend_write(
+                    f, seal.length, seal.file_offset
+                )
+                self._complete_seal(f, seal, error, t0)
+            return
+        t0 = self.sim.now
+        error = yield from self._attempt_backend_writev(
+            f, [s.length for s in seals], base
+        )
+        f.pipeline.note_batch(base, len(seals), total, start=t0, error=error)
+        for seal in seals:
+            self._complete_seal(f, seal, error, t0)
 
     def shutdown(self) -> None:
         self._stopped = True

@@ -86,6 +86,12 @@ class FaultySimFilesystem(SimFilesystem):
         yield from self._check("pwrite", f.path)
         yield from self.inner.write(f, nbytes)
 
+    def writev(self, f: SimFile, sizes: "list[int]"):
+        # One "pwritev" count per vectored op — the batch is one backend
+        # op for fault purposes, matching FaultyBackend.pwritev.
+        yield from self._check("pwritev", f.path)
+        yield from self.inner.writev(f, sizes)
+
     def _write(self, f: SimFile, nbytes: int):  # pragma: no cover - write()
         yield from self.inner._write(f, nbytes)  # is fully delegated above
 

@@ -94,6 +94,17 @@ class SimFilesystem(ABC):
     def _write(self, f: SimFile, nbytes: int):
         """Filesystem-specific write cost (generator)."""
 
+    def writev(self, f: SimFile, sizes: "list[int]"):
+        """Generator: one vectored write of ``sizes`` appended to ``f``.
+
+        The timing-plane twin of ``Backend.pwritev``.  The default loops
+        over :meth:`write` — per-segment cost, no coalescing win — so
+        every model supports it; filesystems whose clients genuinely
+        gather (one RPC / one syscall for the whole batch) override it.
+        """
+        for nbytes in sizes:
+            yield from self.write(f, nbytes)
+
     def read(self, f: SimFile, nbytes: int):
         """Generator: one sequential read() of ``nbytes`` (restart path).
 

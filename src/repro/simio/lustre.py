@@ -188,6 +188,30 @@ class LustreFilesystem(SimFilesystem):
             yield self.membus.transfer(nbytes)
         yield from self.cache.dirty(f.stream, nbytes)
 
+    def writev(self, f: SimFile, sizes: "list[int]"):
+        # One gathered client write: the llite/LDLM per-op cost — the
+        # native Lustre bottleneck — is paid once for the whole run; page
+        # dirtying, the membus copy and grant accounting see the same
+        # total volume.
+        total = sum(sizes)
+        self.total_writes += 1
+        self.total_bytes += total
+        yield self.sim.timeout(self.hw.syscall_overhead)
+        new_pages = f.new_pages(total)
+        if new_pages:
+            contention = 1.0 + self.hw.lustre_contention_factor * self.client_res.queue_len
+            service = jittered(
+                self.rng,
+                self.hw.lustre_client_op_overhead * contention
+                + new_pages * self.hw.lustre_page_cost,
+                self.hw.service_jitter_sigma,
+            )
+            yield self.client_res.use(service)
+        if total >= PAGE:
+            yield self.membus.transfer(total)
+        yield from self.cache.dirty(f.stream, total)
+        f.pos += total
+
     def _read(self, f: SimFile, nbytes: int):
         """Restart path: striped reads from the OSTs with readahead."""
         state = self._read_state.setdefault(f.stream, [0, 0])

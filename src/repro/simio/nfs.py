@@ -159,6 +159,28 @@ class NFSFilesystem(SimFilesystem):
             yield self.membus.transfer(nbytes)
         yield from self.cache.dirty(f.stream, nbytes)
 
+    def writev(self, f: SimFile, sizes: "list[int]"):
+        # One gathered client write: one syscall, one serialized RPC-prep
+        # pass and one copy for the whole run — the dirty data still
+        # flushes through the server at the same volume, but the client-
+        # side per-op overhead (the congestion CRFS targets) is paid once.
+        total = sum(sizes)
+        self.total_writes += 1
+        self.total_bytes += total
+        yield self.sim.timeout(self.hw.syscall_overhead)
+        new_pages = f.new_pages(total)
+        if new_pages:
+            service = jittered(
+                self.rng,
+                self.hw.nfs_client_op_overhead + new_pages * 0.4e-6,
+                self.hw.service_jitter_sigma,
+            )
+            yield self.client_res.use(service)
+        if total >= PAGE:
+            yield self.membus.transfer(total)
+        yield from self.cache.dirty(f.stream, total)
+        f.pos += total
+
     def _read(self, f: SimFile, nbytes: int):
         """Restart path: sequential read RPCs with client readahead.
 

@@ -41,6 +41,15 @@ class NullSimFilesystem(SimFilesystem):
     def _write(self, f: SimFile, nbytes: int):
         yield self.sim.timeout(self.op_cost)
 
+    def writev(self, f: SimFile, sizes: "list[int]"):
+        # One gathered discard: a single handling cost for the whole
+        # batch — the per-call overhead coalescing exists to amortise.
+        total = sum(sizes)
+        self.total_writes += 1
+        self.total_bytes += total
+        yield self.sim.timeout(self.op_cost)
+        f.pos += total
+
     def close(self, f: SimFile):
         yield self.sim.timeout(self.hw.syscall_overhead)
 

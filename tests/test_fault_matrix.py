@@ -19,6 +19,7 @@ The invariants each cell is checked against:
 Probabilistic rules are seeded, so every cell is deterministic.
 """
 
+import threading
 import time
 
 import pytest
@@ -403,6 +404,198 @@ class TestCloseCells:
             assert "wb-dead" in str(context)
         finally:
             fs.unmount()
+
+
+#: Coalesced-writeback cells: a 16-chunk run drained by one gated worker
+#: with ``writeback_batch_chunks=8`` — two full gathers, deterministic
+#: because the run is fully queued before the worker reaches it.
+RUN_CHUNKS = 16
+RUN = b"".join(bytes([i + 1]) * CHUNK for i in range(RUN_CHUNKS))
+
+
+def gated_batched_mount(extra_rules, **overrides):
+    """A batching mount whose lone worker blocks inside the gate file's
+    first pwrite until ``gate`` is set."""
+    gate = threading.Event()
+    rules = [FaultRule(op="pwrite", nth=1, delay=1.0, path="/gate*")]
+    rules.extend(extra_rules)
+    mem = MemBackend()
+    backend = FaultyBackend(mem, rules, sleep=lambda _s: gate.wait())
+    cfg = CRFSConfig(
+        chunk_size=CHUNK, pool_size=20 * CHUNK, io_threads=1,
+        writeback_batch_chunks=8, **{**dict(retry_attempts=1, **FAST), **overrides},
+    )
+    return mem, backend, CRFS(backend, cfg), gate
+
+
+class TestPwritevCells:
+    """The batch is one backend op: one fault decision, one retry
+    schedule, and a failure attributed to every chunk it carried."""
+
+    def test_midbatch_failure_latches_every_chunk(self):
+        mem, backend, fs, gate = gated_batched_mount(
+            [FaultRule(op="pwritev", nth=1, every=True,
+                       error=OSError("injected-pwritev"))]
+        )
+        with fs:
+            fa = fs.open("/gate.img")
+            fa.write(b"\x00" * CHUNK)
+            fb = fs.open("/run.img")
+            fb.write(RUN)
+            gate.set()
+            fa.close()
+            with pytest.raises(BackendIOError, match="injected-pwritev"):
+                fb.close()
+            stats = fs.stats()
+        # every chunk the failed batches carried errored...
+        assert stats["io_errors"] == RUN_CHUNKS
+        # ...but the file latched (and surfaced) the error exactly once
+        assert stats["resilience"]["errors_latched"] == 1
+        assert stats["batch"]["errors"] == 2  # both gathers failed
+        assert stats["batch"]["batches"] == 0
+        assert stats["batch"]["broken"] == 0
+        assert backend.faults_fired == 2
+        # nothing from the failed batches reached the backing store
+        assert mem.file_size(mem.open("/run.img", create=False)) == 0
+        assert fs.pool.free_chunks == fs.pool.nchunks
+
+    def test_batch_retries_as_one_op(self):
+        """A one-shot pwritev fault with budget: the whole batch reissues
+        as one op (one ChunkRetried at the batch base), then recovers
+        byte-identically."""
+        mem, backend, fs, gate = gated_batched_mount(
+            [FaultRule(op="pwritev", nth=1, error=OSError("transient"))],
+            retry_attempts=4,
+        )
+        with fs:
+            fa = fs.open("/gate.img")
+            fa.write(b"\x00" * CHUNK)
+            fb = fs.open("/run.img")
+            fb.write(RUN)
+            gate.set()
+            fa.close()
+            fb.close()  # clean: the retry recovered the batch
+            stats = fs.stats()
+        assert stats["resilience"]["chunks_retried"] == 1  # one op, one retry
+        assert stats["resilience"]["errors_latched"] == 0
+        assert stats["batch"]["batches"] == 2
+        assert stats["batch"]["chunks"] == RUN_CHUNKS
+        assert stats["batch"]["errors"] == 0
+        assert backend.faults_fired == 1
+        h = mem.open("/run.img", create=False)
+        assert mem.pread(h, len(RUN), 0) == RUN
+
+    def test_open_breaker_breaks_batch_into_degraded_singles(self):
+        """With the breaker already open when the worker gathers, the
+        batch is broken (BatchBroken) and its chunks written one by one;
+        the first success recovers the breaker, so the next gather
+        batches normally."""
+        mem, backend, fs, gate = gated_batched_mount(
+            [FaultRule(op="pwrite", nth=1, error=OSError("EIO"))],
+            breaker_threshold=1,
+        )
+        with fs:
+            fa = fs.open("/gate.img")
+            fa.write(b"\x00" * CHUNK)  # its pwrite trips the breaker
+            fb = fs.open("/run.img")
+            fb.write(RUN)
+            gate.set()
+            with pytest.raises(BackendIOError, match="EIO"):
+                fa.close()
+            fb.close()
+            stats = fs.stats()
+        assert stats["batch"]["broken"] == 1  # first gather hit the open breaker
+        assert stats["batch"]["batches"] == 1  # second gather: breaker recovered
+        assert stats["batch"]["per_batch"] == {"8": 1}
+        assert stats["resilience"]["breaker_trips"] == 1
+        assert stats["resilience"]["breaker_recoveries"] == 1
+        h = mem.open("/run.img", create=False)
+        assert mem.pread(h, len(RUN), 0) == RUN
+
+
+class TestSimPwritevCells:
+    """The same pwritev cells on the timing plane — the shared
+    FaultSchedule speaks "pwritev" there too (one count per vectored
+    write), so the cells must land on identical numbers."""
+
+    def _run(self, rules, **overrides):
+        from repro.sim import SharedBandwidth, Simulator
+        from repro.simcrfs import SimCRFS
+        from repro.simio.faulty import FaultySimFilesystem
+        from repro.simio.nullfs import NullSimFilesystem
+        from repro.simio.params import DEFAULT_HW
+        from repro.util.rng import rng_for
+
+        sim = Simulator()
+        hw = DEFAULT_HW
+        membus = SharedBandwidth(sim, hw.membus_bandwidth)
+        all_rules = [FaultRule(op="pwrite", nth=1, delay=1.0, path="/gate*")]
+        all_rules.extend(rules)
+        backend = FaultySimFilesystem(
+            NullSimFilesystem(sim, hw, rng_for(1, "fault-pwritev")), all_rules
+        )
+        cfg = CRFSConfig(
+            chunk_size=CHUNK, pool_size=20 * CHUNK, io_threads=1,
+            writeback_batch_chunks=8,
+            **{**dict(retry_attempts=1, **FAST), **overrides},
+        )
+        crfs = SimCRFS(sim, hw, cfg, backend, membus)
+        errors = []
+
+        def proc():
+            fa = crfs.open("/gate.img")
+            yield from crfs.write(fa, CHUNK)
+            fb = crfs.open("/run.img")
+            for _ in range(RUN_CHUNKS):
+                yield from crfs.write(fb, CHUNK)
+            try:
+                yield from crfs.close(fb)
+            except BackendIOError as exc:
+                errors.append(("run", exc))
+            try:
+                yield from crfs.close(fa)
+            except BackendIOError as exc:
+                errors.append(("gate", exc))
+
+        sim.run_until_complete([sim.spawn(proc())])
+        crfs.shutdown()
+        return backend, crfs.stats(), errors
+
+    def test_sim_midbatch_failure_latches_every_chunk(self):
+        backend, stats, errors = self._run(
+            [FaultRule(op="pwritev", nth=1, every=True,
+                       error=OSError("injected-pwritev"))]
+        )
+        assert [name for name, _ in errors] == ["run"]
+        assert "injected-pwritev" in str(errors[0][1])
+        assert stats["io_errors"] == RUN_CHUNKS
+        assert stats["resilience"]["errors_latched"] == 1
+        assert stats["batch"]["errors"] == 2
+        assert stats["batch"]["batches"] == 0
+        assert backend.faults_fired == 2
+
+    def test_sim_batch_retries_as_one_op(self):
+        backend, stats, errors = self._run(
+            [FaultRule(op="pwritev", nth=1, error=OSError("transient"))],
+            retry_attempts=4,
+        )
+        assert not errors
+        assert stats["resilience"]["chunks_retried"] == 1
+        assert stats["batch"]["batches"] == 2
+        assert stats["batch"]["chunks"] == RUN_CHUNKS
+        assert backend.faults_fired == 1
+
+    def test_sim_open_breaker_breaks_batch(self):
+        backend, stats, errors = self._run(
+            [FaultRule(op="pwrite", nth=1, error=OSError("EIO"))],
+            breaker_threshold=1,
+        )
+        assert [name for name, _ in errors] == ["gate"]
+        assert stats["batch"]["broken"] == 1
+        assert stats["batch"]["batches"] == 1
+        assert stats["batch"]["per_batch"] == {"8": 1}
+        assert stats["resilience"]["breaker_trips"] == 1
+        assert stats["resilience"]["breaker_recoveries"] == 1
 
 
 class TestProbabilisticSchedule:

@@ -242,3 +242,67 @@ class TestStressReadersAndWriters:
         # every issued prefetch resolved exactly one way
         assert read["prefetch_wasted"] <= read["prefetched"]
         assert stats["resilience"]["errors_latched"] == 0
+
+
+@pytest.mark.timeout(120)
+class TestMultiHandleInterleaving:
+    """Two handles on ONE path writing adjacent regions concurrently:
+    both route through the shared FileEntry's single pipeline, so the
+    drain invariant, pool integrity, and the final backing-store layout
+    must all hold regardless of how the two write streams interleave —
+    with the drain-stage gather either off or on."""
+
+    @pytest.mark.parametrize("batch", [1, 8])
+    def test_adjacent_regions_from_two_handles(self, batch):
+        mem = MemBackend()
+        fs = CRFS(mem, stress_config(writeback_batch_chunks=batch)).mount()
+
+        fa = fs.open("/shared.img")
+        fb = fs.open("/shared.img")
+        # both handles share one refcounted entry (one pipeline)
+        assert fa._entry is fb._entry
+        entry = fa._entry
+
+        region = {0: b"\xa5" * PER_WRITER, 1: b"\x5a" * PER_WRITER}
+        barrier = threading.Barrier(2)
+        failures = []
+
+        def writer(idx, handle):
+            data, base = region[idx], idx * PER_WRITER
+            try:
+                barrier.wait(timeout=30)
+                pos, step = 0, 3 * KiB + 257  # chunk-misaligned on purpose
+                while pos < len(data):
+                    handle.pwrite(data[pos : pos + step], base + pos)
+                    pos += step
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                failures.append(f"handle{idx}: {exc!r}")
+
+        threads = [
+            threading.Thread(target=writer, args=(0, fa)),
+            threading.Thread(target=writer, args=(1, fb)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=90)
+        assert not any(t.is_alive() for t in threads), "interleaving writers hung"
+        assert not failures, failures
+
+        fa.close()
+        fb.close()  # last close drains the shared entry
+        assert (
+            entry.pipeline.complete_chunk_count == entry.pipeline.write_chunk_count
+        )
+        stats = fs.stats()
+        fs.unmount()
+
+        # no buffer-pool leak whatever the interleaving (or batching) did
+        assert fs.pool.free_chunks == fs.pool.nchunks == 3
+        assert stats["resilience"]["errors_latched"] == 0
+        assert stats["bytes_in"] == stats["bytes_out"] == 2 * PER_WRITER
+
+        # both regions byte-identical in the backing store
+        h = mem.open("/shared.img", create=False)
+        assert mem.pread(h, PER_WRITER, 0) == region[0]
+        assert mem.pread(h, PER_WRITER, PER_WRITER) == region[1]
