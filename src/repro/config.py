@@ -19,9 +19,10 @@ from typing import Any
 
 from .errors import ConfigError
 from .pipeline.resilience import RetryPolicy
+from .pipeline.tenancy import TenantRegistry, TenantSpec
 from .units import KiB, MiB, parse_size
 
-__all__ = ["CRFSConfig", "DEFAULT_CONFIG"]
+__all__ = ["CRFSConfig", "DEFAULT_CONFIG", "TenantSpec"]
 
 
 @dataclass(frozen=True)
@@ -92,6 +93,17 @@ class CRFSConfig:
     #: backend write (``pwritev``).  1 (the default) disables gathering
     #: — byte- and stats-identical to the unbatched pipeline.
     writeback_batch_chunks: int = 1
+    #: Multi-tenant mount: per-tenant IO shares, buffer-pool
+    #: reservations, queue quotas and path-mapping rules (see
+    #: :class:`~repro.pipeline.tenancy.TenantSpec`).  Empty (the
+    #: default) keeps the mount single-tenant — everything resolves to
+    #: ``default`` with weight 1, no reservation, no quota, and the
+    #: scheduler degrades to the exact pre-tenant FIFO behaviour.
+    tenants: tuple[TenantSpec, ...] = ()
+    #: Weighted deficit-round-robin service across tenant sub-queues.
+    #: False is the ablation arm: global FIFO arrival order, tenants
+    #: tracked but never isolated (``tenant_storm`` shows the damage).
+    tenant_fairness: bool = True
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -150,6 +162,13 @@ class CRFSConfig:
         # Delegates the retry-knob validation (attempts >= 1, backoff
         # bounds, jitter range) to RetryPolicy's own __post_init__.
         self.retry_policy()
+        # Delegates tenant validation (unique names, reservations fit
+        # the pool) to TenantRegistry's constructor.
+        self.tenant_registry()
+
+    def tenant_registry(self) -> TenantRegistry:
+        """The :class:`TenantRegistry` these specs describe (validated)."""
+        return TenantRegistry(self.tenants, pool_chunks=self.pool_chunks)
 
     def retry_policy(self) -> RetryPolicy:
         """The writeback :class:`RetryPolicy` these knobs describe."""

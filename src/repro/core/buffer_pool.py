@@ -6,14 +6,26 @@ pool is the pipeline's backpressure mechanism: when IO threads fall
 behind the writers, the pool drains and writers block in
 :meth:`acquire` — exactly the stall that makes Figure 5's bandwidth rise
 with pool size.
+
+Multi-tenant mounts partition the pool through a shared
+:class:`~repro.pipeline.tenancy.PoolLedger`: each tenant owns a
+reserved region, the remainder is a shared overflow everyone competes
+for.  An acquire is admissible when the tenant has reservation headroom
+*or* the shared region has a free chunk — so an idle node still gives
+one tenant the whole pool, but a storm can never take another tenant's
+reservation.  Without a ledger (single-tenant mounts) the behaviour is
+exactly the pre-tenant pool.
 """
 
 from __future__ import annotations
+
+import time
 
 import threading
 
 from ..errors import ConfigError, ShutdownError
 from ..pipeline import PipelineStats, PoolPressure
+from ..pipeline.tenancy import DEFAULT_TENANT, PoolLedger
 from .chunk import Chunk
 
 __all__ = ["BufferPool"]
@@ -22,16 +34,22 @@ __all__ = ["BufferPool"]
 class BufferPool:
     """Thread-safe pool of pre-allocated chunks.
 
-    ``acquire()`` blocks while the pool is empty (bounded by
+    ``acquire()`` blocks while no admissible chunk exists (bounded by
     ``timeout`` to keep tests debuggable); ``release()`` recycles a chunk
-    and wakes one waiter.  Pressure accounting is published as
+    and wakes waiters.  Pressure accounting is published as
     ``PoolPressure`` events into the shared
     :class:`~repro.pipeline.stats.PipelineStats` registry (the mount
-    passes its kernel's; a standalone pool gets a private one).
+    passes its kernel's; a standalone pool gets a private one) — one
+    event per acquire *and* one per release, so the ``in_use`` gauge
+    falls in the event timeline as well as rises.
     """
 
     def __init__(
-        self, chunk_size: int, pool_size: int, stats: PipelineStats | None = None
+        self,
+        chunk_size: int,
+        pool_size: int,
+        stats: PipelineStats | None = None,
+        ledger: PoolLedger | None = None,
     ):
         if chunk_size <= 0:
             raise ConfigError(f"chunk_size must be positive, got {chunk_size}")
@@ -40,12 +58,20 @@ class BufferPool:
             raise ConfigError(
                 f"pool_size {pool_size} holds no chunk of size {chunk_size}"
             )
+        if ledger is not None and ledger.nchunks != nchunks:
+            raise ConfigError(
+                f"ledger sized for {ledger.nchunks} chunks, pool holds {nchunks}"
+            )
         self.chunk_size = chunk_size
         self.nchunks = nchunks
+        self.ledger = ledger
         self.stats = stats if stats is not None else PipelineStats(
             chunk_size=chunk_size, pool_chunks=nchunks
         )
         self._free: list[Chunk] = [Chunk(i, chunk_size) for i in range(nchunks)]
+        #: chunk.index -> owning tenant, tracked only with a ledger (a
+        #: release must credit the tenant that acquired the chunk).
+        self._owner: dict[int, str] = {}
         self._lock = threading.Lock()
         self._available = threading.Condition(self._lock)
         self._closed = False
@@ -75,31 +101,75 @@ class BufferPool:
         with self._lock:
             return self.nchunks - len(self._free)
 
-    def acquire(self, timeout: float | None = 30.0) -> Chunk:
-        """Take a free chunk, blocking while none are available.
+    # -- acquire ---------------------------------------------------------------
+
+    def _admissible(self, tenant: str) -> bool:
+        """A free chunk exists and the ledger admits the tenant (caller
+        holds the lock)."""
+        if not self._free:
+            return False
+        return self.ledger is None or self.ledger.can_acquire(tenant)
+
+    def _take(self, tenant: str) -> tuple[Chunk, int]:
+        """Pop a free chunk for ``tenant`` and emit the acquire event
+        (caller holds the lock and has checked admissibility)."""
+        chunk = self._free.pop()
+        if self.ledger is not None:
+            self.ledger.acquire(tenant)
+            self._owner[chunk.index] = tenant
+            tenant_in_use = self.ledger.held(tenant)
+        else:
+            tenant_in_use = self.nchunks - len(self._free)
+        return chunk, tenant_in_use
+
+    def acquire(
+        self, timeout: float | None = 30.0, tenant: str = DEFAULT_TENANT
+    ) -> Chunk:
+        """Take a chunk admissible for ``tenant``, blocking while none is.
 
         ``timeout`` guards against pipeline deadlocks in tests; production
-        callers can pass ``None`` to wait forever.
+        callers can pass ``None`` to wait forever.  The bound is a
+        *deadline*: condition wakeups that do not yield an admissible
+        chunk wait only on the remainder, so racing acquirers cannot
+        stretch the advertised bound.
         """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
         with self._available:
-            waited = not self._free and not self._closed
-            while not self._free:
+            waited = not self._admissible(tenant) and not self._closed
+            while not self._admissible(tenant):
                 if self._closed:
                     raise ShutdownError("buffer pool closed")
-                if not self._available.wait(timeout=timeout):
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
                     raise ShutdownError(
                         f"buffer pool exhausted for {timeout}s "
-                        f"({self.nchunks} chunks all in flight) — IO stalled?"
+                        f"({self.nchunks} chunks all in flight, "
+                        f"tenant {tenant!r}) — IO stalled?"
                     )
-            chunk = self._free.pop()
+                if not self._available.wait(timeout=remaining):
+                    raise ShutdownError(
+                        f"buffer pool exhausted for {timeout}s "
+                        f"({self.nchunks} chunks all in flight, "
+                        f"tenant {tenant!r}) — IO stalled?"
+                    )
+            chunk, tenant_in_use = self._take(tenant)
             self.stats.on_event(
-                PoolPressure(waited=waited, in_use=self.nchunks - len(self._free))
+                PoolPressure(
+                    waited=waited,
+                    in_use=self.nchunks - len(self._free),
+                    tenant=tenant,
+                    tenant_in_use=tenant_in_use,
+                )
             )
             return chunk
 
-    def try_acquire(self) -> Chunk | None:
-        """Take a free chunk without ever blocking; None when the pool
-        is empty or closed.
+    def try_acquire(self, tenant: str = DEFAULT_TENANT) -> Chunk | None:
+        """Take an admissible chunk without ever blocking; None when the
+        pool is starved for this tenant or closed.
 
         This is the readahead-cache lease path: IO workers servicing a
         prefetch must never block on the pool (a worker parked in
@@ -108,22 +178,59 @@ class BufferPool:
         dropped and the chunk refetched on demand.
         """
         with self._available:
-            if self._closed or not self._free:
+            if self._closed or not self._admissible(tenant):
                 return None
-            chunk = self._free.pop()
+            chunk, tenant_in_use = self._take(tenant)
             self.stats.on_event(
-                PoolPressure(waited=False, in_use=self.nchunks - len(self._free))
+                PoolPressure(
+                    waited=False,
+                    in_use=self.nchunks - len(self._free),
+                    tenant=tenant,
+                    tenant_in_use=tenant_in_use,
+                )
             )
             return chunk
 
-    def release(self, chunk: Chunk) -> None:
-        """Recycle a chunk (resets its metadata)."""
-        chunk.reset()
+    # -- release ---------------------------------------------------------------
+
+    def release(self, chunk: Chunk, already_reset: bool = False) -> None:
+        """Recycle a chunk.
+
+        Resets its metadata unless the caller passes ``already_reset``
+        (a fast path for chunks that never left the clean state — e.g.
+        a failed demand fetch that wrote nothing).  Emits a
+        ``released`` ``PoolPressure`` event so the stats timeline sees
+        the ``in_use`` gauge fall.
+        """
+        if not already_reset:
+            chunk.reset()
         with self._available:
             if len(self._free) >= self.nchunks:
                 raise ShutdownError("double release into buffer pool")
+            if self.ledger is not None:
+                tenant = self._owner.pop(chunk.index, DEFAULT_TENANT)
+                self.ledger.release(tenant)
+                tenant_in_use = self.ledger.held(tenant)
+            else:
+                tenant = DEFAULT_TENANT
+                tenant_in_use = self.nchunks - len(self._free) - 1
             self._free.append(chunk)
-            self._available.notify()
+            self.stats.on_event(
+                PoolPressure(
+                    waited=False,
+                    in_use=self.nchunks - len(self._free),
+                    tenant=tenant,
+                    tenant_in_use=tenant_in_use,
+                    released=True,
+                )
+            )
+            if self.ledger is not None:
+                # A shared-region release may admit any waiting tenant, a
+                # reserved-slot release only its owner: wake everyone and
+                # let the admissibility predicate sort it out.
+                self._available.notify_all()
+            else:
+                self._available.notify()
 
     def close(self) -> None:
         """Wake all blocked acquirers with ShutdownError (unmount path)."""

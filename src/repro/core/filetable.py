@@ -11,6 +11,12 @@ live in the shared :class:`~repro.pipeline.kernel.FilePipeline`; this
 module adds only what the *threaded* plane needs on top — the condition
 variable that close()/fsync() block on until the pipeline reports
 drained.
+
+Multi-tenant mounts shard the table per tenant: every entry lives in
+exactly one tenant partition, each with its own membership and drain
+accounting, so unmount can drain tenants independently and the stats /
+experiments can ask "how much is tenant X still holding?" without
+scanning the whole mount.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from typing import Any, Callable, Optional
 from ..errors import FileStateError
 from ..pipeline import FilePipeline, Seal
 from ..pipeline.kernel import EmitFn
+from ..pipeline.tenancy import DEFAULT_TENANT
 from .chunk import Chunk
 
 __all__ = ["FileEntry", "OpenFileTable"]
@@ -37,9 +44,11 @@ class FileEntry:
         chunk_size: int,
         emit: EmitFn | None = None,
         clock: Callable[[], float] | None = None,
+        tenant: str = DEFAULT_TENANT,
     ):
         self.path = path
         self.backend_handle = backend_handle
+        self.tenant = tenant
         self.refcount = 1
         self.current_chunk: Optional[Chunk] = None
         #: Restart-readahead cache (:class:`~repro.core.readcache.ReadCache`),
@@ -55,7 +64,7 @@ class FileEntry:
         self._lock = threading.RLock()
         self._drain = threading.Condition(self._lock)
         self.pipeline = FilePipeline(
-            path, chunk_size, emit=emit, lock=self._lock, clock=clock
+            path, chunk_size, emit=emit, lock=self._lock, clock=clock, tenant=tenant
         )
 
     # -- kernel passthrough ----------------------------------------------------
@@ -123,49 +132,82 @@ class FileEntry:
 
 
 class OpenFileTable:
-    """Thread-safe path -> FileEntry map with reference counting."""
+    """Thread-safe path -> FileEntry map, sharded per tenant.
+
+    Each entry lives in exactly one tenant partition; a flat path index
+    keeps lookup O(1) regardless of how many tenants share the mount.
+    The partition is fixed at first open: reopening an already-open path
+    joins the existing entry (refcount bump) whatever tenant the new
+    opener resolved to — one file, one pipeline, one drain accounting.
+    """
 
     def __init__(self) -> None:
-        self._entries: dict[str, FileEntry] = {}
+        self._index: dict[str, FileEntry] = {}
+        self._shards: dict[str, dict[str, FileEntry]] = {}
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._entries)
+            return len(self._index)
 
     def lookup(self, path: str) -> Optional[FileEntry]:
         with self._lock:
-            return self._entries.get(path)
+            return self._index.get(path)
 
-    def open(self, path: str, make_entry) -> FileEntry:
+    def open(self, path: str, make_entry: Callable[[], FileEntry]) -> FileEntry:
         """Get-or-create the entry for ``path``; bumps the refcount.
 
         ``make_entry`` is called (under the table lock) only when the path
         is not already open — it should open the backend file and return a
-        FileEntry.
+        FileEntry; the entry's own ``tenant`` decides its partition.
         """
         with self._lock:
-            entry = self._entries.get(path)
+            entry = self._index.get(path)
             if entry is not None:
                 entry.refcount += 1
                 return entry
             entry = make_entry()
-            self._entries[path] = entry
+            self._index[path] = entry
+            shard = self._shards.setdefault(entry.tenant, {})
+            shard[path] = entry
             return entry
 
     def close(self, path: str) -> tuple[FileEntry, bool]:
         """Drop one reference; returns (entry, was_last).  The caller
         performs the drain/backend close outside the table lock."""
         with self._lock:
-            entry = self._entries.get(path)
+            entry = self._index.get(path)
             if entry is None:
                 raise FileStateError(f"{path} is not open")
             entry.refcount -= 1
             last = entry.refcount == 0
             if last:
-                del self._entries[path]
+                del self._index[path]
+                shard = self._shards[entry.tenant]
+                del shard[path]
+                if not shard:
+                    del self._shards[entry.tenant]
             return entry, last
 
-    def paths(self) -> list[str]:
+    def paths(self, tenant: str | None = None) -> list[str]:
+        """Open paths — all of them, or one tenant partition's."""
         with self._lock:
-            return list(self._entries)
+            if tenant is None:
+                return list(self._index)
+            return list(self._shards.get(tenant, ()))
+
+    def tenants(self) -> list[str]:
+        """Tenants with at least one open file, in sorted order."""
+        with self._lock:
+            return sorted(self._shards)
+
+    def outstanding(self, tenant: str | None = None) -> int:
+        """Chunks still in flight — mount-wide, or one partition's drain
+        backlog.  A snapshot: entries are collected under the table lock
+        but their counters read without it (each read is atomic)."""
+        with self._lock:
+            if tenant is None:
+                entries = list(self._index.values())
+            else:
+                entries = list(self._shards.get(tenant, {}).values())
+        return sum(e.outstanding for e in entries)

@@ -40,6 +40,7 @@ from ..errors import FileStateError, MountError
 from ..pipeline import Fill, PipelineKernel, PipelineObserver, Seal, SealReason
 from ..pipeline.readahead import ReadaheadCore
 from ..pipeline.resilience import BackendHealth, run_attempts
+from ..pipeline.tenancy import DRRScheduler, PoolLedger
 from .buffer_pool import BufferPool
 from .filetable import FileEntry, OpenFileTable
 from .handle import CRFSFile
@@ -67,19 +68,38 @@ class CRFS:
     ):
         self.backend = backend
         self.config = config
+        self.tenants = config.tenant_registry()
         self.kernel = PipelineKernel(
             config.chunk_size,
             pool_chunks=config.pool_chunks,
             clock=time.perf_counter,
             observers=observers,
+            tenants=self.tenants.names,
         )
         stats = self.kernel.stats
         self.retry = config.retry_policy()
         self.health = BackendHealth(
             config.breaker_threshold, emit=self.kernel.emit, clock=self.kernel.clock
         )
-        self.pool = BufferPool(config.chunk_size, config.pool_size, stats=stats)
-        self.queue = WorkQueue(config.work_queue_depth, stats=stats)
+        # With no tenants configured the ledger stays off and the
+        # scheduler (one default sub-queue, weight 1) degrades to exact
+        # FIFO — the pre-tenant single-tenant pipeline.
+        ledger = (
+            PoolLedger(config.pool_chunks, self.tenants.reservations())
+            if self.tenants.active
+            else None
+        )
+        self.pool = BufferPool(
+            config.chunk_size, config.pool_size, stats=stats, ledger=ledger
+        )
+        self.queue = WorkQueue(
+            config.work_queue_depth,
+            stats=stats,
+            scheduler=DRRScheduler(
+                weights=self.tenants.weights(), fair=config.tenant_fairness
+            ),
+            quotas=self.tenants.quotas() if self.tenants.active else None,
+        )
         self.iopool = IOThreadPool(
             backend,
             self.queue,
@@ -132,24 +152,28 @@ class CRFS:
         with self._lifecycle:
             if not self._mounted:
                 return
-            for path in self.table.paths():
-                entry = self.table.lookup(path)
-                if entry is None:
-                    continue
-                with entry.write_lock:
-                    self._flush_locked(entry)
-                entry.wait_drained(timeout=timeout)
-                if entry.read_cache is not None:
-                    # Before iopool.shutdown: in-flight prefetch entries
-                    # are marked evicted and the (still running) workers
-                    # return their buffers themselves.
-                    entry.read_cache.clear()
-                # drop all remaining references
-                last = False
-                while not last:
-                    _, last = self.table.close(path)
-                self.backend.close(entry.backend_handle)
-                self.kernel.file_closed(path)
+            # Shard-ordered teardown: each tenant partition flushes and
+            # drains as a unit, so one tenant's backlog is fully retired
+            # before the next partition is touched.
+            for tenant in self.table.tenants():
+                for path in self.table.paths(tenant):
+                    entry = self.table.lookup(path)
+                    if entry is None:
+                        continue
+                    with entry.write_lock:
+                        self._flush_locked(entry)
+                    entry.wait_drained(timeout=timeout)
+                    if entry.read_cache is not None:
+                        # Before iopool.shutdown: in-flight prefetch entries
+                        # are marked evicted and the (still running) workers
+                        # return their buffers themselves.
+                        entry.read_cache.clear()
+                    # drop all remaining references
+                    last = False
+                    while not last:
+                        _, last = self.table.close(path)
+                    self.backend.close(entry.backend_handle)
+                    self.kernel.file_closed(path, tenant=entry.tenant)
             self.iopool.shutdown(timeout=timeout)
             self.pool.close()
             self._mounted = False
@@ -170,25 +194,39 @@ class CRFS:
 
     # -- file open/close -------------------------------------------------------
 
-    def open(self, path: str, create: bool = True, truncate: bool = False) -> CRFSFile:
+    def open(
+        self,
+        path: str,
+        create: bool = True,
+        truncate: bool = False,
+        tenant: str | None = None,
+    ) -> CRFSFile:
         """Open (by default create) a file for aggregated writing.
 
         Mirrors the paper's open path: look up the hash table; bump the
         refcount if already open, otherwise insert a fresh entry and
         open/create the backing file.
+
+        ``tenant`` pins the open to a tenant explicitly; by default the
+        mount's :class:`~repro.pipeline.tenancy.TenantRegistry` maps the
+        path through the configured fnmatch rules (falling back to
+        ``default``).  The tenant decides the file's table partition,
+        its buffer-pool quota and its IO scheduling share.
         """
         self._require_mounted()
         norm = normalize_path(path)
+        resolved = self.tenants.resolve(norm, tenant)
 
         def make_entry() -> FileEntry:
             handle = self.backend.open(norm, create=create, truncate=truncate)
-            self.kernel.file_opened(norm)
+            self.kernel.file_opened(norm, tenant=resolved)
             entry = FileEntry(
                 norm,
                 handle,
                 self.config.chunk_size,
                 emit=self.kernel.emit,
                 clock=self.kernel.clock,
+                tenant=resolved,
             )
             if self.config.read_cache_chunks > 0:
                 entry.read_cache = ReadCache(
@@ -206,6 +244,7 @@ class CRFS:
                     self.pool,
                     self.queue,
                     health=self.health,
+                    tenant=resolved,
                 )
             return entry
 
@@ -226,7 +265,7 @@ class CRFS:
                 if entry.read_cache is not None:
                     entry.read_cache.clear()
                 self.backend.close(entry.backend_handle)
-                self.kernel.file_closed(entry.path)
+                self.kernel.file_closed(entry.path, tenant=entry.tenant)
 
     # -- write path ---------------------------------------------------------
 
@@ -278,7 +317,7 @@ class CRFS:
             for op in ops:
                 if isinstance(op, Fill):
                     if entry.current_chunk is None:
-                        chunk = self.pool.acquire()
+                        chunk = self.pool.acquire(tenant=entry.tenant)
                         chunk.open_for(entry, op.file_offset - op.chunk_offset)
                         entry.current_chunk = chunk
                     entry.current_chunk.append(
@@ -328,7 +367,7 @@ class CRFS:
         chunk.seal(seal.reason)
         entry.current_chunk = None
         entry.note_chunk_queued(seal)
-        self.queue.put(WorkItem(chunk=chunk, entry=entry))
+        self.queue.put(WorkItem(chunk=chunk, entry=entry), tenant=entry.tenant)
 
     def _flush_locked(self, entry: FileEntry) -> None:
         """Seal the partial chunk, if any (caller holds write_lock)."""

@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING, Any, Iterable
 from ..errors import BackendIOError, FileStateError, ShutdownError
 from ..pipeline.readahead import DEMAND, PREFETCH, CacheEntry, ReadaheadCore
 from ..pipeline.resilience import BackendHealth
+from ..pipeline.tenancy import DEFAULT_TENANT
 from .buffer_pool import BufferPool
 from .workqueue import WorkQueue
 
@@ -67,6 +68,7 @@ class ReadCache:
         pool: BufferPool,
         queue: WorkQueue,
         health: BackendHealth | None = None,
+        tenant: str = DEFAULT_TENANT,
     ):
         self.path = path
         self.backend = backend
@@ -75,6 +77,10 @@ class ReadCache:
         self.pool = pool
         self.queue = queue
         self.health = health
+        #: The owning file's tenant: cache leases draw on its pool quota
+        #: and prefetches queue under its name (low band, so they are
+        #: never weighed against the tenant's writeback share).
+        self.tenant = tenant
         self._cond = threading.Condition()
 
     # -- the foreground read path ---------------------------------------------
@@ -131,7 +137,7 @@ class ReadCache:
         base = centry_index * cs
         centry, evicted = self.core.admit(centry_index, DEMAND)
         self._release_evicted(evicted)
-        chunk = self.pool.try_acquire()
+        chunk = self.pool.try_acquire(tenant=self.tenant)
         if chunk is None:
             self.core.fetch_failed(centry)  # silent un-admit (demand origin)
             return self.backend.pread(self.backend_handle, hi - lo, lo)
@@ -140,7 +146,9 @@ class ReadCache:
             data = self.backend.pread(self.backend_handle, length, base)
         except Exception as exc:
             self.core.fetch_failed(centry)
-            self.pool.release(chunk)
+            # The chunk never left the clean state (nothing was appended
+            # before the pread failed), so skip the redundant reset.
+            self.pool.release(chunk, already_reset=True)
             self._cond.notify_all()
             if self.health is not None:
                 self.health.record_failure()
@@ -173,7 +181,7 @@ class ReadCache:
                 length=min(cs, file_size - base),
             )
             try:
-                self.queue.put(item, low=True)
+                self.queue.put(item, low=True, tenant=self.tenant)
             except ShutdownError:  # racing unmount: drop, never block
                 self.core.fetch_failed(centry)
 
@@ -190,7 +198,7 @@ class ReadCache:
         with self._cond:
             if centry.evicted:  # invalidated/cleared while queued
                 return
-            chunk = self.pool.try_acquire()
+            chunk = self.pool.try_acquire(tenant=self.tenant)
             if chunk is None:
                 self.core.fetch_failed(centry)
                 self._cond.notify_all()
@@ -201,12 +209,13 @@ class ReadCache:
             )
         except Exception:
             # Prefetch failures are silent: drop the entry, the chunk is
-            # refetched on demand if a read actually wants it.
+            # refetched on demand if a read actually wants it.  The chunk
+            # is still clean (nothing appended), so skip the reset.
             with self._cond:
                 if not centry.evicted:
                     self.core.fetch_failed(centry)
                 self._cond.notify_all()
-            self.pool.release(chunk)
+            self.pool.release(chunk, already_reset=True)
             if self.health is not None:
                 self.health.record_failure()
             return

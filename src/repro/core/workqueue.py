@@ -4,6 +4,14 @@ The paper (Section IV-B): "Data chunks are eventually handed over to the
 Work Queue for actual writing... Whenever a chunk is enqueued, an IO
 thread wakes up and fetches the chunk off the queue."
 
+Item storage and service order live in a
+:class:`~repro.pipeline.tenancy.DRRScheduler` shared with the timing
+plane's ``SimQueue``: per-tenant sub-queues served weighted
+deficit-round-robin under contention, which degrades to exact FIFO for
+a single-tenant mount.  This class adds what is thread-specific —
+the mutex, the condition variables, capacity/quota blocking and the
+drain-close protocol.
+
 Close semantics are drain-then-stop: after :meth:`close`, queued items
 are still handed out, and once empty every getter receives
 :class:`QueueClosed` — that is how the IO threads learn to exit at
@@ -13,11 +21,12 @@ unmount without dropping in-flight chunks.
 from __future__ import annotations
 
 import threading
-from collections import deque
-from typing import Any, Callable, Deque
+import time
+from typing import Any, Callable, Mapping
 
 from ..errors import QueueFullTimeout, ShutdownError
-from ..pipeline import PipelineStats, QueuePressure
+from ..pipeline import AdmissionWait, PipelineStats, QueuePressure
+from ..pipeline.tenancy import DEFAULT_TENANT, DRRScheduler
 
 __all__ = ["WorkQueue", "QueueClosed", "QueueFullTimeout"]
 
@@ -32,7 +41,7 @@ class QueueClosed(ShutdownError):
 
 
 class WorkQueue:
-    """Bounded (optionally unbounded) thread-safe FIFO with drain-close.
+    """Bounded (optionally unbounded) thread-safe queue with drain-close.
 
     Two priority bands: the default (high) band carries writeback
     chunks, the low band readahead prefetches — ``get`` always drains
@@ -41,17 +50,29 @@ class WorkQueue:
     (prefetch volume is already bounded by cache admission, and a
     blocking low put from a reader holding cache locks could deadlock).
 
-    Depth accounting is published as ``QueuePressure`` events into the
-    shared :class:`~repro.pipeline.stats.PipelineStats` registry.
+    Multi-tenant mounts add per-tenant ``quotas`` on queued high-band
+    chunks: a tenant at its quota blocks *its own* writers at
+    :meth:`put` (admission control), leaving other tenants' puts and the
+    IO workers untouched.
+
+    Depth accounting is published as ``QueuePressure`` /
+    ``AdmissionWait`` events into the shared
+    :class:`~repro.pipeline.stats.PipelineStats` registry.
     """
 
-    def __init__(self, capacity: int = 0, stats: PipelineStats | None = None):
+    def __init__(
+        self,
+        capacity: int = 0,
+        stats: PipelineStats | None = None,
+        scheduler: DRRScheduler | None = None,
+        quotas: Mapping[str, int] | None = None,
+    ):
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity  # 0 = unbounded
         self.stats = stats if stats is not None else PipelineStats()
-        self._items: Deque[Any] = deque()
-        self._low: Deque[Any] = deque()
+        self.scheduler = scheduler if scheduler is not None else DRRScheduler()
+        self.quotas = {t: q for t, q in (quotas or {}).items() if q > 0}
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._not_full = threading.Condition(self._lock)
@@ -69,22 +90,53 @@ class WorkQueue:
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._items) + len(self._low)
+            return len(self.scheduler)
+
+    def depth(self, tenant: str) -> int:
+        """Queued high-band chunks for ``tenant`` (the admission gauge)."""
+        with self._lock:
+            return self.scheduler.depth(tenant)
 
     @property
     def closed(self) -> bool:
         with self._lock:
             return self._closed
 
+    # -- put -------------------------------------------------------------------
+
+    def _put_blocked(self, tenant: str, quota: int) -> bool:
+        """Whether a high-band put must wait (caller holds the lock):
+        the band is at capacity, or the tenant is at its quota."""
+        if self.capacity and self.scheduler.high_len >= self.capacity:
+            return True
+        return bool(quota) and self.scheduler.depth(tenant) >= quota
+
+    def _wake_putters(self) -> None:
+        """Wake blocked putters after a high-band item left the queue
+        (caller holds the lock).  With quotas, waiters block on
+        *different* predicates (their own tenant's depth), so everyone
+        must recheck; without, one waiter per freed slot suffices."""
+        if self.quotas:
+            self._not_full.notify_all()
+        else:
+            self._not_full.notify()
+
     def put(
-        self, item: Any, timeout: float | None = _DEFAULT_TIMEOUT, low: bool = False
+        self,
+        item: Any,
+        timeout: float | None = _DEFAULT_TIMEOUT,
+        low: bool = False,
+        tenant: str = DEFAULT_TENANT,
     ) -> None:
-        """Enqueue ``item``; raises :class:`QueueClosed` once closed.
+        """Enqueue ``item`` for ``tenant``; raises :class:`QueueClosed`
+        once closed.
 
         Band contract: high-band puts block while the band is at
-        ``capacity`` and raise :class:`QueueFullTimeout` after
-        ``timeout`` seconds (None = wait forever; default 30 s).
-        Low-band puts NEVER block — the band is unbounded by design
+        ``capacity`` or the tenant is at its ``queue_quota``, and raise
+        :class:`QueueFullTimeout` after ``timeout`` seconds (None = wait
+        forever; default 30 s).  The bound is a *deadline*: wakeups that
+        do not admit the put wait only on the remainder.  Low-band puts
+        NEVER block — the band is unbounded and quota-exempt by design
         (prefetch volume is capped upstream by cache admission, and a
         blocking low put from a reader holding cache locks could
         deadlock) — so passing ``timeout`` with ``low=True`` is a
@@ -101,43 +153,73 @@ class WorkQueue:
             if low:
                 if self._closed:
                     raise QueueClosed("work queue closed")
-                self._low.append(item)
+                self.scheduler.push(tenant, item, low=True)
                 self.stats.on_event(
-                    QueuePressure(depth=len(self._items) + len(self._low))
+                    QueuePressure(
+                        depth=len(self.scheduler),
+                        tenant=tenant,
+                        tenant_depth=self.scheduler.depth(tenant),
+                    )
                 )
                 self._not_empty.notify()
                 return
-            while (
-                self.capacity
-                and len(self._items) >= self.capacity
-                and not self._closed
-            ):
-                if not self._not_full.wait(timeout=timeout):
+            quota = self.quotas.get(tenant, 0)
+            deadline = None if timeout is None else time.monotonic() + timeout
+            admission_noted = False
+            while self._put_blocked(tenant, quota) and not self._closed:
+                if not admission_noted and quota and (
+                    self.scheduler.depth(tenant) >= quota
+                ):
+                    # Count the blocking put once, not once per wakeup.
+                    self.stats.on_event(
+                        AdmissionWait(
+                            tenant=tenant, depth=self.scheduler.depth(tenant)
+                        )
+                    )
+                    admission_noted = True
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
                     raise QueueFullTimeout(
-                        f"work queue full for {timeout}s — IO stalled?"
+                        f"work queue full for {timeout}s "
+                        f"(tenant {tenant!r}) — IO stalled?"
+                    )
+                if not self._not_full.wait(timeout=remaining):
+                    raise QueueFullTimeout(
+                        f"work queue full for {timeout}s "
+                        f"(tenant {tenant!r}) — IO stalled?"
                     )
             if self._closed:
                 raise QueueClosed("work queue closed")
-            self._items.append(item)
+            self.scheduler.push(tenant, item)
             self.stats.on_event(
-                QueuePressure(depth=len(self._items) + len(self._low))
+                QueuePressure(
+                    depth=len(self.scheduler),
+                    tenant=tenant,
+                    tenant_depth=self.scheduler.depth(tenant),
+                )
             )
             self._not_empty.notify()
 
+    # -- get -------------------------------------------------------------------
+
     def get(self, timeout: float | None = None) -> Any:
-        """Take the next item, high band first; blocks while empty;
-        raises QueueClosed once closed *and* both bands drained."""
+        """Take the next item in scheduler service order, high band
+        first; blocks while empty; raises QueueClosed once closed *and*
+        both bands drained."""
         with self._not_empty:
-            while not self._items and not self._low:
+            while not len(self.scheduler):
                 if self._closed:
                     raise QueueClosed("work queue closed")
                 if not self._not_empty.wait(timeout=timeout):
                     raise TimeoutError("work queue get timed out")
-            if self._items:
-                item = self._items.popleft()
-                self._not_full.notify()
-            else:
-                item = self._low.popleft()
+            was_high = self.scheduler.high_len > 0
+            popped = self.scheduler.pop()
+            assert popped is not None
+            _, item = popped
+            if was_high:
+                self._wake_putters()
             return item
 
     def get_batch(
@@ -149,37 +231,40 @@ class WorkQueue:
         """Take the next item plus up to ``limit - 1`` queued high-band
         items that ``chain`` accepts as its continuation.
 
-        Blocking, close and band semantics are exactly :meth:`get`'s: the
-        wait is for the *first* item only, the high band drains before
-        the low band, and a low-band item is never batched (prefetches
-        carry no contiguity).  The gather scans the whole high band —
-        ``chain(batch[-1], candidate)`` — skipping non-matching items
-        and preserving their relative order, so interleaved multi-writer
-        queues still coalesce each writer's contiguous runs.
+        Blocking, close and band semantics are exactly :meth:`get`'s:
+        the wait is for the *first* item only, the high band drains
+        before the low band, and a low-band item is never batched
+        (prefetches carry no contiguity).  The gather scans only the
+        popped tenant's sub-queue — ``chain(batch[-1], candidate)`` —
+        skipping non-matching items and preserving their relative order,
+        so a batch never spans tenants; the gathered run is charged
+        against the tenant's DRR deficit, so a long coalesced batch
+        still costs its weight.
         """
         if limit < 1:
             raise ValueError(f"limit must be >= 1, got {limit}")
         with self._not_empty:
-            while not self._items and not self._low:
+            while not len(self.scheduler):
                 if self._closed:
                     raise QueueClosed("work queue closed")
                 if not self._not_empty.wait(timeout=timeout):
                     raise TimeoutError("work queue get timed out")
-            if not self._items:
-                return [self._low.popleft()]
-            batch = [self._items.popleft()]
-            self._not_full.notify()
+            was_high = self.scheduler.high_len > 0
+            popped = self.scheduler.pop()
+            assert popped is not None
+            tenant, item = popped
+            if not was_high:
+                return [item]
+            batch = [item]
             if limit > 1:
-                remaining: Deque[Any] = deque()
-                while self._items and len(batch) < limit:
-                    candidate = self._items.popleft()
-                    if chain(batch[-1], candidate):
-                        batch.append(candidate)
-                        self._not_full.notify()
-                    else:
-                        remaining.append(candidate)
-                remaining.extend(self._items)
-                self._items = remaining
+                batch.extend(
+                    self.scheduler.gather(tenant, limit - 1, chain, item)
+                )
+            if self.quotas:
+                self._not_full.notify_all()
+            else:
+                for _ in batch:
+                    self._not_full.notify()
             return batch
 
     def close(self) -> None:

@@ -18,7 +18,7 @@ from typing import Any
 
 from ..backends import FaultyBackend, MemBackend
 from ..backends.faulty import FaultRule
-from ..config import CRFSConfig
+from ..config import CRFSConfig, TenantSpec
 from ..core import CRFS
 from ..checkpoint.sizedist import WriteSizeDistribution
 from ..sim import SharedBandwidth, Simulator
@@ -169,6 +169,101 @@ def _timing_batched_stats(config: CRFSConfig, seed: int) -> dict[str, Any]:
     return crfs.stats()
 
 
+# -- multi-tenant parity arm ---------------------------------------------------
+#
+# Same gating trick as the batched arm: the default tenant's one-chunk
+# gate file holds the lone IO worker in its backend pwrite while two
+# tenants (a at weight 2, b at weight 1) queue their whole runs, so the
+# DRR service order — and every per-tenant counter — is a pure function
+# of the workload on both planes.  No queue quotas here: the single app
+# thread would park at admission while the gate is held and deadlock.
+# Clock-read fields (drain times) and the gate put's depth gauge (the
+# sim hands it straight to the parked worker, depth 0; the threaded
+# queue stores-then-wakes, depth 1) are plane-divergent by construction
+# and stripped before the diff.
+
+_TENANT_RUN_CHUNKS = {"a": 6, "b": 3}
+
+#: Per-tenant fields read off a clock or raced at close, not determined
+#: by the workload — excluded from the bit-identical comparison.
+_TENANT_TIMING_FIELDS = ("drain_time_total", "drain_time_max", "drain_waits_blocked")
+
+
+def _tenant_config() -> CRFSConfig:
+    return CRFSConfig(
+        chunk_size=64 * KiB,
+        pool_size=1 * MiB,  # all 10 chunks fit: no pool backpressure
+        io_threads=1,
+        tenants=(
+            TenantSpec("a", weight=2, pool_reserved=2, patterns=("/a/*",)),
+            TenantSpec("b", weight=1, pool_reserved=1, patterns=("/b/*",)),
+        ),
+    )
+
+
+def _comparable_tenants(stats: dict[str, Any]) -> dict[str, Any]:
+    """The tenants section minus the plane-divergent fields."""
+    out: dict[str, Any] = {}
+    for name, counters in stats["tenants"].items():
+        kept = {
+            k: v for k, v in counters.items() if k not in _TENANT_TIMING_FIELDS
+        }
+        if name == "default":
+            kept.pop("queue_max_depth", None)
+        out[name] = kept
+    return out
+
+
+def _functional_tenant_stats(config: CRFSConfig) -> dict[str, Any]:
+    gate = threading.Event()
+    mem = MemBackend()
+    mem.mkdir("/a")
+    mem.mkdir("/b")
+    backend = FaultyBackend(
+        mem,
+        [FaultRule(op="pwrite", nth=1, delay=1.0)],
+        sleep=lambda _s: gate.wait(),
+    )
+    fs = CRFS(backend, config)
+    with fs:
+        with fs.open("/gate.img") as fg, \
+                fs.open("/a/rank0.img") as fa, fs.open("/b/rank0.img") as fb:
+            fg.write(b"\x00" * config.chunk_size)
+            for _ in range(_TENANT_RUN_CHUNKS["a"]):
+                fa.write(b"\x00" * config.chunk_size)
+            for _ in range(_TENANT_RUN_CHUNKS["b"]):
+                fb.write(b"\x00" * config.chunk_size)
+            gate.set()
+    return fs.stats()
+
+
+def _timing_tenant_stats(config: CRFSConfig, seed: int) -> dict[str, Any]:
+    sim = Simulator()
+    hw = DEFAULT_HW
+    membus = SharedBandwidth(sim, hw.membus_bandwidth)
+    backend = FaultySimFilesystem(
+        NullSimFilesystem(sim, hw, rng_for(seed, "crossplane/tenants")),
+        [FaultRule(op="pwrite", nth=1, delay=1.0)],
+    )
+    crfs = SimCRFS(sim, hw, config, backend, membus)
+
+    def proc():
+        fg = crfs.open("/gate.img")
+        yield from crfs.write(fg, config.chunk_size)
+        fa = crfs.open("/a/rank0.img")
+        fb = crfs.open("/b/rank0.img")
+        for _ in range(_TENANT_RUN_CHUNKS["a"]):
+            yield from crfs.write(fa, config.chunk_size)
+        for _ in range(_TENANT_RUN_CHUNKS["b"]):
+            yield from crfs.write(fb, config.chunk_size)
+        yield from crfs.close(fb)
+        yield from crfs.close(fa)
+        yield from crfs.close(fg)
+
+    sim.run_until_complete([sim.spawn(proc())])
+    return crfs.stats()
+
+
 def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
     sizes = _workload(seed, fast)
     # Pool of 4 chunks, cache of 4, window of 2: reads start after the
@@ -222,10 +317,30 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
             ]
         )
 
+    tconfig = _tenant_config()
+    tfunc = _functional_tenant_stats(tconfig)
+    ttiming = _timing_tenant_stats(tconfig, seed)
+    tfunc_tenants = _comparable_tenants(tfunc)
+    ttiming_tenants = _comparable_tenants(ttiming)
+    for name in sorted(set(tfunc_tenants) | set(ttiming_tenants)):
+        match = tfunc_tenants.get(name) == ttiming_tenants.get(name)
+        if not match:
+            mismatches.append(f"tenants.{name}")
+        table.add_row(
+            [
+                f"tenants.{name}",
+                str(tfunc_tenants.get(name)),
+                str(ttiming_tenants.get(name)),
+                "yes" if match else "NO",
+            ]
+        )
+
     schema_ok = (
         set(func) == set(timing)
         and set(func["pool"]) == set(timing["pool"])
         and set(func["queue"]) == set(timing["queue"])
+        and set(func["tenants"]) == set(timing["tenants"])
+        and set(tfunc["tenants"]) == set(ttiming["tenants"])
     )
     checks = [
         Check(
@@ -257,6 +372,15 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
             and bfunc["batch"]["batches"] > 0
             and bfunc["batch"]["chunks"] == _BATCH_RUN_CHUNKS,
             f"batch section: {bfunc['batch']}",
+        ),
+        Check(
+            "per-tenant accounting bit-identical across planes",
+            tfunc_tenants == ttiming_tenants
+            and all(
+                tfunc_tenants[t]["chunks_written"] == n
+                for t, n in _TENANT_RUN_CHUNKS.items()
+            ),
+            f"tenant sections: {sorted(tfunc_tenants)}",
         ),
     ]
     return ExperimentResult(

@@ -30,6 +30,7 @@ from . import (
     restart,
     table1,
     table2,
+    tenant_storm,
 )
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]
@@ -51,6 +52,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "crossplane": crossplane.run,  # repo artifact: shared-kernel parity
     "faultsweep": faultsweep.run,  # repo artifact: writeback resilience
     "perfbench": perfbench.run,  # repo artifact: perf-regression gate
+    "tenant_storm": tenant_storm.run,  # repo artifact: multi-tenant isolation
 }
 
 

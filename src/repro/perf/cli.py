@@ -137,6 +137,33 @@ def _cmd_trend(args: argparse.Namespace) -> int:
             ]
         )
     print(table.render())
+    if len(artifacts) > 1:
+        # The regression dashboard: each artifact's per-scenario goodput
+        # change against the BENCH immediately before it, so a perf
+        # shift is pinned to the artifact (and thus the PR) that
+        # introduced it, not just to the endpoints of the history.
+        delta_table = TextTable(
+            ["artifact", *scenarios],
+            title="Per-scenario goodput vs previous BENCH",
+        )
+        for (_, prev), (path, cur) in zip(artifacts, artifacts[1:]):
+            prev_sim = prev["planes"].get("sim", {})
+            cur_sim = cur["planes"].get("sim", {})
+            cells = []
+            for name in scenarios:
+                if name not in cur_sim:
+                    cells.append("-")
+                elif name not in prev_sim:
+                    cells.append("new")
+                elif prev_sim[name]["goodput_mib_s"] <= 0:
+                    cells.append("?")
+                else:
+                    a = prev_sim[name]["goodput_mib_s"]
+                    b = cur_sim[name]["goodput_mib_s"]
+                    cells.append(f"{100.0 * (b - a) / a:+.1f}%")
+            delta_table.add_row([path.name, *cells])
+        print()
+        print(delta_table.render())
     first_sim = artifacts[0][1]["planes"].get("sim", {})
     last_sim = artifacts[-1][1]["planes"].get("sim", {})
     deltas = []

@@ -120,7 +120,7 @@ def run_scenario_sim(scenario: Scenario, seed: int, fast: bool = False) -> dict[
     ]
 
     def writer(index: int):
-        f = crfs.open(f"/rank{index}.img")
+        f = crfs.open(scenario.path(index))
         for n, size in enumerate(workloads[index], start=1):
             yield from crfs.write(f, size)
             if scenario.fsync_every and n % scenario.fsync_every == 0:
@@ -183,7 +183,7 @@ def run_scenario_real(
 
         def writer(index: int) -> None:
             try:
-                with fs.open(f"/rank{index}.img") as f:
+                with fs.open(scenario.path(index)) as f:
                     for n, size in enumerate(workloads[index], start=1):
                         f.write(memoryview(payload)[:size])
                         if scenario.fsync_every and n % scenario.fsync_every == 0:

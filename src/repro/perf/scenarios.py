@@ -20,6 +20,9 @@ must keep honest:
 * ``restart_readahead`` — write an image then read it back
   sequentially over the NFS model: the restart read plane, with the
   chunked readahead cache prefetching through the IO pool.
+* ``tenant_storm`` — a storm tenant's oversized burst beside two
+  reserved-pool victims through one IO thread: weighted DRR service,
+  queue-quota admission control, per-tenant pool partitioning.
 
 Workloads are derived from ``rng_for(seed, "perf/<scenario>/<writer>")``
 so every writer's byte stream is a pure function of the seed — two runs
@@ -34,7 +37,7 @@ from typing import Callable
 
 from ..backends.faulty import FaultRule
 from ..checkpoint.sizedist import WriteSizeDistribution
-from ..config import CRFSConfig
+from ..config import CRFSConfig, TenantSpec
 from ..units import KiB, MiB
 from ..util.rng import rng_for
 
@@ -81,15 +84,35 @@ class Scenario:
     sim_backend: str = "null"
     #: Factory for the backend fault schedule (fresh rules per run).
     fault_rules: Callable[[], list[FaultRule]] = field(default=_no_rules)
+    #: Per-writer target paths (multi-tenant scenarios route writers to
+    #: tenants through the mount's fnmatch rules); empty = every writer
+    #: gets the anonymous ``/rank<i>.img``.
+    writer_paths: tuple[str, ...] = ()
+    #: Per-writer image-size multipliers (a storm writer pushes a far
+    #: bigger burst than its victims); empty = everyone writes
+    #: ``image_size`` bytes.
+    writer_scale: tuple[float, ...] = ()
+
+    def path(self, writer: int) -> str:
+        """The file this writer targets (tenant routing happens here)."""
+        if self.writer_paths:
+            return self.writer_paths[writer % len(self.writer_paths)]
+        return f"/rank{writer}.img"
+
+    def image_for(self, writer: int, fast: bool) -> int:
+        """This writer's image size in bytes."""
+        base = self.fast_image_size if fast else self.image_size
+        if self.writer_scale:
+            return int(base * self.writer_scale[writer % len(self.writer_scale)])
+        return base
 
     def sizes(self, seed: int, writer: int, fast: bool) -> list[int]:
         """The writer's deterministic write-size stream."""
-        image = self.fast_image_size if fast else self.image_size
         rng = rng_for(seed, f"perf/{self.name}/writer{writer}")
-        return WriteSizeDistribution().plan(image, rng)
+        return WriteSizeDistribution().plan(self.image_for(writer, fast), rng)
 
     def total_bytes(self, fast: bool) -> int:
-        return self.nwriters * (self.fast_image_size if fast else self.image_size)
+        return sum(self.image_for(i, fast) for i in range(self.nwriters))
 
 
 SCENARIOS: dict[str, Scenario] = {
@@ -169,6 +192,33 @@ SCENARIOS: dict[str, Scenario] = {
             fast_image_size=2 * MiB,
             read_request=256 * KiB,
             sim_backend="nfs",
+        ),
+        Scenario(
+            name="tenant_storm",
+            description="storm tenant's 4x burst beside two reserved-pool "
+            "victims: DRR shares, queue-quota admission, pool partitions",
+            config=CRFSConfig(
+                chunk_size=64 * KiB,
+                pool_size=2 * MiB,  # 32 chunks: 6+6 reserved, 20 shared
+                io_threads=1,
+                tenants=(
+                    TenantSpec(
+                        "storm", weight=1, queue_quota=16,
+                        patterns=("/storm*",),
+                    ),
+                    TenantSpec(
+                        "alice", weight=8, pool_reserved=6, patterns=("/a*",)
+                    ),
+                    TenantSpec(
+                        "bob", weight=8, pool_reserved=6, patterns=("/b*",)
+                    ),
+                ),
+            ),
+            nwriters=3,
+            writer_paths=("/storm0.img", "/a0.img", "/b0.img"),
+            writer_scale=(4.0, 1.0, 1.0),
+            image_size=2 * MiB,
+            fast_image_size=512 * KiB,
         ),
     )
 }

@@ -17,6 +17,7 @@ tests assert.
 """
 
 from .events import (
+    AdmissionWait,
     BackendDegraded,
     BackendRecovered,
     BatchBroken,
@@ -46,8 +47,16 @@ from .planner import Fill, PlanOp, Seal, SealReason, WritePlanner
 from .readahead import DEMAND, PREFETCH, CacheEntry, ReadaheadCore
 from .resilience import BackendHealth, RetryPolicy, run_attempts
 from .stats import PipelineStats, flatten_snapshot
+from .tenancy import (
+    DEFAULT_TENANT,
+    DRRScheduler,
+    PoolLedger,
+    TenantRegistry,
+    TenantSpec,
+)
 
 __all__ = [
+    "AdmissionWait",
     "BackendDegraded",
     "BackendHealth",
     "BackendRecovered",
@@ -58,7 +67,9 @@ __all__ = [
     "ChunkRetried",
     "ChunkSealed",
     "ChunkWritten",
+    "DEFAULT_TENANT",
     "DEMAND",
+    "DRRScheduler",
     "ErrorLatched",
     "FileClosed",
     "FileDrained",
@@ -71,6 +82,7 @@ __all__ = [
     "PipelineObserver",
     "PipelineStats",
     "PlanOp",
+    "PoolLedger",
     "PoolPressure",
     "PrefetchDropped",
     "PrefetchWasted",
@@ -82,6 +94,8 @@ __all__ = [
     "RetryPolicy",
     "Seal",
     "SealReason",
+    "TenantRegistry",
+    "TenantSpec",
     "WorkersDrained",
     "WriteObserved",
     "WritePlanner",

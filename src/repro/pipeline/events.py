@@ -26,6 +26,7 @@ from .planner import SealReason
 __all__ = [
     "PipelineEvent",
     "PipelineObserver",
+    "AdmissionWait",
     "FileOpened",
     "FileClosed",
     "WriteObserved",
@@ -61,6 +62,7 @@ class FileOpened(PipelineEvent):
 
     path: str
     t: float = 0.0
+    tenant: str = "default"
 
 
 @dataclass(frozen=True)
@@ -69,6 +71,7 @@ class FileClosed(PipelineEvent):
 
     path: str
     t: float = 0.0
+    tenant: str = "default"
 
 
 @dataclass(frozen=True)
@@ -85,6 +88,7 @@ class WriteObserved(PipelineEvent):
     duration: float
     write_through: bool = False
     degraded: bool = False
+    tenant: str = "default"
 
 
 @dataclass(frozen=True)
@@ -97,6 +101,7 @@ class ChunkSealed(PipelineEvent):
     length: int
     reason: SealReason
     t: float = 0.0
+    tenant: str = "default"
 
 
 @dataclass(frozen=True)
@@ -111,6 +116,7 @@ class ChunkWritten(PipelineEvent):
     start: float
     duration: float
     error: Optional[BaseException] = None
+    tenant: str = "default"
 
 
 @dataclass(frozen=True)
@@ -129,6 +135,7 @@ class BatchWritten(PipelineEvent):
     start: float
     duration: float
     error: Optional[BaseException] = None
+    tenant: str = "default"
 
 
 @dataclass(frozen=True)
@@ -191,6 +198,7 @@ class FileDrained(PipelineEvent):
     duration: float
     outstanding: int = 0
     t: float = 0.0
+    tenant: str = "default"
 
 
 @dataclass(frozen=True)
@@ -214,18 +222,41 @@ class ErrorLatched(PipelineEvent):
 
 @dataclass(frozen=True)
 class PoolPressure(PipelineEvent):
-    """A buffer-pool chunk was acquired; ``waited`` means the writer
-    blocked for it (the Figure 5 backpressure stall)."""
+    """A buffer-pool chunk changed hands.
+
+    ``released=False`` (an acquire): ``waited`` means the writer blocked
+    for it (the Figure 5 backpressure stall).  ``released=True``: the
+    chunk went back to the pool — emitted so the ``in_use`` gauge falls
+    in the stats timeline as well as rises.  ``tenant``/``tenant_in_use``
+    attribute the movement to the owning tenant's quota accounting.
+    """
 
     waited: bool
     in_use: int
+    tenant: str = "default"
+    tenant_in_use: int = 0
+    released: bool = False
 
 
 @dataclass(frozen=True)
 class QueuePressure(PipelineEvent):
-    """A chunk was enqueued on the work queue at the given depth."""
+    """A chunk was enqueued on the work queue at the given global depth;
+    ``tenant_depth`` is the enqueuing tenant's own high-band depth."""
 
     depth: int
+    tenant: str = "default"
+    tenant_depth: int = 0
+
+
+@dataclass(frozen=True)
+class AdmissionWait(PipelineEvent):
+    """A tenant's high-band put blocked at admission control: the tenant
+    was at its ``queue_quota`` (``depth`` queued chunks), so the writer
+    parked instead of flooding the queue."""
+
+    tenant: str
+    depth: int
+    t: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -243,6 +274,7 @@ class ReadObserved(PipelineEvent):
     length: int
     start: float
     duration: float
+    tenant: str = "default"
 
 
 @dataclass(frozen=True)

@@ -85,8 +85,10 @@ class FilePipeline:
         emit: EmitFn | None = None,
         lock: Any = None,
         clock: Callable[[], float] | None = None,
+        tenant: str = "default",
     ):
         self.path = path
+        self.tenant = tenant
         self.planner = WritePlanner(chunk_size)
         self.clock = clock if clock is not None else time.perf_counter
         self._emit = emit if emit is not None else _no_emit
@@ -145,6 +147,7 @@ class FilePipeline:
                 duration=now - start,
                 write_through=write_through,
                 degraded=degraded,
+                tenant=self.tenant,
             )
         )
 
@@ -163,6 +166,7 @@ class FilePipeline:
                 length=length,
                 start=start,
                 duration=now - start,
+                tenant=self.tenant,
             )
         )
 
@@ -193,6 +197,7 @@ class FilePipeline:
                     length=seal.length,
                     reason=seal.reason,
                     t=self.clock(),
+                    tenant=self.tenant,
                 )
             )
 
@@ -230,6 +235,7 @@ class FilePipeline:
                 start=start,
                 duration=now - start,
                 error=error,
+                tenant=self.tenant,
             )
         )
         if latched:
@@ -265,6 +271,7 @@ class FilePipeline:
                 start=start,
                 duration=now - start,
                 error=error,
+                tenant=self.tenant,
             )
         )
 
@@ -296,6 +303,7 @@ class FilePipeline:
                 duration=now - start,
                 outstanding=outstanding,
                 t=now,
+                tenant=self.tenant,
             )
         )
 
@@ -350,10 +358,13 @@ class PipelineKernel:
         pool_chunks: int = 0,
         clock: Callable[[], float] | None = None,
         observers: Iterable[PipelineObserver] = (),
+        tenants: Iterable[str] = ("default",),
     ):
         self.chunk_size = chunk_size
         self.clock = clock if clock is not None else time.perf_counter
-        self.stats = PipelineStats(chunk_size=chunk_size, pool_chunks=pool_chunks)
+        self.stats = PipelineStats(
+            chunk_size=chunk_size, pool_chunks=pool_chunks, tenants=tenants
+        )
         self._observers: list[PipelineObserver] = [self.stats, *observers]
 
     def subscribe(self, observer: PipelineObserver) -> None:
@@ -364,17 +375,24 @@ class PipelineKernel:
         for observer in self._observers:
             observer.on_event(event)
 
-    def file(self, path: str, lock: Any = None) -> FilePipeline:
+    def file(
+        self, path: str, lock: Any = None, tenant: str = "default"
+    ) -> FilePipeline:
         """A per-file pipeline wired to this kernel's stream and clock."""
         return FilePipeline(
-            path, self.chunk_size, emit=self.emit, lock=lock, clock=self.clock
+            path,
+            self.chunk_size,
+            emit=self.emit,
+            lock=lock,
+            clock=self.clock,
+            tenant=tenant,
         )
 
-    def file_opened(self, path: str) -> None:
-        self.emit(FileOpened(path=path, t=self.clock()))
+    def file_opened(self, path: str, tenant: str = "default") -> None:
+        self.emit(FileOpened(path=path, t=self.clock(), tenant=tenant))
 
-    def file_closed(self, path: str) -> None:
-        self.emit(FileClosed(path=path, t=self.clock()))
+    def file_closed(self, path: str, tenant: str = "default") -> None:
+        self.emit(FileClosed(path=path, t=self.clock(), tenant=tenant))
 
     def snapshot(self) -> dict[str, Any]:
         """Shorthand for ``kernel.stats.snapshot()``."""

@@ -12,9 +12,10 @@ which the cross-plane differential tests compare field-for-field.
 from __future__ import annotations
 
 import threading
-from typing import Any
+from typing import Any, Iterable
 
 from .events import (
+    AdmissionWait,
     BackendDegraded,
     BackendRecovered,
     BatchBroken,
@@ -42,6 +43,33 @@ from .events import (
 from .planner import SealReason
 
 __all__ = ["PipelineStats", "flatten_snapshot"]
+
+
+def _new_tenant_counters() -> dict[str, Any]:
+    """One tenant's slice of the snapshot's ``tenants`` section.
+
+    ``drain_time_max`` doubles as the per-tenant drain-latency proxy the
+    ``tenant_storm`` experiment gates on (the worst close/fsync wait the
+    tenant observed — a p99-style tail stand-in that both planes compute
+    from the identical FileDrained events).
+    """
+    return {
+        "writes": 0,
+        "bytes_in": 0,
+        "reads": 0,
+        "bytes_read": 0,
+        "chunks_queued": 0,
+        "chunks_written": 0,
+        "bytes_out": 0,
+        "io_errors": 0,
+        "queue_max_depth": 0,
+        "pool_max_in_use": 0,
+        "admission_waits": 0,
+        "drain_waits": 0,
+        "drain_waits_blocked": 0,
+        "drain_time_total": 0.0,
+        "drain_time_max": 0.0,
+    }
 
 
 def flatten_snapshot(
@@ -74,10 +102,21 @@ class PipelineStats(PipelineObserver):
     each other.
     """
 
-    def __init__(self, chunk_size: int = 0, pool_chunks: int = 0):
+    def __init__(
+        self,
+        chunk_size: int = 0,
+        pool_chunks: int = 0,
+        tenants: Iterable[str] = ("default",),
+    ):
         self.chunk_size = chunk_size
         self.pool_chunks = pool_chunks
         self._lock = threading.Lock()
+        # Pre-seeded per-tenant counters: configured tenants appear in
+        # the snapshot with zeros even when idle, so both planes report
+        # the identical key set for the identical config.
+        self.tenants: dict[str, dict[str, Any]] = {
+            name: _new_tenant_counters() for name in tenants
+        }
         # -- write path
         self.writes = 0
         self.bytes_in = 0
@@ -122,8 +161,19 @@ class PipelineStats(PipelineObserver):
         self.pool_acquires = 0
         self.pool_waits = 0
         self.pool_max_in_use = 0
+        self.pool_releases = 0
         self.queue_puts = 0
         self.queue_max_depth = 0
+        self.admission_waits = 0
+
+    def _tenant(self, name: str) -> dict[str, Any]:
+        """The per-tenant counter dict (caller holds the lock); tenants
+        outside the pre-seeded set (explicit unconfigured ids) appear on
+        first event."""
+        counters = self.tenants.get(name)
+        if counters is None:
+            counters = self.tenants[name] = _new_tenant_counters()
+        return counters
 
     # -- event intake ---------------------------------------------------------
 
@@ -137,14 +187,22 @@ class PipelineStats(PipelineObserver):
                 if event.degraded:
                     self.degraded_writes += 1
                     self.degraded_bytes += event.length
+                t = self._tenant(event.tenant)
+                t["writes"] += 1
+                t["bytes_in"] += event.length
             elif isinstance(event, ChunkSealed):
                 self.seal_counts[event.reason] += 1
+                self._tenant(event.tenant)["chunks_queued"] += 1
             elif isinstance(event, ChunkWritten):
+                t = self._tenant(event.tenant)
                 if event.error is None:
                     self.chunks_written += 1
                     self.bytes_out += event.length
+                    t["chunks_written"] += 1
+                    t["bytes_out"] += event.length
                 else:
                     self.io_errors += 1
+                    t["io_errors"] += 1
             elif isinstance(event, BatchWritten):
                 if event.error is None:
                     self.batches_written += 1
@@ -158,15 +216,27 @@ class PipelineStats(PipelineObserver):
             elif isinstance(event, BatchBroken):
                 self.batches_broken += 1
             elif isinstance(event, PoolPressure):
-                self.pool_acquires += 1
-                if event.waited:
-                    self.pool_waits += 1
-                if event.in_use > self.pool_max_in_use:
-                    self.pool_max_in_use = event.in_use
+                if event.released:
+                    self.pool_releases += 1
+                else:
+                    self.pool_acquires += 1
+                    if event.waited:
+                        self.pool_waits += 1
+                    if event.in_use > self.pool_max_in_use:
+                        self.pool_max_in_use = event.in_use
+                    t = self._tenant(event.tenant)
+                    if event.tenant_in_use > t["pool_max_in_use"]:
+                        t["pool_max_in_use"] = event.tenant_in_use
             elif isinstance(event, QueuePressure):
                 self.queue_puts += 1
                 if event.depth > self.queue_max_depth:
                     self.queue_max_depth = event.depth
+                t = self._tenant(event.tenant)
+                if event.tenant_depth > t["queue_max_depth"]:
+                    t["queue_max_depth"] = event.tenant_depth
+            elif isinstance(event, AdmissionWait):
+                self.admission_waits += 1
+                self._tenant(event.tenant)["admission_waits"] += 1
             elif isinstance(event, FileOpened):
                 self.open_files += 1
             elif isinstance(event, FileClosed):
@@ -186,12 +256,22 @@ class PipelineStats(PipelineObserver):
                 self.drain_time_total += event.duration
                 if event.duration > self.drain_time_max:
                     self.drain_time_max = event.duration
+                t = self._tenant(event.tenant)
+                t["drain_waits"] += 1
+                if event.outstanding:
+                    t["drain_waits_blocked"] += 1
+                t["drain_time_total"] += event.duration
+                if event.duration > t["drain_time_max"]:
+                    t["drain_time_max"] = event.duration
             elif isinstance(event, WorkersDrained):
                 self.shutdown_drains += 1
                 self.shutdown_drain_time += event.duration
             elif isinstance(event, ReadObserved):
                 self.reads += 1
                 self.bytes_read += event.length
+                t = self._tenant(event.tenant)
+                t["reads"] += 1
+                t["bytes_read"] += event.length
             elif isinstance(event, ReadHit):
                 self.read_hits += 1
             elif isinstance(event, ReadMiss):
@@ -223,10 +303,16 @@ class PipelineStats(PipelineObserver):
                     "acquires": self.pool_acquires,
                     "waits": self.pool_waits,
                     "max_in_use": self.pool_max_in_use,
+                    "releases": self.pool_releases,
                 },
                 "queue": {
                     "puts": self.queue_puts,
                     "max_depth": self.queue_max_depth,
+                    "admission_waits": self.admission_waits,
+                },
+                "tenants": {
+                    name: dict(self.tenants[name])
+                    for name in sorted(self.tenants)
                 },
                 "batch": {
                     "batches": self.batches_written,

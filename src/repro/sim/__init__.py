@@ -14,7 +14,7 @@ exactly and deterministically.
 """
 
 from .engine import Simulator, Process, Timeout, Waitable
-from .primitives import SimEvent, SimLock, SimSemaphore, SimQueue
+from .primitives import SimEvent, SimLock, SimSemaphore, SimQueue, SimTenantPool
 from .resources import FIFOResource, SharedBandwidth
 
 __all__ = [
@@ -26,6 +26,7 @@ __all__ = [
     "SimLock",
     "SimSemaphore",
     "SimQueue",
+    "SimTenantPool",
     "FIFOResource",
     "SharedBandwidth",
 ]

@@ -8,12 +8,13 @@ keeps simulations deterministic.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque
+from typing import Any, Callable, Deque, Mapping
 
 from ..errors import ShutdownError, SimulationError
+from ..pipeline.tenancy import DEFAULT_TENANT, DRRScheduler, PoolLedger
 from .engine import Process, Simulator, Waitable
 
-__all__ = ["SimEvent", "SimLock", "SimSemaphore", "SimQueue"]
+__all__ = ["SimEvent", "SimLock", "SimSemaphore", "SimQueue", "SimTenantPool"]
 
 
 class SimEvent(Waitable):
@@ -116,6 +117,79 @@ class SimLock(SimSemaphore):
         super().__init__(sim, capacity=1)
 
 
+class _PoolAcquire(Waitable):
+    __slots__ = ("owner", "tenant")
+
+    def __init__(self, owner: "SimTenantPool", tenant: str):
+        self.owner = owner
+        self.tenant = tenant
+
+    def _subscribe(self, sim: Simulator, proc: Process) -> None:
+        self.owner._enqueue(proc, self.tenant)
+
+
+class SimTenantPool:
+    """A buffer pool partitioned through a shared
+    :class:`~repro.pipeline.tenancy.PoolLedger` — the timing-plane twin
+    of a ledger-backed ``BufferPool``.
+
+    Unlike :class:`SimSemaphore` (strict global FIFO), admission is per
+    tenant: an acquire proceeds whenever the *ledger* admits the tenant,
+    even while other tenants queue — that is the isolation property (a
+    storm parked on the shared region cannot delay a victim drawing on
+    its own reservation).  Waiters are FIFO among themselves: a release
+    resumes the first admissible waiter.
+    """
+
+    def __init__(self, sim: Simulator, ledger: PoolLedger):
+        self.sim = sim
+        self.ledger = ledger
+        self.capacity = ledger.nchunks
+        self._waiters: Deque[tuple[Process, str]] = deque()
+        self.total_acquires = 0
+        self.total_waits = 0
+
+    def acquire(self, tenant: str = DEFAULT_TENANT) -> Waitable:
+        return _PoolAcquire(self, tenant)
+
+    def would_wait(self, tenant: str) -> bool:
+        """Whether an acquire for ``tenant`` would park right now — the
+        backpressure predicate the model samples before yielding."""
+        return not self.ledger.can_acquire(tenant)
+
+    def _enqueue(self, proc: Process, tenant: str) -> None:
+        self.total_acquires += 1
+        if self.ledger.can_acquire(tenant):
+            self.ledger.acquire(tenant)
+            self.sim.schedule(0.0, proc._resume, None)
+        else:
+            self.total_waits += 1
+            self._waiters.append((proc, tenant))
+
+    def release(self, tenant: str = DEFAULT_TENANT) -> None:
+        self.ledger.release(tenant)
+        # One freed slot admits at most one waiter: the first whose
+        # tenant the ledger now accepts (a reserved-slot release admits
+        # only its owner, a shared-slot release admits anyone).
+        for i, (proc, waiter_tenant) in enumerate(self._waiters):
+            if self.ledger.can_acquire(waiter_tenant):
+                del self._waiters[i]
+                self.ledger.acquire(waiter_tenant)
+                self.sim.schedule(0.0, proc._resume, None)
+                return
+
+    @property
+    def in_use(self) -> int:
+        return self.ledger.in_use
+
+    def held(self, tenant: str) -> int:
+        return self.ledger.held(tenant)
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+
 class _Get(Waitable):
     __slots__ = ("queue",)
 
@@ -127,15 +201,22 @@ class _Get(Waitable):
 
 
 class _Put(Waitable):
-    __slots__ = ("queue", "item", "low")
+    __slots__ = ("queue", "item", "low", "tenant")
 
-    def __init__(self, queue: "SimQueue", item: Any, low: bool = False):
+    def __init__(
+        self,
+        queue: "SimQueue",
+        item: Any,
+        low: bool = False,
+        tenant: str = DEFAULT_TENANT,
+    ):
         self.queue = queue
         self.item = item
         self.low = low
+        self.tenant = tenant
 
     def _subscribe(self, sim: Simulator, proc: Process) -> None:
-        self.queue._enqueue_putter(proc, self.item, self.low)
+        self.queue._enqueue_putter(proc, self.item, self.low, self.tenant)
 
 
 class SimQueue:
@@ -150,31 +231,75 @@ class SimQueue:
     ``put(item, low=True)`` enqueues on the low band (readahead
     prefetches), which getters drain only when the high band is empty;
     ``capacity`` bounds the high band only and low puts never block.
+
+    Multi-tenant models pass a shared
+    :class:`~repro.pipeline.tenancy.DRRScheduler` — item storage and
+    service order then live in the exact class the functional plane's
+    ``WorkQueue`` delegates to, plus per-tenant ``quotas`` that park a
+    tenant's putters at admission (``on_admission_wait`` is called once
+    per parked put, so the model can emit the matching event).  With no
+    scheduler the pre-tenant deque path runs untouched.
     """
 
-    def __init__(self, sim: Simulator, capacity: int = 0):
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: int = 0,
+        scheduler: DRRScheduler | None = None,
+        quotas: Mapping[str, int] | None = None,
+        on_admission_wait: Callable[[str, int], None] | None = None,
+    ):
         if capacity < 0:
             raise SimulationError(f"queue capacity must be >= 0, got {capacity}")
         self.sim = sim
         self.capacity = capacity  # 0 = unbounded
+        self.scheduler = scheduler
+        self.quotas = {t: q for t, q in (quotas or {}).items() if q > 0}
+        self.on_admission_wait = on_admission_wait
         self._items: Deque[Any] = deque()
         self._low: Deque[Any] = deque()
         self._getters: Deque[Process] = deque()
-        self._putters: Deque[tuple[Process, Any]] = deque()
+        self._putters: Deque[tuple[Process, Any, str]] = deque()
         self.closed = False
         self.max_depth = 0
         self.total_puts = 0
 
     def __len__(self) -> int:
+        if self.scheduler is not None:
+            return len(self.scheduler)
         return len(self._items) + len(self._low)
 
-    def put(self, item: Any, low: bool = False) -> Waitable:
-        return _Put(self, item, low)
+    def depth(self, tenant: str) -> int:
+        """Queued high-band items for ``tenant`` (the admission gauge);
+        scheduler mode only — the deque path has a single tenant."""
+        if self.scheduler is not None:
+            return self.scheduler.depth(tenant)
+        return len(self._items) if tenant == DEFAULT_TENANT else 0
+
+    def put(
+        self, item: Any, low: bool = False, tenant: str = DEFAULT_TENANT
+    ) -> Waitable:
+        return _Put(self, item, low, tenant)
 
     def get(self) -> Waitable:
         return _Get(self)
 
-    def _enqueue_putter(self, proc: Process, item: Any, low: bool = False) -> None:
+    def _put_blocked(self, tenant: str) -> bool:
+        """Whether a scheduler-mode high-band put must park: the band is
+        at capacity, or the tenant is at its quota."""
+        assert self.scheduler is not None
+        if self.capacity and self.scheduler.high_len >= self.capacity:
+            return True
+        quota = self.quotas.get(tenant, 0)
+        return bool(quota) and self.scheduler.depth(tenant) >= quota
+
+    def _enqueue_putter(
+        self,
+        proc: Process,
+        item: Any,
+        low: bool = False,
+        tenant: str = DEFAULT_TENANT,
+    ) -> None:
         if self.closed:
             self.sim.schedule(0.0, proc._throw, ShutdownError("queue closed"))
             return
@@ -183,7 +308,23 @@ class SimQueue:
             getter = self._getters.popleft()
             self.sim.schedule(0.0, getter._resume, item)
             self.sim.schedule(0.0, proc._resume, None)
-        elif low:
+            return
+        if self.scheduler is not None:
+            if not low and self._put_blocked(tenant):
+                if self.quotas.get(tenant, 0) and (
+                    self.scheduler.depth(tenant) >= self.quotas[tenant]
+                ):
+                    if self.on_admission_wait is not None:
+                        self.on_admission_wait(
+                            tenant, self.scheduler.depth(tenant)
+                        )
+                self._putters.append((proc, item, tenant))
+                return
+            self.scheduler.push(tenant, item, low=low)
+            self.max_depth = max(self.max_depth, len(self))
+            self.sim.schedule(0.0, proc._resume, None)
+            return
+        if low:
             self._low.append(item)
             self.max_depth = max(self.max_depth, len(self))
             self.sim.schedule(0.0, proc._resume, None)
@@ -192,13 +333,43 @@ class SimQueue:
             self.max_depth = max(self.max_depth, len(self))
             self.sim.schedule(0.0, proc._resume, None)
         else:
-            self._putters.append((proc, item))
+            self._putters.append((proc, item, tenant))
+
+    def _readmit_putters(self) -> None:
+        """Scheduler mode: re-admit parked putters now within capacity
+        and quota, preserving arrival order among those still blocked."""
+        assert self.scheduler is not None
+        if not self._putters:
+            return
+        kept: Deque[tuple[Process, Any, str]] = deque()
+        while self._putters:
+            proc, item, tenant = self._putters.popleft()
+            if self._put_blocked(tenant):
+                kept.append((proc, item, tenant))
+            else:
+                self.scheduler.push(tenant, item)
+                self.max_depth = max(self.max_depth, len(self))
+                self.sim.schedule(0.0, proc._resume, None)
+        self._putters = kept
 
     def _enqueue_getter(self, proc: Process) -> None:
+        if self.scheduler is not None:
+            was_high = self.scheduler.high_len > 0
+            popped = self.scheduler.pop()
+            if popped is not None:
+                _, item = popped
+                if was_high:
+                    self._readmit_putters()
+                self.sim.schedule(0.0, proc._resume, item)
+            elif self.closed:
+                self.sim.schedule(0.0, proc._throw, ShutdownError("queue closed"))
+            else:
+                self._getters.append(proc)
+            return
         if self._items:
             item = self._items.popleft()
             if self._putters:
-                putter, pitem = self._putters.popleft()
+                putter, pitem, _ = self._putters.popleft()
                 self._items.append(pitem)
                 self.max_depth = max(self.max_depth, len(self))
                 self.sim.schedule(0.0, putter._resume, None)
@@ -211,19 +382,32 @@ class SimQueue:
             self._getters.append(proc)
 
     def take_adjacent(
-        self, last: Any, limit: int, chain: Callable[[Any, Any], bool]
+        self,
+        last: Any,
+        limit: int,
+        chain: Callable[[Any, Any], bool],
+        tenant: str = DEFAULT_TENANT,
     ) -> list[Any]:
         """Synchronously take up to ``limit`` queued high-band items that
         ``chain`` accepts as the continuation of ``last``.
 
         The batch-gather mirror of the functional plane's
         ``WorkQueue.get_batch``: called by a getter right after its
-        ``yield q.get()`` returned ``last``, it scans the whole high band
+        ``yield q.get()`` returned ``last``, it scans the high band
         — ``chain(tail, candidate)`` with a rolling tail — skipping
         non-matching items and preserving their relative order.  Never
         blocks; freeing high-band slots re-admits parked putters.
+
+        In scheduler mode only ``tenant``'s own sub-queue is scanned
+        (batches never span tenants) and the gathered run is charged
+        against the tenant's DRR deficit.
         """
-        batch: list[Any] = []
+        if self.scheduler is not None:
+            batch = self.scheduler.gather(tenant, limit, chain, last)
+            if batch:
+                self._readmit_putters()
+            return batch
+        batch = []
         if limit <= 0 or not self._items:
             return batch
         tail = last
@@ -240,7 +424,7 @@ class SimQueue:
         while self._putters and (
             self.capacity == 0 or len(self._items) < self.capacity
         ):
-            putter, pitem = self._putters.popleft()
+            putter, pitem, _ = self._putters.popleft()
             self._items.append(pitem)
             self.max_depth = max(self.max_depth, len(self))
             self.sim.schedule(0.0, putter._resume, None)
@@ -252,7 +436,7 @@ class SimQueue:
         self.closed = True
         # Items still queued will be consumed first; only wake getters if
         # there is nothing left to hand them.
-        if not self._items and not self._low:
+        if len(self) == 0:
             getters, self._getters = self._getters, deque()
             for g in getters:
                 self.sim.schedule(0.0, g._throw, ShutdownError("queue closed"))

@@ -36,6 +36,7 @@ from typing import Any, Iterable, Optional
 from ..config import CRFSConfig
 from ..errors import BackendIOError, BackendTimeoutError, ShutdownError
 from ..pipeline import (
+    AdmissionWait,
     BackendHealth,
     Fill,
     FilePipeline,
@@ -47,11 +48,13 @@ from ..pipeline import (
     WorkersDrained,
 )
 from ..pipeline.readahead import DEMAND, PREFETCH, CacheEntry, ReadaheadCore
+from ..pipeline.tenancy import DEFAULT_TENANT, DRRScheduler, PoolLedger
 from ..sim import (
     SharedBandwidth,
     SimEvent,
     SimQueue,
     SimSemaphore,
+    SimTenantPool,
     Simulator,
 )
 from ..simio.fsbase import PAGE, SimFile, SimFilesystem
@@ -68,6 +71,7 @@ class SimCRFSFile:
         "path",
         "pipeline",
         "backend_file",
+        "tenant",
         "has_chunk",
         "_drain_waiters",
         "pos",
@@ -83,10 +87,12 @@ class SimCRFSFile:
         backend_file: SimFile,
         known_size: int = 0,
         read_core: Optional[ReadaheadCore] = None,
+        tenant: str = DEFAULT_TENANT,
     ):
         self.path = path
         self.pipeline = pipeline
         self.backend_file = backend_file
+        self.tenant = tenant
         self.has_chunk = False  # a chunk is currently open for this file
         self._drain_waiters: list[SimEvent] = []
         self.pos = 0  # sequential append cursor
@@ -153,18 +159,44 @@ class SimCRFS:
         #: reach the backend back-to-back instead of interleaving.
         self.file_affine = file_affine
         self._backlog: "dict[SimCRFSFile, list[Seal]]" = {}
+        self.tenants = config.tenant_registry()
         self.kernel = PipelineKernel(
             config.chunk_size,
             pool_chunks=config.pool_chunks,
             clock=lambda: sim.now,
             observers=observers,
+            tenants=self.tenants.names,
         )
         self.retry = config.retry_policy()
         self.health = BackendHealth(
             config.breaker_threshold, emit=self.kernel.emit, clock=lambda: sim.now
         )
-        self.pool = SimSemaphore(sim, capacity=max(1, config.pool_chunks))
-        self.queue = SimQueue(sim)
+        # With no tenants configured the exact pre-tenant primitives run
+        # (semaphore pool, plain FIFO deques) so default-config virtual
+        # time stays bit-identical; with tenants, the same ledger /
+        # scheduler classes the functional plane delegates to take over,
+        # keeping service order identical across planes by construction.
+        if self.tenants.active:
+            self.pool: Any = SimTenantPool(
+                sim,
+                PoolLedger(
+                    max(1, config.pool_chunks), self.tenants.reservations()
+                ),
+            )
+            self.queue = SimQueue(
+                sim,
+                capacity=config.work_queue_depth,
+                scheduler=DRRScheduler(
+                    weights=self.tenants.weights(), fair=config.tenant_fairness
+                ),
+                quotas=self.tenants.quotas(),
+                on_admission_wait=lambda tenant, depth: self.kernel.emit(
+                    AdmissionWait(tenant=tenant, depth=depth, t=sim.now)
+                ),
+            )
+        else:
+            self.pool = SimSemaphore(sim, capacity=max(1, config.pool_chunks))
+            self.queue = SimQueue(sim)
         self._io_threads = [
             sim.spawn(self._io_thread(i), name=f"{node}-crfs-io{i}")
             for i in range(config.io_threads)
@@ -197,17 +229,26 @@ class SimCRFS:
 
     # -- file API (all generators, driven by writer processes) -----------------
 
-    def open(self, path: str, size: int = 0) -> SimCRFSFile:
+    def open(
+        self, path: str, size: int = 0, tenant: str | None = None
+    ) -> SimCRFSFile:
         """Open a file; ``size`` declares pre-existing bytes (timing-plane
         data is a stream of sizes, so a restart read-back of an image
-        written in an earlier mount must state how large it is)."""
+        written in an earlier mount must state how large it is).
+
+        ``tenant`` pins the open to a tenant explicitly; by default the
+        registry maps the path through the configured fnmatch rules
+        (falling back to ``default``) — the same resolution the
+        functional plane's ``CRFS.open`` performs.
+        """
+        resolved = self.tenants.resolve(path, tenant)
         backend_file = self.backend.open(path)
         # Chunk writeback is issued by CRFS's few dedicated IO threads as
         # large aligned writes of brand-new pages — it dodges the
         # page-collision stalls interactive writers suffer (see
         # simio.ext3).
         backend_file.bulk_writer = True
-        self.kernel.file_opened(path)
+        self.kernel.file_opened(path, tenant=resolved)
         read_core = None
         if self.config.read_cache_chunks > 0:
             read_core = ReadaheadCore(
@@ -220,10 +261,67 @@ class SimCRFS:
             )
         return SimCRFSFile(
             path,
-            self.kernel.file(path),
+            self.kernel.file(path, tenant=resolved),
             backend_file,
             known_size=size,
             read_core=read_core,
+            tenant=resolved,
+        )
+
+    # -- pool plumbing (semaphore vs ledger-partitioned) ------------------------
+
+    def _pool_acquire(self, tenant: str):
+        """Waitable for one pool chunk, tenant-aware when partitioned."""
+        if isinstance(self.pool, SimTenantPool):
+            return self.pool.acquire(tenant)
+        return self.pool.acquire()
+
+    def _pool_would_wait(self, tenant: str) -> bool:
+        """The write-path backpressure predicate, sampled before the
+        acquire is yielded."""
+        if isinstance(self.pool, SimTenantPool):
+            return self.pool.would_wait(tenant)
+        return self.pool.in_use >= self.pool.capacity or self.pool.waiting > 0
+
+    def _pool_starved(self, tenant: str) -> bool:
+        """The read-path try-acquire predicate (mirror of
+        ``BufferPool.try_acquire`` returning None)."""
+        if isinstance(self.pool, SimTenantPool):
+            return self.pool.would_wait(tenant)
+        return self.pool.in_use >= self.pool.capacity
+
+    def _tenant_in_use(self, tenant: str) -> int:
+        if isinstance(self.pool, SimTenantPool):
+            return self.pool.held(tenant)
+        return self.pool.in_use
+
+    def _note_pool_acquired(self, tenant: str, waited: bool) -> None:
+        """The acquire-side ``PoolPressure`` event (after the yield)."""
+        self.kernel.emit(
+            PoolPressure(
+                waited=waited,
+                in_use=self.pool.in_use,
+                tenant=tenant,
+                tenant_in_use=self._tenant_in_use(tenant),
+            )
+        )
+
+    def _pool_release(self, tenant: str) -> None:
+        """Recycle one chunk and emit the released ``PoolPressure`` — the
+        one choke point, like the functional plane's
+        ``BufferPool.release``."""
+        if isinstance(self.pool, SimTenantPool):
+            self.pool.release(tenant)
+        else:
+            self.pool.release()
+        self.kernel.emit(
+            PoolPressure(
+                waited=False,
+                in_use=self.pool.in_use,
+                tenant=tenant,
+                tenant_in_use=self._tenant_in_use(tenant),
+                released=True,
+            )
         )
 
     def write(self, f: SimCRFSFile, nbytes: int):
@@ -242,14 +340,9 @@ class SimCRFS:
                 if isinstance(op, Fill):
                     if not f.has_chunk:
                         # backpressure point
-                        waited = (
-                            self.pool.in_use >= self.pool.capacity
-                            or self.pool.waiting > 0
-                        )
-                        yield self.pool.acquire()
-                        self.kernel.emit(
-                            PoolPressure(waited=waited, in_use=self.pool.in_use)
-                        )
+                        waited = self._pool_would_wait(f.tenant)
+                        yield self._pool_acquire(f.tenant)
+                        self._note_pool_acquired(f.tenant, waited)
                         f.has_chunk = True
                 else:
                     yield from self._seal(f, op)
@@ -270,9 +363,9 @@ class SimCRFS:
         if f.read_core is not None:
             # Teardown mirror of ReadCache.clear(): cached-but-unused
             # prefetches are waste-accounted, pool slots go back.
-            self._release_read_evicted(f.read_core.clear())
+            self._release_read_evicted(f.read_core.clear(), f.tenant)
         yield from self.backend.close(f.backend_file)
-        self.kernel.file_closed(f.path)
+        self.kernel.file_closed(f.path, tenant=f.tenant)
 
     def fsync(self, f: SimCRFSFile):
         """Generator: Section IV-D2 fsync — flush, drain, backend fsync."""
@@ -347,23 +440,21 @@ class SimCRFS:
                 # BufferPool.try_acquire returning None); a backend
                 # failure surfaces — demand reads are never silent.
                 centry, evicted = core.admit(index, DEMAND)
-                self._release_read_evicted(evicted)
-                if self.pool.in_use >= self.pool.capacity:
+                self._release_read_evicted(evicted, f.tenant)
+                if self._pool_starved(f.tenant):
                     core.fetch_failed(centry)  # silent un-admit (demand)
                     self._wake_read_waiters(centry)
                     yield from self.backend.read(f.backend_file, hi - lo)
                     return
-                yield self.pool.acquire()
-                self.kernel.emit(
-                    PoolPressure(waited=False, in_use=self.pool.in_use)
-                )
+                yield self._pool_acquire(f.tenant)
+                self._note_pool_acquired(f.tenant, waited=False)
                 length = min(cs, file_size - base)
                 try:
                     yield from self.backend.read(f.backend_file, length)
                 except Exception as exc:  # noqa: BLE001 - surfaced to caller
                     core.fetch_failed(centry)
                     self._wake_read_waiters(centry)
-                    self.pool.release()
+                    self._pool_release(f.tenant)
                     self.health.record_failure()
                     raise BackendIOError(
                         f"{f.path}: demand read of chunk @{base} failed: {exc}"
@@ -371,7 +462,7 @@ class SimCRFS:
                 if core.fetch_done(centry, True, length):
                     self._wake_read_waiters(centry)
                 else:  # evicted while fetching (concurrent invalidation)
-                    self.pool.release()
+                    self._pool_release(f.tenant)
                 return
             if centry.ready:
                 return
@@ -394,54 +485,63 @@ class SimCRFS:
         cs = core.chunk_size
         for pidx in core.plan_prefetch(index, file_size):
             centry, evicted = core.admit(pidx, PREFETCH)
-            self._release_read_evicted(evicted)
+            self._release_read_evicted(evicted, f.tenant)
             base = pidx * cs
             item = _SimReadFetch(
                 f=f, centry=centry, file_offset=base,
                 length=min(cs, file_size - base),
             )
-            yield self.queue.put(item, low=True)
-            self.kernel.emit(QueuePressure(depth=len(self.queue)))
+            yield self.queue.put(item, low=True, tenant=f.tenant)
+            self.kernel.emit(
+                QueuePressure(
+                    depth=len(self.queue),
+                    tenant=f.tenant,
+                    tenant_depth=self.queue.depth(f.tenant),
+                )
+            )
 
     def _service_read_fetch(self, item: _SimReadFetch):
         """Generator: one queued prefetch, run by an IO thread.  Never
         parks on a full pool (starved → dropped), so shutdown drains."""
         centry = item.centry
         core = item.f.read_core
+        tenant = item.f.tenant
         if centry.evicted:  # invalidated/cleared while queued
             return
-        if self.pool.in_use >= self.pool.capacity:
+        if self._pool_starved(tenant):
             core.fetch_failed(centry)
             self._wake_read_waiters(centry)
             return
-        yield self.pool.acquire()
-        self.kernel.emit(PoolPressure(waited=False, in_use=self.pool.in_use))
+        yield self._pool_acquire(tenant)
+        self._note_pool_acquired(tenant, waited=False)
         try:
             yield from self.backend.read(item.f.backend_file, item.length)
         except Exception:  # noqa: BLE001 - prefetch failures are silent
             if not centry.evicted:
                 core.fetch_failed(centry)
             self._wake_read_waiters(centry)
-            self.pool.release()
+            self._pool_release(tenant)
             self.health.record_failure()
             return
         if core.fetch_done(centry, True, item.length):
             self._wake_read_waiters(centry)
         else:  # evicted while in flight; drop-accounted at eviction
-            self.pool.release()
+            self._pool_release(tenant)
 
     def _invalidate_read_cache(self, f: SimCRFSFile, offset: int, nbytes: int) -> None:
         """Drop cached chunks overlapping a just-accepted write."""
         if f.read_core is None:
             return
-        self._release_read_evicted(f.read_core.invalidate(offset, nbytes))
+        self._release_read_evicted(f.read_core.invalidate(offset, nbytes), f.tenant)
 
-    def _release_read_evicted(self, entries: Iterable[CacheEntry]) -> None:
+    def _release_read_evicted(
+        self, entries: Iterable[CacheEntry], tenant: str = DEFAULT_TENANT
+    ) -> None:
         """Return evictees' pool slots and wake parked readers."""
         for entry in entries:
             if entry.payload is not None:
                 entry.payload = None
-                self.pool.release()
+                self._pool_release(tenant)
             self._wake_read_waiters(entry)
 
     @staticmethod
@@ -544,10 +644,16 @@ class SimCRFS:
         yield self.sim.timeout(self.hw.crfs_seal_overhead)
         if self.file_affine:
             self._backlog.setdefault(f, []).append(seal)
-            yield self.queue.put(None)  # wake one IO thread
+            yield self.queue.put(None, tenant=f.tenant)  # wake one IO thread
         else:
-            yield self.queue.put((f, seal))
-        self.kernel.emit(QueuePressure(depth=len(self.queue)))
+            yield self.queue.put((f, seal), tenant=f.tenant)
+        self.kernel.emit(
+            QueuePressure(
+                depth=len(self.queue),
+                tenant=f.tenant,
+                tenant_depth=self.queue.depth(f.tenant),
+            )
+        )
 
     def _wait_drained(self, f: SimCRFSFile):
         start = self.sim.now
@@ -592,7 +698,7 @@ class SimCRFS:
             error=error,
             start=t0,
         )
-        self.pool.release()
+        self._pool_release(f.tenant)
         if drained and f._drain_waiters:
             waiters, f._drain_waiters = f._drain_waiters, []
             for ev in waiters:
@@ -621,7 +727,7 @@ class SimCRFS:
                 f, seal = item
                 if batch_limit > 1:
                     gathered = self.queue.take_adjacent(
-                        item, batch_limit - 1, self._chain_seals
+                        item, batch_limit - 1, self._chain_seals, tenant=f.tenant
                     )
                     if gathered:
                         yield from self._write_batch(

@@ -50,6 +50,7 @@ class TestFramework:
             "table1", "fig3", "fig5", "table2",
             "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
             "restart", "internode", "crossplane", "faultsweep", "perfbench",
+            "tenant_storm",
         }
 
     def test_unknown_experiment(self):
@@ -68,6 +69,14 @@ class TestCheapExperiments:
         r = run_experiment("crossplane", fast=True)
         assert r.ok, r.render()
         assert r.measured["functional"]["seals"] == r.measured["timing"]["seals"]
+
+    def test_tenant_storm_fast_passes(self):
+        r = run_experiment("tenant_storm", fast=True)
+        assert r.ok, r.render()
+        # The isolation headline: fairness bounds the victims, the
+        # FIFO ablation demonstrably does not.
+        assert r.measured["fair_ratio"] <= 1.25
+        assert r.measured["unfair_ratio"] >= 2.0
 
     def test_fig5_fast_passes(self):
         r = run_experiment("fig5", fast=True)
