@@ -15,7 +15,10 @@ ext3, NFS and Lustre").  On the functional plane the backing store is a
 * :class:`~repro.backends.instrumented.InstrumentedBackend` — records
   every op (the profiling substrate for Table I-style analysis);
 * :class:`~repro.backends.faulty.FaultyBackend` — injects failures and
-  delays to test the error-latching and backpressure paths.
+  delays to test the error-latching and backpressure paths;
+* :class:`~repro.backends.tiered.TieredBackend` — hierarchical async
+  staging: writes land in tier 0, background pumps migrate them
+  tier-to-tier (mem → local disk → PFS) with per-tier durability.
 """
 
 from .base import Backend, BackendStat
@@ -24,6 +27,7 @@ from .localdir import LocalDirBackend
 from .null import NullBackend
 from .instrumented import InstrumentedBackend, OpRecord, PipelineOpRecorder
 from .faulty import FaultyBackend, FaultRule
+from .tiered import TieredBackend
 
 __all__ = [
     "Backend",
@@ -36,4 +40,5 @@ __all__ = [
     "PipelineOpRecorder",
     "FaultyBackend",
     "FaultRule",
+    "TieredBackend",
 ]

@@ -1,0 +1,476 @@
+"""Hierarchical async staging: the tiered backend (ROADMAP item 2).
+
+``TieredBackend`` composes a chain of ordinary backends — e.g. Mem →
+LocalDir → an NFS/Lustre-like store — into one :class:`Backend`.  The
+mount's IO workers write into **tier 0** only, so a chunk writeback
+completes at staging speed; background *pump* workers (a private
+:class:`~repro.core.workqueue.WorkQueue` drained by dedicated threads,
+batch-aware like the coalesced-writeback path) copy each accepted
+extent tier-to-tier until every tier holds the full image.
+
+Durability is a *level*: ``fsync`` waits until the file's extents have
+reached tiers ``0..fsync_tier`` (the ``fsync_tier`` CRFSConfig knob;
+-1 = the deepest tier) and then fsyncs exactly those tiers.  Reads are
+always served from tier 0, which by construction holds every byte.
+
+Resilience applies **per tier**: each migration destination gets its
+own :class:`~repro.pipeline.resilience.RetryPolicy` chain and
+:class:`~repro.pipeline.resilience.BackendHealth` breaker (surfaced as
+``TierDegraded``/``TierRecovered`` on the unified stream).  A migration
+whose retries exhaust *strands* its extents at the shallower tier — a
+broken PFS degrades the mount to "durable on local disk" instead of
+dragging it into synchronous write-through; the strand error latches
+and surfaces from any ``fsync`` whose durability level includes the
+broken tier.
+
+The accounting (what each tier is owed, what stranded where) lives in
+the plane-agnostic :class:`~repro.pipeline.staging.StagingCore`, which
+the timing plane's pump model drives identically — the ``tiers``
+section of ``stats()`` is bit-identical across planes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Optional, Sequence
+
+from ..errors import BackendTimeoutError, ShutdownError
+from ..pipeline.events import PipelineEvent
+from ..pipeline.resilience import BackendHealth, RetryPolicy, run_attempts
+from ..pipeline.staging import StagedFile, StagingCore, tier_health_emit
+from .base import Backend, BackendStat
+
+__all__ = ["TieredBackend"]
+
+EmitFn = Callable[[PipelineEvent], None]
+
+
+class _TierHandle:
+    """One open file across every tier: the per-tier inner handles plus
+    the shared staging debt."""
+
+    __slots__ = ("path", "inner", "staged")
+
+    def __init__(self, path: str, inner: list[Any], staged: StagedFile):
+        self.path = path
+        self.inner = inner
+        self.staged = staged
+
+
+class _Extent:
+    """One pump work item: ``chunks`` accepted extents, contiguous in
+    ``handle``'s file, bound for tier ``tier``."""
+
+    __slots__ = ("handle", "tier", "offset", "length", "chunks", "lengths")
+
+    def __init__(
+        self,
+        handle: _TierHandle,
+        tier: int,
+        offset: int,
+        length: int,
+        chunks: int = 1,
+        lengths: tuple[int, ...] | None = None,
+    ):
+        self.handle = handle
+        self.tier = tier
+        self.offset = offset
+        self.length = length
+        self.chunks = chunks
+        #: Original per-extent lengths, kept so a coalesced migration can
+        #: still issue a *vectored* destination write (one iovec per
+        #: accepted extent, like the writeback batching it mirrors).
+        self.lengths = lengths if lengths is not None else (length,)
+
+
+def _chainable(prev: _Extent, nxt: _Extent) -> bool:
+    """Whether ``nxt`` extends ``prev`` into one migration op: same
+    file, same destination tier, contiguous bytes."""
+    return (
+        nxt.handle is prev.handle
+        and nxt.tier == prev.tier
+        and nxt.offset == prev.offset + prev.length
+    )
+
+
+class TieredBackend(Backend):
+    """A chain of backends staged tier-to-tier by background pumps."""
+
+    name = "tiered"
+
+    def __init__(
+        self,
+        tiers: Sequence[Backend],
+        fsync_tier: int = -1,
+        pump_threads: int = 1,
+        pump_batch_chunks: int = 1,
+        retry: RetryPolicy | None = None,
+        breaker_threshold: int = 0,
+        emit: EmitFn | None = None,
+        clock: Callable[[], float] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if len(tiers) < 2:
+            raise ValueError(
+                f"TieredBackend needs >= 2 tiers, got {len(tiers)} "
+                "(a single tier is just that backend)"
+            )
+        self.tiers: list[Backend] = list(tiers)
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._breaker_threshold = breaker_threshold
+        self._emit: EmitFn = emit if emit is not None else (lambda event: None)
+        self._clock = clock if clock is not None else time.perf_counter
+        self._sleep = sleep
+        self._fsync_tier_knob = fsync_tier
+        self._pump_threads = pump_threads
+        self._pump_batch = pump_batch_chunks
+        # One lock guards the staging accounting; the idle condition
+        # wakes fsync/drain waiters whenever debt is paid (or forgiven).
+        self._lock = threading.RLock()
+        self._idle = threading.Condition(self._lock)
+        self._pump_depth = 0
+        self._workers: list[threading.Thread] = []
+        self._started = False
+        self._shutdown = False
+        self._rebuild()
+        # Private queue: its QueuePressure events land in its own stats
+        # sink, never the mount's `queue` section.
+        from ..core.workqueue import WorkQueue
+
+        self._queue = WorkQueue()
+
+    def _rebuild(self) -> None:
+        """(Re)derive the staging core and per-tier breakers from the
+        current emit/clock/policy — called at construction and again
+        from :meth:`bind` once the mount's kernel exists."""
+        self._core = StagingCore(
+            ntiers=len(self.tiers),
+            fsync_tier=self._fsync_tier_knob,
+            emit=self._emit,
+            clock=self._clock,
+        )
+        # healths[k] guards migrations *into* tier k (k >= 1); tier 0 is
+        # covered by the mount's own breaker, since tier-0 writes are the
+        # mount's backend writes.
+        self._healths: list[Optional[BackendHealth]] = [None]
+        for tier in range(1, len(self.tiers)):
+            self._healths.append(
+                BackendHealth(
+                    threshold=self._breaker_threshold,
+                    emit=tier_health_emit(self._emit, tier),
+                    clock=self._clock,
+                )
+            )
+
+    # -- mount wiring ---------------------------------------------------------
+
+    def bind(
+        self,
+        emit: EmitFn,
+        clock: Callable[[], float],
+        retry: RetryPolicy | None = None,
+        breaker_threshold: int | None = None,
+        fsync_tier: int = -1,
+        pump_threads: int | None = None,
+        pump_batch_chunks: int | None = None,
+    ) -> None:
+        """Wire this backend into a mount's pipeline kernel: tier events
+        join the unified stream, per-tier breakers use the kernel clock,
+        and the config's staging knobs take effect.  Must be called
+        before any IO (the mount does it at construction)."""
+        if self._started:
+            raise ShutdownError("cannot bind a tiered backend after IO started")
+        self._emit = emit
+        self._clock = clock
+        if retry is not None:
+            self._retry = retry
+        if breaker_threshold is not None:
+            self._breaker_threshold = breaker_threshold
+        self._fsync_tier_knob = fsync_tier
+        if pump_threads is not None:
+            self._pump_threads = pump_threads
+        if pump_batch_chunks is not None:
+            self._pump_batch = pump_batch_chunks
+        self._rebuild()
+
+    @property
+    def fsync_tier(self) -> int:
+        """The resolved durability level (tier index) fsync syncs through."""
+        return self._core.fsync_tier
+
+    def resolve_fsync_tier(self, tier: int) -> int:
+        """Normalize an ``fsync_tier`` knob (-1 = deepest) against this
+        chain (raises on out-of-range)."""
+        return StagingCore.resolve_tier(tier, len(self.tiers))
+
+    @property
+    def outstanding(self) -> int:
+        """Total arrivals still owed across all files and tiers."""
+        with self._lock:
+            return self._core.outstanding
+
+    # -- pump lifecycle -------------------------------------------------------
+
+    def _ensure_started(self) -> None:
+        with self._lock:
+            if self._started:
+                return
+            if self._shutdown:
+                raise ShutdownError("tiered backend is shut down")
+            self._started = True
+            for i in range(self._pump_threads):
+                t = threading.Thread(
+                    target=self._pump_worker, name=f"crfs-pump-{i}", daemon=True
+                )
+                self._workers.append(t)
+                t.start()
+
+    def _pump_worker(self) -> None:
+        while True:
+            try:
+                if self._pump_batch > 1:
+                    extents = self._queue.get_batch(self._pump_batch, _chainable)
+                else:
+                    extents = [self._queue.get()]
+            except ShutdownError:
+                return
+            with self._lock:
+                self._pump_depth -= len(extents)
+            self._migrate(extents)
+
+    def _enqueue(self, extent: _Extent) -> None:
+        """Hand one extent to the pump (caller holds the lock); the
+        depth gauge counts queued extents, maintained here rather than
+        read back from the queue so both planes publish the same
+        workload-determined depths."""
+        self._pump_depth += 1
+        self._core.enqueued(extent.tier, self._pump_depth)
+        self._queue.put(extent)
+
+    def _migrate(self, extents: list[_Extent]) -> None:
+        """One pump op: read the contiguous run from tier k-1 and write
+        it into tier k under the destination tier's own retry/breaker.
+        On success the run is forwarded toward tier k+1; on retry
+        exhaustion it strands where it is."""
+        handle = extents[0].handle
+        sf = handle.staged
+        tier = extents[0].tier
+        offset = extents[0].offset
+        total = sum(e.length for e in extents)
+        chunks = sum(e.chunks for e in extents)
+        lengths = [n for e in extents for n in e.lengths]
+        start = self._clock()
+
+        def attempt() -> None:
+            payload = self.tiers[tier - 1].pread(
+                handle.inner[tier - 1], total, offset
+            )
+            view = memoryview(payload)
+            if len(lengths) > 1:
+                views, at = [], 0
+                for n in lengths:
+                    views.append(view[at : at + n])
+                    at += n
+                self.tiers[tier].pwritev(handle.inner[tier], views, offset)
+            else:
+                self.tiers[tier].pwrite(handle.inner[tier], view, offset)
+
+        error = run_attempts(
+            self._retry,
+            attempt,
+            path=handle.path,
+            file_offset=offset,
+            clock=self._clock,
+            health=self._healths[tier],
+            on_retry=lambda attempt_no, delay, exc: self._core.retried(
+                tier, handle.path, offset, attempt_no, delay, exc
+            ),
+            sleep=self._sleep,
+        )
+        deferred_close = False
+        with self._idle:
+            if error is None:
+                self._core.migrated(sf, tier, offset, total, chunks, start)
+                if tier + 1 < len(self.tiers):
+                    self._enqueue(
+                        _Extent(
+                            handle, tier + 1, offset, total, chunks,
+                            lengths=tuple(lengths),
+                        )
+                    )
+            else:
+                self._core.stranded(sf, tier, offset, total, chunks, start, error)
+            if sf.closing and sum(sf.pending) == 0:
+                sf.closing = False
+                deferred_close = True
+            self._idle.notify_all()
+        if deferred_close:
+            self._close_inner(handle)
+
+    # -- data plane -----------------------------------------------------------
+
+    def open(self, path: str, create: bool = True, truncate: bool = False) -> Any:
+        self._ensure_started()
+        inner = [t.open(path, create, truncate) for t in self.tiers]
+        return _TierHandle(path, inner, self._core.file(path))
+
+    def pwrite(self, handle: Any, data: bytes | memoryview, offset: int) -> int:
+        n = self.tiers[0].pwrite(handle.inner[0], data, offset)
+        self._stage(handle, offset, n)
+        return n
+
+    def pwritev(
+        self, handle: Any, views: Sequence[bytes | memoryview], offset: int
+    ) -> int:
+        n = self.tiers[0].pwritev(handle.inner[0], views, offset)
+        self._stage(handle, offset, n)
+        return n
+
+    def _stage(self, handle: _TierHandle, offset: int, length: int) -> None:
+        """Tier 0 accepted one extent: account it and hand it to the pump."""
+        with self._lock:
+            self._core.accept(handle.staged, offset, length)
+            self._enqueue(_Extent(handle, 1, offset, length))
+
+    def pread(self, handle: Any, size: int, offset: int) -> bytes:
+        # Tier 0 is a full replica by construction — reads never wait on
+        # the pump.
+        return self.tiers[0].pread(handle.inner[0], size, offset)
+
+    def fsync(self, handle: Any) -> None:
+        self.fsync_through(handle, self._core.fsync_tier)
+
+    def fsync_through(
+        self, handle: Any, tier: int, timeout: float | None = 60.0
+    ) -> None:
+        """Durability through tier ``tier``: wait until every extent the
+        file staged has arrived at (or stranded short of) tiers
+        0..``tier``, surface the shallowest strand error if any, then
+        fsync those tiers in order.  ``timeout`` is a deadline."""
+        tier = StagingCore.resolve_tier(tier, len(self.tiers))
+        sf: StagedFile = handle.staged
+        with self._idle:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while sf.pending_through(tier) > 0:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                stuck = remaining is not None and remaining <= 0
+                if stuck or not self._idle.wait(timeout=remaining):
+                    raise BackendTimeoutError(
+                        f"{handle.path}: tier-{tier} sync stuck "
+                        f"({sf.pending_through(tier)} extent(s) in flight)"
+                    )
+            error = sf.sync_error(tier)
+        if error is not None:
+            raise error
+        for level in range(tier + 1):
+            self.tiers[level].fsync(handle.inner[level])
+        with self._lock:
+            self._core.synced(sf, tier)
+
+    def close(self, handle: Any) -> None:
+        """Release the handle.  A file with migrations still in flight
+        defers the underlying per-tier closes to the pump worker that
+        pays its last debt — close never waits for deep tiers."""
+        with self._lock:
+            if sum(handle.staged.pending) > 0:
+                handle.staged.closing = True
+                return
+        self._close_inner(handle)
+
+    def _close_inner(self, handle: _TierHandle) -> None:
+        for tier, backend in enumerate(self.tiers):
+            backend.close(handle.inner[tier])
+
+    def file_size(self, handle: Any) -> int:
+        return self.tiers[0].file_size(handle.inner[0])
+
+    # -- drain / shutdown -----------------------------------------------------
+
+    def drain(self, timeout: float | None = 30.0) -> None:
+        """Block until the pump has no migrations outstanding anywhere
+        (every extent arrived at the deepest tier or stranded)."""
+        with self._idle:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while self._core.outstanding > 0:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                stuck = remaining is not None and remaining <= 0
+                if stuck or not self._idle.wait(timeout=remaining):
+                    raise BackendTimeoutError(
+                        f"tier pump drain stuck "
+                        f"({self._core.outstanding} arrival(s) outstanding)"
+                    )
+
+    def shutdown(self, timeout: float | None = 30.0) -> None:
+        """Drain the pump, then stop its workers.  Idempotent; the queue
+        closes (drain-then-stop) even when the drain times out, so
+        workers always exit once their current op finishes."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            started = self._started
+        try:
+            if started:
+                self.drain(timeout)
+        finally:
+            self._queue.close()
+            deadline = (
+                None if timeout is None else time.monotonic() + timeout
+            )
+            stuck = []
+            for worker in self._workers:
+                remaining = (
+                    None
+                    if deadline is None
+                    else max(0.0, deadline - time.monotonic())
+                )
+                worker.join(timeout=remaining)
+                if worker.is_alive():
+                    stuck.append(worker.name)
+            if stuck:
+                raise BackendTimeoutError(
+                    f"tier pump worker(s) did not exit: {', '.join(stuck)}"
+                )
+
+    # -- namespace plane ------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        return self.tiers[0].exists(path)
+
+    def stat(self, path: str) -> BackendStat:
+        return self.tiers[0].stat(path)
+
+    def listdir(self, path: str) -> list[str]:
+        return self.tiers[0].listdir(path)
+
+    def _fanout(self, op: Callable[[Backend], None]) -> None:
+        """Apply a namespace mutation to every tier; deeper tiers may
+        not have received the path yet, so absence there is not an
+        error."""
+        op(self.tiers[0])
+        for backend in self.tiers[1:]:
+            try:
+                op(backend)
+            except FileNotFoundError:
+                pass
+
+    def unlink(self, path: str) -> None:
+        self._fanout(lambda b: b.unlink(path))
+
+    def mkdir(self, path: str) -> None:
+        for backend in self.tiers:
+            backend.mkdir(path)
+
+    def rmdir(self, path: str) -> None:
+        self._fanout(lambda b: b.rmdir(path))
+
+    def rename(self, old: str, new: str) -> None:
+        self._fanout(lambda b: b.rename(old, new))
+
+    def truncate(self, path: str, size: int) -> None:
+        self._fanout(lambda b: b.truncate(path, size))

@@ -104,6 +104,21 @@ class CRFSConfig:
     #: False is the ablation arm: global FIFO arrival order, tenants
     #: tracked but never isolated (``tenant_storm`` shows the damage).
     tenant_fairness: bool = True
+    #: Hierarchical staging durability level: with a tiered backend,
+    #: ``fsync`` returns once every extent the file staged has reached
+    #: (or stranded short of) tiers 0..k and those tiers acknowledged
+    #: their own fsync.  -1 (the default) means the deepest tier — full
+    #: write-through durability.  0 returns at tier-0 (staging) speed.
+    #: Ignored by single-backend mounts.
+    fsync_tier: int = -1
+    #: Pump workers migrating staged extents tier-to-tier in the
+    #: background (per tiered mount, not per tier).
+    tier_pump_threads: int = 1
+    #: A pump worker that takes an extent opportunistically gathers up
+    #: to this many queued extents contiguous in the same file bound for
+    #: the same tier and moves them as one vectored op (the writeback
+    #: batching idiom applied to migration).  1 disables gathering.
+    tier_pump_batch_chunks: int = 1
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -159,6 +174,18 @@ class CRFSConfig:
                     f"pool ({self.pool_chunks} chunks) — the cache leases its "
                     "buffers from the shared pool"
                 )
+        if self.fsync_tier < -1:
+            raise ConfigError(
+                f"fsync_tier must be >= -1 (-1 = deepest tier), got {self.fsync_tier}"
+            )
+        if self.tier_pump_threads < 1:
+            raise ConfigError(
+                f"tier_pump_threads must be >= 1, got {self.tier_pump_threads}"
+            )
+        if self.tier_pump_batch_chunks < 1:
+            raise ConfigError(
+                f"tier_pump_batch_chunks must be >= 1, got {self.tier_pump_batch_chunks}"
+            )
         # Delegates the retry-knob validation (attempts >= 1, backoff
         # bounds, jitter range) to RetryPolicy's own __post_init__.
         self.retry_policy()

@@ -22,6 +22,7 @@ scanning the whole mount.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, Optional
 
 from ..errors import FileStateError
@@ -116,12 +117,22 @@ class FileEntry:
         Drain latency is published on the event stream
         (``FileDrained``) and accumulated in the stats registry's
         ``drain`` section — callers read it from ``stats()`` instead of
-        timing this wait themselves."""
+        timing this wait themselves.  ``timeout`` is a deadline for the
+        whole wait: wakeups that find chunks still outstanding (each
+        completion notifies every waiter) wait only on the remainder,
+        so a storm of completions cannot extend a stuck drain forever."""
         with self._drain:
             start = self.pipeline.clock()
             outstanding = self.pipeline.outstanding
+            deadline = (
+                None if timeout is None else time.monotonic() + timeout
+            )
             while not self.pipeline.drained:
-                if not self._drain.wait(timeout=timeout):
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                stuck = remaining is not None and remaining <= 0
+                if stuck or not self._drain.wait(timeout=remaining):
                     raise FileStateError(
                         f"{self.path}: drain stuck "
                         f"({self.pipeline.complete_chunk_count}"

@@ -35,6 +35,7 @@ import time
 from typing import Any, Iterable
 
 from ..backends.base import Backend, BackendStat, normalize_path
+from ..backends.tiered import TieredBackend
 from ..config import CRFSConfig, DEFAULT_CONFIG
 from ..errors import FileStateError, MountError
 from ..pipeline import Fill, PipelineKernel, PipelineObserver, Seal, SealReason
@@ -69,18 +70,39 @@ class CRFS:
         self.backend = backend
         self.config = config
         self.tenants = config.tenant_registry()
+        # Hierarchical staging: a tiered backend joins the mount's
+        # pipeline — its tier events feed the unified stream (the
+        # `tiers` stats section) and its per-tier retry/breaker policy
+        # comes from the same config knobs as the mount's own.
+        self.tiered = backend if isinstance(backend, TieredBackend) else None
         self.kernel = PipelineKernel(
             config.chunk_size,
             pool_chunks=config.pool_chunks,
             clock=time.perf_counter,
             observers=observers,
             tenants=self.tenants.names,
+            tiers=len(self.tiered.tiers) if self.tiered is not None else 0,
+            fsync_tier=(
+                self.tiered.resolve_fsync_tier(config.fsync_tier)
+                if self.tiered is not None
+                else -1
+            ),
         )
         stats = self.kernel.stats
         self.retry = config.retry_policy()
         self.health = BackendHealth(
             config.breaker_threshold, emit=self.kernel.emit, clock=self.kernel.clock
         )
+        if self.tiered is not None:
+            self.tiered.bind(
+                emit=self.kernel.emit,
+                clock=self.kernel.clock,
+                retry=self.retry,
+                breaker_threshold=config.breaker_threshold,
+                fsync_tier=config.fsync_tier,
+                pump_threads=config.tier_pump_threads,
+                pump_batch_chunks=config.tier_pump_batch_chunks,
+            )
         # With no tenants configured the ledger stays off and the
         # scheduler (one default sub-queue, weight 1) degrades to exact
         # FIFO — the pre-tenant single-tenant pipeline.
@@ -175,6 +197,11 @@ class CRFS:
                     self.backend.close(entry.backend_handle)
                     self.kernel.file_closed(path, tenant=entry.tenant)
             self.iopool.shutdown(timeout=timeout)
+            if self.tiered is not None:
+                # The IO workers are gone, so tier 0 holds everything it
+                # will ever hold; drain the pump to the deepest tier and
+                # stop its workers before declaring the mount down.
+                self.tiered.shutdown(timeout=timeout)
             self.pool.close()
             self._mounted = False
 
@@ -317,6 +344,13 @@ class CRFS:
             for op in ops:
                 if isinstance(op, Fill):
                     if entry.current_chunk is None:
+                        if self.pool.free_chunks == 0:
+                            # Read-cache leases draw on this same pool; a
+                            # fully populated cache (capacity >= pool) can
+                            # otherwise pin every chunk and starve the
+                            # writer forever.  The cache is advisory — a
+                            # blocked writer is not — so shed it first.
+                            self._shed_read_caches()
                         chunk = self.pool.acquire(tenant=entry.tenant)
                         chunk.open_for(entry, op.file_offset - op.chunk_offset)
                         entry.current_chunk = chunk
@@ -353,6 +387,19 @@ class CRFS:
         )
         if error is not None:
             raise error
+
+    def _shed_read_caches(self) -> None:
+        """Pool-pressure relief: return every read-cache-held buffer.
+
+        Cross-file on purpose — any open file's cache may be what pins
+        the pool.  In-flight fetches are marked evicted and release on
+        completion, so a shed may free chunks slightly later than it
+        returns; ``pool.acquire`` then waits the short remainder."""
+        for tenant in self.table.tenants():
+            for path in self.table.paths(tenant):
+                entry = self.table.lookup(path)
+                if entry is not None and entry.read_cache is not None:
+                    entry.read_cache.clear()
 
     def _seal_current(self, entry: FileEntry, seal: Seal) -> None:
         chunk = entry.current_chunk

@@ -30,6 +30,7 @@ hits overlap with background fetches.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable
 
@@ -117,8 +118,13 @@ class ReadCache:
             if not centry.ready:
                 # In flight (a hit on our own prefetch): wait for the
                 # worker; on a drop/eviction, retry from a fresh access.
+                # The 30 s bound is a deadline — completion broadcasts
+                # for *other* chunks wake this waiter too, and each
+                # wakeup must wait only on the remainder.
+                deadline = time.monotonic() + 30.0
                 while not centry.ready and not centry.evicted:
-                    if not self._cond.wait(timeout=30.0):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(timeout=remaining):
                         raise FileStateError(
                             f"{self.path}: readahead fetch stuck (chunk @{base})"
                         )

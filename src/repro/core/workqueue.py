@@ -207,12 +207,19 @@ class WorkQueue:
     def get(self, timeout: float | None = None) -> Any:
         """Take the next item in scheduler service order, high band
         first; blocks while empty; raises QueueClosed once closed *and*
-        both bands drained."""
+        both bands drained.  ``timeout`` is a deadline: wakeups that
+        find the queue still empty wait only on the remainder."""
         with self._not_empty:
+            deadline = None if timeout is None else time.monotonic() + timeout
             while not len(self.scheduler):
                 if self._closed:
                     raise QueueClosed("work queue closed")
-                if not self._not_empty.wait(timeout=timeout):
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError("work queue get timed out")
+                if not self._not_empty.wait(timeout=remaining):
                     raise TimeoutError("work queue get timed out")
             was_high = self.scheduler.high_len > 0
             popped = self.scheduler.pop()
@@ -244,10 +251,16 @@ class WorkQueue:
         if limit < 1:
             raise ValueError(f"limit must be >= 1, got {limit}")
         with self._not_empty:
+            deadline = None if timeout is None else time.monotonic() + timeout
             while not len(self.scheduler):
                 if self._closed:
                     raise QueueClosed("work queue closed")
-                if not self._not_empty.wait(timeout=timeout):
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError("work queue get timed out")
+                if not self._not_empty.wait(timeout=remaining):
                     raise TimeoutError("work queue get timed out")
             was_high = self.scheduler.high_len > 0
             popped = self.scheduler.pop()

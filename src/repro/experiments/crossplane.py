@@ -16,16 +16,18 @@ from __future__ import annotations
 import threading
 from typing import Any
 
-from ..backends import FaultyBackend, MemBackend
+from ..backends import FaultyBackend, MemBackend, TieredBackend
 from ..backends.faulty import FaultRule
 from ..config import CRFSConfig, TenantSpec
 from ..core import CRFS
 from ..checkpoint.sizedist import WriteSizeDistribution
+from ..errors import BackendIOError
 from ..sim import SharedBandwidth, Simulator
 from ..simcrfs import SimCRFS
 from ..simio.faulty import FaultySimFilesystem
 from ..simio.nullfs import NullSimFilesystem
 from ..simio.params import DEFAULT_HW
+from ..simio.tiered import TieredSimFilesystem
 from ..units import KiB, MiB
 from ..util.rng import rng_for
 from ..util.tables import TextTable
@@ -50,6 +52,7 @@ COMPARED_FIELDS = (
     "read",
     "resilience",
     "batch",
+    "tiers",
 )
 
 #: Restart read-back request size (both planes replay the same stream).
@@ -264,6 +267,119 @@ def _timing_tenant_stats(config: CRFSConfig, seed: int) -> dict[str, Any]:
     return crfs.stats()
 
 
+# -- tiered-staging parity arm -------------------------------------------------
+#
+# Same gating trick again, one level down: a two-tier mount (staging →
+# deep) whose *pump* is held in its first deep-tier write while the
+# writer stages every chunk of a second file, so the pump-queue depth
+# gauge — and every tier counter — is a pure function of the workload.
+# A `popped` handshake on the functional plane pins the one racy edge
+# (the pump taking the gate extent before the second file stages).  The
+# faulted variant makes every deep-tier write after the gate fail until
+# retries exhaust: extents strand at tier 0, the per-tier breaker trips,
+# and fsync surfaces the strand error — identically on both planes.
+
+_TIER_RUN_CHUNKS = 6
+
+
+def _error_key(error: BaseException | None) -> tuple[str, str] | None:
+    """An exception reduced to its plane-comparable identity."""
+    if error is None:
+        return None
+    return (type(error).__name__, str(error))
+
+
+def _tiered_config(faulted: bool) -> CRFSConfig:
+    return CRFSConfig(
+        chunk_size=64 * KiB,
+        pool_size=1 * MiB,  # all chunks fit: no pool backpressure
+        io_threads=1,
+        tier_pump_threads=1,
+        tier_pump_batch_chunks=1 if faulted else 4,
+        retry_attempts=2 if faulted else 1,
+        breaker_threshold=2 if faulted else 0,
+        retry_backoff=1e-4,
+        retry_backoff_max=1e-3,
+        retry_jitter=0.0,
+    )
+
+
+def _tier_fault_rules(faulted: bool) -> list[FaultRule]:
+    rules = [FaultRule(op="pwrite", nth=1, delay=1.0)]
+    if faulted:
+        rules.append(
+            FaultRule(
+                op="pwrite", nth=2, every=True, error=BackendIOError("deep EIO")
+            )
+        )
+    return rules
+
+
+def _functional_tiered_stats(config: CRFSConfig, faulted: bool) -> dict[str, Any]:
+    gate = threading.Event()
+    popped = threading.Event()
+
+    def hold(_s: float) -> None:
+        popped.set()
+        gate.wait()
+
+    deep = FaultyBackend(MemBackend(), _tier_fault_rules(faulted), sleep=hold)
+    fs = CRFS(TieredBackend([MemBackend(), deep]), config)
+    sync_error: BaseException | None = None
+    with fs:
+        with fs.open("/gate.img") as fg, fs.open("/rank0.img") as fb:
+            fg.write(b"\x00" * config.chunk_size)
+            if not popped.wait(timeout=30):  # pragma: no cover - stuck gate
+                raise RuntimeError("tier pump never reached the gate")
+            for _ in range(_TIER_RUN_CHUNKS):
+                fb.write(b"\x00" * config.chunk_size)
+            gate.set()
+            try:
+                fb.fsync()
+            except BackendIOError as exc:
+                sync_error = exc
+    stats = fs.stats()
+    stats["_sync_error"] = sync_error
+    return stats
+
+
+def _timing_tiered_stats(
+    config: CRFSConfig, seed: int, faulted: bool
+) -> dict[str, Any]:
+    sim = Simulator()
+    hw = DEFAULT_HW
+    membus = SharedBandwidth(sim, hw.membus_bandwidth)
+    deep = FaultySimFilesystem(
+        NullSimFilesystem(sim, hw, rng_for(seed, "crossplane/tiered-deep")),
+        _tier_fault_rules(faulted),
+    )
+    backend = TieredSimFilesystem(
+        [NullSimFilesystem(sim, hw, rng_for(seed, "crossplane/tiered-0")), deep]
+    )
+    crfs = SimCRFS(sim, hw, config, backend, membus)
+    captured: list[BaseException | None] = [None]
+
+    def proc():
+        fg = crfs.open("/gate.img")
+        fb = crfs.open("/rank0.img")
+        yield from crfs.write(fg, config.chunk_size)
+        for _ in range(_TIER_RUN_CHUNKS):
+            yield from crfs.write(fb, config.chunk_size)
+        try:
+            yield from crfs.fsync(fb)
+        except BackendIOError as exc:
+            captured[0] = exc
+        yield from crfs.close(fb)
+        yield from crfs.close(fg)
+
+    sim.run_until_complete([sim.spawn(proc())])
+    sim.run_until_complete([sim.spawn(crfs.drain_staging(), name="drain")])
+    crfs.shutdown()
+    stats = crfs.stats()
+    stats["_sync_error"] = captured[0]
+    return stats
+
+
 def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
     sizes = _workload(seed, fast)
     # Pool of 4 chunks, cache of 4, window of 2: reads start after the
@@ -335,12 +451,48 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
             ]
         )
 
+    tiered: dict[str, tuple[dict[str, Any], dict[str, Any]]] = {}
+    for arm, faulted in (("tiered", False), ("tiered_faulted", True)):
+        aconfig = _tiered_config(faulted)
+        afunc = _functional_tiered_stats(aconfig, faulted)
+        atiming = _timing_tiered_stats(aconfig, seed, faulted)
+        tiered[arm] = (afunc, atiming)
+        match = afunc["tiers"] == atiming["tiers"]
+        if not match:
+            mismatches.append(f"{arm}.tiers")
+        table.add_row(
+            [
+                f"{arm}.tiers",
+                str(afunc["tiers"]),
+                str(atiming["tiers"]),
+                "yes" if match else "NO",
+            ]
+        )
+        fsync_err = _error_key(afunc["_sync_error"])
+        tsync_err = _error_key(atiming["_sync_error"])
+        match = fsync_err == tsync_err
+        if not match:
+            mismatches.append(f"{arm}.sync_error")
+        table.add_row(
+            [
+                f"{arm}.sync_error",
+                str(fsync_err),
+                str(tsync_err),
+                "yes" if match else "NO",
+            ]
+        )
+
+    clean_tiers = tiered["tiered"][0]["tiers"]["per_tier"]
+    fault_tiers = tiered["tiered_faulted"][0]["tiers"]["per_tier"]
+
     schema_ok = (
         set(func) == set(timing)
         and set(func["pool"]) == set(timing["pool"])
         and set(func["queue"]) == set(timing["queue"])
         and set(func["tenants"]) == set(timing["tenants"])
         and set(tfunc["tenants"]) == set(ttiming["tenants"])
+        and set(tiered["tiered"][0]["tiers"]["per_tier"]["1"])
+        == set(tiered["tiered"][1]["tiers"]["per_tier"]["1"])
     )
     checks = [
         Check(
@@ -381,6 +533,29 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
                 for t, n in _TENANT_RUN_CHUNKS.items()
             ),
             f"tenant sections: {sorted(tfunc_tenants)}",
+        ),
+        Check(
+            "gated tiered workload staged identically on both planes",
+            tiered["tiered"][0]["tiers"] == tiered["tiered"][1]["tiers"]
+            and clean_tiers["1"]["chunks_staged"] == _TIER_RUN_CHUNKS + 1
+            and clean_tiers["1"]["chunks_stranded"] == 0
+            and clean_tiers["1"]["pump_queue_max"] == _TIER_RUN_CHUNKS
+            and tiered["tiered"][0]["tiers"]["sync_through"] == 1,
+            f"tier-1 counters: {clean_tiers['1']}",
+        ),
+        Check(
+            "faulted arm strands at the staging tier identically: "
+            "breaker attributed to the deep tier, fsync surfaces the error",
+            tiered["tiered_faulted"][0]["tiers"]
+            == tiered["tiered_faulted"][1]["tiers"]
+            and fault_tiers["1"]["chunks_stranded"] == _TIER_RUN_CHUNKS
+            and fault_tiers["1"]["chunks_staged"] == 1  # only the gate chunk
+            and fault_tiers["1"]["breaker_trips"] == 1
+            and fault_tiers["0"]["breaker_trips"] == 0
+            and _error_key(tiered["tiered_faulted"][0]["_sync_error"])
+            == _error_key(tiered["tiered_faulted"][1]["_sync_error"])
+            is not None,
+            f"tier-1 counters: {fault_tiers['1']}",
         ),
     ]
     return ExperimentResult(

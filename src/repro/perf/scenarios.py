@@ -23,6 +23,10 @@ must keep honest:
 * ``tenant_storm`` — a storm tenant's oversized burst beside two
   reserved-pool victims through one IO thread: weighted DRR service,
   queue-quota admission control, per-tenant pool partitioning.
+* ``tiered_staging`` — hierarchical staging over a mem → NFS chain:
+  chunk writebacks complete at tier-0 (staging) speed while batch-aware
+  background pumps migrate extents to the deep tier; writers finish at
+  tier-0 completion time, the pump drains after.
 
 Workloads are derived from ``rng_for(seed, "perf/<scenario>/<writer>")``
 so every writer's byte stream is a pure function of the seed — two runs
@@ -78,9 +82,11 @@ class Scenario:
     #: and re-reads its image sequentially in requests of this size
     #: (0 = write-only scenario).
     read_request: int = 0
-    #: Sim-plane backing filesystem: "null" (Fig-5 rig, raw aggregation)
-    #: or "nfs" (the shared-server NFSv3 model, whose staged read path —
-    #: link, server CPU, disk — readahead can pipeline).
+    #: Sim-plane backing filesystem: "null" (Fig-5 rig, raw aggregation),
+    #: "nfs" (the shared-server NFSv3 model, whose staged read path —
+    #: link, server CPU, disk — readahead can pipeline), or "tiered_nfs"
+    #: (a null staging tier over the NFS model, pumped in the
+    #: background; the real plane mirrors it as mem → local dir).
     sim_backend: str = "null"
     #: Factory for the backend fault schedule (fresh rules per run).
     fault_rules: Callable[[], list[FaultRule]] = field(default=_no_rules)
@@ -219,6 +225,22 @@ SCENARIOS: dict[str, Scenario] = {
             writer_scale=(4.0, 1.0, 1.0),
             image_size=2 * MiB,
             fast_image_size=512 * KiB,
+        ),
+        Scenario(
+            name="tiered_staging",
+            description="mem -> NFS staging chain: writebacks complete "
+            "at tier 0 while batch-aware pumps migrate to the deep tier",
+            config=CRFSConfig(
+                chunk_size=1 * MiB,
+                pool_size=8 * MiB,
+                io_threads=4,
+                tier_pump_threads=2,
+                tier_pump_batch_chunks=4,
+            ),
+            nwriters=2,
+            image_size=4 * MiB,
+            fast_image_size=1 * MiB,
+            sim_backend="tiered_nfs",
         ),
     )
 }

@@ -39,6 +39,13 @@ from .events import (
     ReadHit,
     ReadMiss,
     ReadObserved,
+    TierDegraded,
+    TierMigrated,
+    TierPumpPressure,
+    TierRecovered,
+    TierRetried,
+    TierStaged,
+    TierSynced,
     WorkersDrained,
     WriteObserved,
 )
@@ -46,6 +53,7 @@ from .kernel import FilePipeline, PipelineKernel
 from .planner import Fill, PlanOp, Seal, SealReason, WritePlanner
 from .readahead import DEMAND, PREFETCH, CacheEntry, ReadaheadCore
 from .resilience import BackendHealth, RetryPolicy, run_attempts
+from .staging import StagedFile, StagingCore
 from .stats import PipelineStats, flatten_snapshot
 from .tenancy import (
     DEFAULT_TENANT,
@@ -94,6 +102,15 @@ __all__ = [
     "RetryPolicy",
     "Seal",
     "SealReason",
+    "StagedFile",
+    "StagingCore",
+    "TierDegraded",
+    "TierMigrated",
+    "TierPumpPressure",
+    "TierRecovered",
+    "TierRetried",
+    "TierStaged",
+    "TierSynced",
     "TenantRegistry",
     "TenantSpec",
     "WorkersDrained",

@@ -48,6 +48,13 @@ __all__ = [
     "ChunkPrefetched",
     "PrefetchWasted",
     "PrefetchDropped",
+    "TierStaged",
+    "TierMigrated",
+    "TierPumpPressure",
+    "TierSynced",
+    "TierRetried",
+    "TierDegraded",
+    "TierRecovered",
 ]
 
 
@@ -328,6 +335,94 @@ class PrefetchDropped(PipelineEvent):
 
     path: str
     file_offset: int
+    t: float = 0.0
+
+
+@dataclass(frozen=True)
+class TierStaged(PipelineEvent):
+    """A hierarchical mount accepted one write extent into tier 0.
+
+    The application's write is complete at this point; the extent now
+    owes one arrival (a :class:`TierMigrated`) to every deeper tier."""
+
+    path: str
+    file_offset: int
+    length: int
+    t: float = 0.0
+
+
+@dataclass(frozen=True)
+class TierMigrated(PipelineEvent):
+    """A pump op finished moving ``chunks`` staged extents (``length``
+    bytes, starting at ``file_offset``) from tier ``tier - 1`` into tier
+    ``tier``.  ``error`` is the surviving backend failure, if any — the
+    extents then *strand* at the shallower tier (they stay durable
+    there; deeper tiers never receive them)."""
+
+    tier: int
+    path: str
+    file_offset: int
+    length: int
+    chunks: int
+    start: float
+    duration: float
+    error: Optional[BaseException] = None
+
+
+@dataclass(frozen=True)
+class TierPumpPressure(PipelineEvent):
+    """A migration extent was enqueued for the pump at the given queue
+    depth, destined for tier ``tier``."""
+
+    tier: int
+    depth: int
+
+
+@dataclass(frozen=True)
+class TierSynced(PipelineEvent):
+    """An ``fsync`` completed through tier ``tier``: every extent the
+    file staged has arrived at (or stranded short of) tiers 0..``tier``
+    and each of those tiers acknowledged its own fsync."""
+
+    tier: int
+    path: str
+    t: float = 0.0
+
+
+@dataclass(frozen=True)
+class TierRetried(PipelineEvent):
+    """A migration attempt into tier ``tier`` failed and will be
+    retried after ``delay`` seconds of backoff (the per-tier analogue of
+    :class:`ChunkRetried`; kept separate so deep-tier trouble is never
+    attributed to the mount's own backend)."""
+
+    tier: int
+    path: str
+    file_offset: int
+    attempt: int
+    delay: float
+    error: BaseException
+    t: float = 0.0
+
+
+@dataclass(frozen=True)
+class TierDegraded(PipelineEvent):
+    """Tier ``tier``'s own circuit breaker tripped after
+    ``consecutive_failures`` failed migration attempts; extents bound
+    for it keep probing, and on exhaustion strand one tier shallower."""
+
+    tier: int
+    consecutive_failures: int
+    t: float = 0.0
+
+
+@dataclass(frozen=True)
+class TierRecovered(PipelineEvent):
+    """A migration into tier ``tier`` succeeded while its breaker was
+    open; the tier resumed normal staging after ``downtime`` seconds."""
+
+    tier: int
+    downtime: float
     t: float = 0.0
 
 

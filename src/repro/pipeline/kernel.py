@@ -359,11 +359,17 @@ class PipelineKernel:
         clock: Callable[[], float] | None = None,
         observers: Iterable[PipelineObserver] = (),
         tenants: Iterable[str] = ("default",),
+        tiers: int = 0,
+        fsync_tier: int = -1,
     ):
         self.chunk_size = chunk_size
         self.clock = clock if clock is not None else time.perf_counter
         self.stats = PipelineStats(
-            chunk_size=chunk_size, pool_chunks=pool_chunks, tenants=tenants
+            chunk_size=chunk_size,
+            pool_chunks=pool_chunks,
+            tenants=tenants,
+            tiers=tiers,
+            fsync_tier=fsync_tier,
         )
         self._observers: list[PipelineObserver] = [self.stats, *observers]
 

@@ -37,6 +37,13 @@ from .events import (
     ReadHit,
     ReadMiss,
     ReadObserved,
+    TierDegraded,
+    TierMigrated,
+    TierPumpPressure,
+    TierRecovered,
+    TierRetried,
+    TierStaged,
+    TierSynced,
     WorkersDrained,
     WriteObserved,
 )
@@ -69,6 +76,30 @@ def _new_tenant_counters() -> dict[str, Any]:
         "drain_waits_blocked": 0,
         "drain_time_total": 0.0,
         "drain_time_max": 0.0,
+    }
+
+
+def _new_tier_counters() -> dict[str, Any]:
+    """One tier's slice of the snapshot's ``tiers`` section.
+
+    Pure workload-determined counts only — no time-valued fields — so
+    the whole section stays bit-identical across planes without
+    exclusions.  ``bytes_resident`` (staged minus migrated-out) is
+    derived at snapshot time.
+    """
+    return {
+        "bytes_staged": 0,
+        "chunks_staged": 0,
+        "bytes_migrated": 0,
+        "chunks_migrated": 0,
+        "bytes_stranded": 0,
+        "chunks_stranded": 0,
+        "migrate_errors": 0,
+        "migrate_retries": 0,
+        "pump_queue_max": 0,
+        "breaker_trips": 0,
+        "breaker_recoveries": 0,
+        "syncs": 0,
     }
 
 
@@ -107,6 +138,8 @@ class PipelineStats(PipelineObserver):
         chunk_size: int = 0,
         pool_chunks: int = 0,
         tenants: Iterable[str] = ("default",),
+        tiers: int = 0,
+        fsync_tier: int = -1,
     ):
         self.chunk_size = chunk_size
         self.pool_chunks = pool_chunks
@@ -116,6 +149,14 @@ class PipelineStats(PipelineObserver):
         # the identical key set for the identical config.
         self.tenants: dict[str, dict[str, Any]] = {
             name: _new_tenant_counters() for name in tenants
+        }
+        # Pre-seeded per-tier counters, same reasoning (str keys so the
+        # section survives a JSON round trip unchanged).
+        self.tier_levels = tiers
+        self.fsync_tier = fsync_tier
+        self.sync_through = -1
+        self.tiers: dict[str, dict[str, Any]] = {
+            str(level): _new_tier_counters() for level in range(tiers)
         }
         # -- write path
         self.writes = 0
@@ -282,6 +323,36 @@ class PipelineStats(PipelineObserver):
                 self.prefetch_dropped += 1
             elif isinstance(event, PrefetchWasted):
                 self.prefetch_wasted += 1
+            elif isinstance(event, TierStaged):
+                t = self.tiers["0"]
+                t["chunks_staged"] += 1
+                t["bytes_staged"] += event.length
+            elif isinstance(event, TierMigrated):
+                dst = self.tiers[str(event.tier)]
+                if event.error is None:
+                    dst["chunks_staged"] += event.chunks
+                    dst["bytes_staged"] += event.length
+                    src = self.tiers[str(event.tier - 1)]
+                    src["chunks_migrated"] += event.chunks
+                    src["bytes_migrated"] += event.length
+                else:
+                    dst["migrate_errors"] += 1
+                    dst["chunks_stranded"] += event.chunks
+                    dst["bytes_stranded"] += event.length
+            elif isinstance(event, TierPumpPressure):
+                t = self.tiers[str(event.tier)]
+                if event.depth > t["pump_queue_max"]:
+                    t["pump_queue_max"] = event.depth
+            elif isinstance(event, TierSynced):
+                self.tiers[str(event.tier)]["syncs"] += 1
+                if event.tier > self.sync_through:
+                    self.sync_through = event.tier
+            elif isinstance(event, TierRetried):
+                self.tiers[str(event.tier)]["migrate_retries"] += 1
+            elif isinstance(event, TierDegraded):
+                self.tiers[str(event.tier)]["breaker_trips"] += 1
+            elif isinstance(event, TierRecovered):
+                self.tiers[str(event.tier)]["breaker_recoveries"] += 1
 
     # -- snapshot -------------------------------------------------------------
 
@@ -342,6 +413,21 @@ class PipelineStats(PipelineObserver):
                     "prefetched": self.chunks_prefetched,
                     "prefetch_dropped": self.prefetch_dropped,
                     "prefetch_wasted": self.prefetch_wasted,
+                },
+                "tiers": {
+                    "levels": self.tier_levels,
+                    "fsync_tier": self.fsync_tier,
+                    "sync_through": self.sync_through,
+                    "per_tier": {
+                        level: dict(
+                            counters,
+                            bytes_resident=counters["bytes_staged"]
+                            - counters["bytes_migrated"],
+                        )
+                        for level, counters in sorted(
+                            self.tiers.items(), key=lambda kv: int(kv[0])
+                        )
+                    },
                 },
                 "resilience": {
                     "chunks_retried": self.chunks_retried,

@@ -48,6 +48,7 @@ from ..pipeline import (
     WorkersDrained,
 )
 from ..pipeline.readahead import DEMAND, PREFETCH, CacheEntry, ReadaheadCore
+from ..pipeline.staging import StagedFile, StagingCore, tier_health_emit
 from ..pipeline.tenancy import DEFAULT_TENANT, DRRScheduler, PoolLedger
 from ..sim import (
     SharedBandwidth,
@@ -59,6 +60,7 @@ from ..sim import (
 )
 from ..simio.fsbase import PAGE, SimFile, SimFilesystem
 from ..simio.params import HardwareParams
+from ..simio.tiered import TieredSimFilesystem
 from .fuse import fuse_requests
 
 __all__ = ["SimCRFS", "SimCRFSFile"]
@@ -78,6 +80,7 @@ class SimCRFSFile:
         "read_pos",
         "known_size",
         "read_core",
+        "staged",
     )
 
     def __init__(
@@ -88,6 +91,7 @@ class SimCRFSFile:
         known_size: int = 0,
         read_core: Optional[ReadaheadCore] = None,
         tenant: str = DEFAULT_TENANT,
+        staged: Optional[StagedFile] = None,
     ):
         self.path = path
         self.pipeline = pipeline
@@ -95,6 +99,9 @@ class SimCRFSFile:
         self.tenant = tenant
         self.has_chunk = False  # a chunk is currently open for this file
         self._drain_waiters: list[SimEvent] = []
+        #: Tier-staging debt (tiered mounts only): the shared
+        #: plane-agnostic accounting the pump processes pay down.
+        self.staged = staged
         self.pos = 0  # sequential append cursor
         self.read_pos = 0  # sequential read cursor (restart path)
         #: Pre-existing size, as passed to :meth:`SimCRFS.open` — restart
@@ -134,6 +141,30 @@ class _SimReadFetch:
     length: int
 
 
+class _SimExtent:
+    """One pump work item — the timing-plane twin of the functional
+    plane's ``_Extent``: ``chunks`` accepted extents, contiguous in
+    ``f``'s file, bound for tier ``tier``."""
+
+    __slots__ = ("f", "tier", "offset", "length", "chunks", "lengths")
+
+    def __init__(
+        self,
+        f: SimCRFSFile,
+        tier: int,
+        offset: int,
+        length: int,
+        chunks: int = 1,
+        lengths: tuple[int, ...] | None = None,
+    ):
+        self.f = f
+        self.tier = tier
+        self.offset = offset
+        self.length = length
+        self.chunks = chunks
+        self.lengths = lengths if lengths is not None else (length,)
+
+
 class SimCRFS:
     """One node's CRFS mount over a modelled backing filesystem."""
 
@@ -159,18 +190,57 @@ class SimCRFS:
         #: reach the backend back-to-back instead of interleaving.
         self.file_affine = file_affine
         self._backlog: "dict[SimCRFSFile, list[Seal]]" = {}
+        #: Open files with a read cache — pool-pressure shedding (mirror
+        #: of ``CRFS._shed_read_caches``) must reach every cache.
+        self._cached_files: "list[SimCRFSFile]" = []
         self.tenants = config.tenant_registry()
+        ntiers = len(backend.tiers) if isinstance(backend, TieredSimFilesystem) else 0
         self.kernel = PipelineKernel(
             config.chunk_size,
             pool_chunks=config.pool_chunks,
             clock=lambda: sim.now,
             observers=observers,
             tenants=self.tenants.names,
+            tiers=ntiers,
+            fsync_tier=(
+                StagingCore.resolve_tier(config.fsync_tier, ntiers) if ntiers else -1
+            ),
         )
         self.retry = config.retry_policy()
         self.health = BackendHealth(
             config.breaker_threshold, emit=self.kernel.emit, clock=lambda: sim.now
         )
+        # Tiered staging: the same plane-agnostic StagingCore the
+        # functional TieredBackend drives, paid down here by pump
+        # *processes* over an unbounded SimQueue (mirror of the private
+        # WorkQueue + pump threads — its depths never touch the mount's
+        # `queue` stats section).
+        self.staging: Optional[StagingCore] = None
+        self._pump_queue: Optional[SimQueue] = None
+        self._pump_depth = 0
+        self._pump_waiters: list[SimEvent] = []
+        self._tier_healths: list[Optional[BackendHealth]] = []
+        self._pump_procs: list = []
+        if ntiers:
+            self.staging = StagingCore(
+                ntiers,
+                fsync_tier=config.fsync_tier,
+                emit=self.kernel.emit,
+                clock=lambda: sim.now,
+            )
+            self._pump_queue = SimQueue(sim)
+            self._tier_healths = [None] + [
+                BackendHealth(
+                    config.breaker_threshold,
+                    emit=tier_health_emit(self.kernel.emit, tier),
+                    clock=lambda: sim.now,
+                )
+                for tier in range(1, ntiers)
+            ]
+            self._pump_procs = [
+                sim.spawn(self._pump_proc(i), name=f"{node}-crfs-pump{i}")
+                for i in range(config.tier_pump_threads)
+            ]
         # With no tenants configured the exact pre-tenant primitives run
         # (semaphore pool, plain FIFO deques) so default-config virtual
         # time stays bit-identical; with tenants, the same ledger /
@@ -259,14 +329,18 @@ class SimCRFS:
                 emit=self.kernel.emit,
                 clock=lambda: self.sim.now,
             )
-        return SimCRFSFile(
+        f = SimCRFSFile(
             path,
             self.kernel.file(path, tenant=resolved),
             backend_file,
             known_size=size,
             read_core=read_core,
             tenant=resolved,
+            staged=self.staging.file(path) if self.staging is not None else None,
         )
+        if read_core is not None:
+            self._cached_files.append(f)
+        return f
 
     # -- pool plumbing (semaphore vs ledger-partitioned) ------------------------
 
@@ -341,6 +415,13 @@ class SimCRFS:
                     if not f.has_chunk:
                         # backpressure point
                         waited = self._pool_would_wait(f.tenant)
+                        if waited:
+                            # Read-cache leases draw on this pool; shed
+                            # them before parking the writer (mirror of
+                            # CRFS._shed_read_caches) or a full cache
+                            # deadlocks the virtual clock.
+                            self._shed_read_caches()
+                            waited = self._pool_would_wait(f.tenant)
                         yield self._pool_acquire(f.tenant)
                         self._note_pool_acquired(f.tenant, waited)
                         f.has_chunk = True
@@ -356,7 +437,12 @@ class SimCRFS:
             yield from self._seal(f, op)
 
     def close(self, f: SimCRFSFile):
-        """Generator: Section IV-C close — flush, drain, backend close."""
+        """Generator: Section IV-C close — flush, drain, backend close.
+
+        On a tiered mount a file with migrations still in flight defers
+        the backend close to the pump process that pays its last debt —
+        close never waits for deep tiers (mirror of
+        ``TieredBackend.close``)."""
         yield from self.flush(f)
         yield from self._wait_drained(f)
         f.pipeline.raise_latched()
@@ -364,15 +450,44 @@ class SimCRFS:
             # Teardown mirror of ReadCache.clear(): cached-but-unused
             # prefetches are waste-accounted, pool slots go back.
             self._release_read_evicted(f.read_core.clear(), f.tenant)
-        yield from self.backend.close(f.backend_file)
+            if f in self._cached_files:
+                self._cached_files.remove(f)
+        if f.staged is not None and sum(f.staged.pending) > 0:
+            f.staged.closing = True
+        else:
+            yield from self.backend.close(f.backend_file)
         self.kernel.file_closed(f.path, tenant=f.tenant)
 
     def fsync(self, f: SimCRFSFile):
-        """Generator: Section IV-D2 fsync — flush, drain, backend fsync."""
+        """Generator: Section IV-D2 fsync — flush, drain, backend fsync.
+
+        On a tiered mount durability is a *level*: wait until the
+        file's extents have reached tiers ``0..fsync_tier``, surface
+        the shallowest strand error, then fsync exactly those tiers
+        (mirror of ``TieredBackend.fsync_through``)."""
         yield from self.flush(f)
         yield from self._wait_drained(f)
         f.pipeline.raise_latched()
-        yield from self.backend.fsync(f.backend_file)
+        if self.staging is None:
+            yield from self.backend.fsync(f.backend_file)
+            return
+        yield from self.fsync_through(f, self.staging.fsync_tier)
+
+    def fsync_through(self, f: SimCRFSFile, tier: int):
+        """Generator: durability through tier ``tier`` (tiered mounts)."""
+        assert self.staging is not None and f.staged is not None
+        tier = StagingCore.resolve_tier(tier, self.staging.ntiers)
+        sf = f.staged
+        while sf.pending_through(tier) > 0:
+            ev = SimEvent(self.sim)
+            sf.waiters.append(ev)
+            yield ev
+        error = sf.sync_error(tier)
+        if error is not None:
+            raise error
+        for level in range(tier + 1):
+            yield from self.backend.tier_fsync(f.backend_file, level)
+        self.staging.synced(sf, tier)
 
     def read(self, f: SimCRFSFile, nbytes: int):
         """Generator: one sequential read() at the file's read cursor.
@@ -528,6 +643,15 @@ class SimCRFS:
         else:  # evicted while in flight; drop-accounted at eviction
             self._pool_release(tenant)
 
+    def _shed_read_caches(self) -> None:
+        """Pool-pressure relief: drop every read-cache lease back to the
+        pool (the cache is advisory; a parked writer is not)."""
+        for cached in list(self._cached_files):
+            if cached.read_core is not None:
+                self._release_read_evicted(
+                    cached.read_core.clear(), cached.tenant
+                )
+
     def _invalidate_read_cache(self, f: SimCRFSFile, offset: int, nbytes: int) -> None:
         """Drop cached chunks overlapping a just-accepted write."""
         if f.read_core is None:
@@ -576,6 +700,7 @@ class SimCRFS:
             error = yield from self._attempt_backend_write(f, request, f.pos)
             if error is not None:
                 raise error
+            yield from self._stage(f, f.pos, request)
             f.pos += request
         f.pipeline.note_write(
             offset0, nbytes, start=t0, write_through=True, degraded=True
@@ -635,6 +760,147 @@ class SimCRFS:
             if delay > 0:
                 yield self.sim.timeout(delay)
             attempt += 1
+
+    # -- tier staging (mirror of backends.tiered, virtual time) ------------------
+
+    def _stage(self, f: SimCRFSFile, file_offset: int, length: int):
+        """Generator: tier 0 accepted one extent — one successful
+        backend write op — so account it and hand it to the pump
+        (mirror of ``TieredBackend._stage``).  No-op on untiered
+        mounts."""
+        if self.staging is None:
+            return
+        self.staging.accept(f.staged, file_offset, length)
+        extent = _SimExtent(f, 1, file_offset, length)
+        self._pump_depth += 1
+        self.staging.enqueued(extent.tier, self._pump_depth)
+        yield self._pump_queue.put(extent)
+
+    @staticmethod
+    def _chain_extents(prev: _SimExtent, nxt: _SimExtent) -> bool:
+        """Whether ``nxt`` extends ``prev`` into one migration op — the
+        timing-plane twin of ``backends.tiered._chainable``."""
+        return (
+            nxt.f is prev.f
+            and nxt.tier == prev.tier
+            and nxt.offset == prev.offset + prev.length
+        )
+
+    def _pump_proc(self, index: int):
+        batch_limit = self.config.tier_pump_batch_chunks
+        while True:
+            try:
+                item = yield self._pump_queue.get()
+            except ShutdownError:  # pump queue closed at unmount
+                return
+            extents = [item]
+            if batch_limit > 1:
+                extents.extend(
+                    self._pump_queue.take_adjacent(
+                        item, batch_limit - 1, self._chain_extents
+                    )
+                )
+            self._pump_depth -= len(extents)
+            yield from self._pump_migrate(extents)
+
+    def _pump_migrate(self, extents: "list[_SimExtent]"):
+        """Generator: one pump op — read the contiguous run from tier
+        k-1 and write it into tier k under the destination tier's own
+        retry/breaker; forward on success, strand on exhaustion."""
+        f = extents[0].f
+        sf = f.staged
+        tier = extents[0].tier
+        offset = extents[0].offset
+        total = sum(e.length for e in extents)
+        chunks = sum(e.chunks for e in extents)
+        lengths = [n for e in extents for n in e.lengths]
+        start = self.sim.now
+
+        def make_op():
+            yield from self.backend.tier_read(f.backend_file, tier - 1, total)
+            if len(lengths) > 1:
+                yield from self.backend.tier_writev(
+                    f.backend_file, tier, list(lengths)
+                )
+            else:
+                yield from self.backend.tier_write(f.backend_file, tier, total)
+
+        error = yield from self._attempt_tier_op(tier, f.path, offset, make_op)
+        if error is None:
+            self.staging.migrated(sf, tier, offset, total, chunks, start)
+            if tier + 1 < self.staging.ntiers:
+                nxt = _SimExtent(
+                    f, tier + 1, offset, total, chunks, lengths=tuple(lengths)
+                )
+                self._pump_depth += 1
+                self.staging.enqueued(nxt.tier, self._pump_depth)
+                yield self._pump_queue.put(nxt)
+        else:
+            self.staging.stranded(sf, tier, offset, total, chunks, start, error)
+        self._wake_staging_waiters(sf)
+        if sf.closing and sum(sf.pending) == 0:
+            sf.closing = False
+            yield from self.backend.close(f.backend_file)
+
+    def _attempt_tier_op(self, tier: int, path: str, file_offset: int, make_op):
+        """The pump's attempt loop: like :meth:`_attempt_op` but under
+        the destination tier's own breaker, with retries published as
+        ``TierRetried`` — deep-tier trouble never pollutes the mount's
+        ``resilience`` section (mirror of ``run_attempts`` as
+        ``TieredBackend._migrate`` drives it)."""
+        policy = self.retry
+        health = self._tier_healths[tier]
+        attempt = 1
+        while True:
+            t0 = self.sim.now
+            error: BaseException | None = None
+            try:
+                yield from make_op()
+            except Exception as exc:  # noqa: BLE001 - strand-latched by caller
+                error = exc
+            else:
+                elapsed = self.sim.now - t0
+                if policy.timed_out(elapsed):
+                    error = BackendTimeoutError(
+                        f"{path}@{file_offset}: attempt took {elapsed:.3f}s "
+                        f"(limit {policy.attempt_timeout}s)"
+                    )
+            if error is None:
+                health.record_success()
+                return None
+            health.record_failure()
+            if not policy.should_retry(attempt):
+                return error
+            delay = policy.delay(attempt, path, file_offset)
+            self.staging.retried(tier, path, file_offset, attempt, delay, error)
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            attempt += 1
+
+    def _wake_staging_waiters(self, sf: StagedFile) -> None:
+        """Wake fsync waiters parked on the file plus mount-wide drain
+        waiters; all re-check their predicates (the sim's analogue of
+        the functional plane's ``notify_all``)."""
+        if sf.waiters:
+            waiters, sf.waiters = sf.waiters, []
+            for ev in waiters:
+                ev.succeed()
+        if self._pump_waiters:
+            waiters, self._pump_waiters = self._pump_waiters, []
+            for ev in waiters:
+                ev.succeed()
+
+    def drain_staging(self):
+        """Generator: block until the pump owes nothing anywhere —
+        every extent arrived at the deepest tier or stranded (mirror of
+        ``TieredBackend.drain``).  Run this before capturing final
+        stats on a tiered mount."""
+        if self.staging is None:
+            return
+        while self.staging.outstanding > 0:
+            ev = SimEvent(self.sim)
+            self._pump_waiters.append(ev)
+            yield ev
 
     # -- pipeline internals ------------------------------------------------------
 
@@ -738,6 +1004,8 @@ class SimCRFS:
             error = yield from self._attempt_backend_write(
                 f, seal.length, seal.file_offset
             )
+            if error is None:
+                yield from self._stage(f, seal.file_offset, seal.length)
             self._complete_seal(f, seal, error, t0)
 
     def _write_batch(self, f: SimCRFSFile, seals: "list[Seal]"):
@@ -760,6 +1028,10 @@ class SimCRFS:
         error = yield from self._attempt_backend_writev(
             f, [s.length for s in seals], base
         )
+        if error is None:
+            # One pwritev = one accepted extent of the gathered length
+            # (mirror of TieredBackend.pwritev staging once).
+            yield from self._stage(f, base, total)
         f.pipeline.note_batch(base, len(seals), total, start=t0, error=error)
         for seal in seals:
             self._complete_seal(f, seal, error, t0)
@@ -767,6 +1039,11 @@ class SimCRFS:
     def shutdown(self) -> None:
         self._stopped = True
         self.queue.close()
+        if self._pump_queue is not None:
+            # Drain-then-stop, like the functional tiered shutdown: the
+            # pump processes keep consuming queued extents and exit once
+            # the queue is empty.
+            self._pump_queue.close()
         # Closing the queue wakes the IO processes at the current virtual
         # instant, so the drain-close itself takes no modelled time.
         self.kernel.emit(WorkersDrained(duration=0.0, t=self.sim.now))

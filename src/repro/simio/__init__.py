@@ -16,6 +16,7 @@ from .faulty import FaultySimFilesystem
 from .ext3 import Ext3Filesystem
 from .nfs import NFSFilesystem, NFSServer
 from .lustre import LustreFilesystem, LustreServers
+from .tiered import TieredSimFile, TieredSimFilesystem
 
 __all__ = [
     "HardwareParams",
@@ -32,4 +33,6 @@ __all__ = [
     "NFSServer",
     "LustreFilesystem",
     "LustreServers",
+    "TieredSimFile",
+    "TieredSimFilesystem",
 ]

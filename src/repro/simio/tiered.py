@@ -1,0 +1,132 @@
+"""Tier composition for the timing plane.
+
+:class:`TieredSimFilesystem` is the timing twin of the functional
+plane's :class:`~repro.backends.tiered.TieredBackend`'s *storage* half:
+it composes a chain of :class:`~repro.simio.fsbase.SimFilesystem`
+models (e.g. Null → NFS) behind one filesystem whose ordinary
+``write``/``writev``/``read`` route to **tier 0** only.  The staging
+half — the pump processes, the per-tier retry/breaker loops, the
+:class:`~repro.pipeline.staging.StagingCore` accounting — lives in
+:class:`~repro.simcrfs.model.SimCRFS`, which drives the per-tier ops
+exposed here (``tier_read``/``tier_write``/``tier_writev``/
+``tier_fsync``), mirroring the functional split where the mount's
+backend owns the bytes and the pump owns the movement.
+
+Per-tier fault injection composes naturally: wrap any individual tier
+in a :class:`~repro.simio.faulty.FaultySimFilesystem` and the pump's
+migrations into that tier see the same op names (``pwrite`` /
+``pwritev`` / ``pread`` / ``fsync``) a per-tier
+:class:`~repro.backends.faulty.FaultyBackend` sees on the functional
+plane.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .fsbase import SimFile, SimFilesystem
+
+__all__ = ["TieredSimFile", "TieredSimFilesystem"]
+
+
+class TieredSimFile(SimFile):
+    """One open file across every tier: the composite the model holds,
+    plus the per-tier inner files the pump writes into."""
+
+    __slots__ = ("tier_files",)
+
+    def __init__(self, path: str):
+        super().__init__(path)
+        self.tier_files: list[SimFile] = []
+
+
+class TieredSimFilesystem(SimFilesystem):
+    """A chain of filesystem models; the client path is tier 0."""
+
+    name = "tiered"
+
+    def __init__(self, tiers: Sequence[SimFilesystem]):
+        if len(tiers) < 2:
+            raise ValueError(
+                f"TieredSimFilesystem needs >= 2 tiers, got {len(tiers)} "
+                "(a single tier is just that filesystem)"
+            )
+        # No super().__init__: sim/hw/rng are tier 0's, and the op
+        # totals are read-through properties below (like FaultySimFilesystem).
+        self.tiers: list[SimFilesystem] = list(tiers)
+        self.sim = tiers[0].sim
+        self.hw = tiers[0].hw
+        self.rng = tiers[0].rng
+
+    # -- op totals are tier 0's (the mount's backend view) ---------------------
+
+    @property
+    def total_writes(self) -> int:
+        return self.tiers[0].total_writes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.tiers[0].total_bytes
+
+    @property
+    def total_reads(self) -> int:
+        return self.tiers[0].total_reads
+
+    # -- client path: tier 0 ---------------------------------------------------
+
+    def open(self, path: str) -> TieredSimFile:
+        f = TieredSimFile(path)
+        f.tier_files = [t.open(path) for t in self.tiers]
+        return f
+
+    def write(self, f: TieredSimFile, nbytes: int):
+        tf = f.tier_files[0]
+        tf.bulk_writer = f.bulk_writer
+        yield from self.tiers[0].write(tf, nbytes)
+        f.pos += nbytes
+
+    def writev(self, f: TieredSimFile, sizes: "list[int]"):
+        tf = f.tier_files[0]
+        tf.bulk_writer = f.bulk_writer
+        yield from self.tiers[0].writev(tf, sizes)
+        f.pos += sum(sizes)
+
+    def _write(self, f: SimFile, nbytes: int):  # pragma: no cover - write()
+        yield from self.tiers[0]._write(f, nbytes)  # is fully delegated above
+
+    def read(self, f: TieredSimFile, nbytes: int):
+        # Tier 0 is a full replica by construction — reads never wait on
+        # the pump (mirror of TieredBackend.pread).
+        yield from self.tiers[0].read(f.tier_files[0], nbytes)
+
+    def close(self, f: TieredSimFile):
+        """Generator: close every tier's file (the model defers the call
+        while migrations are pending — mirror of the functional deferred
+        close)."""
+        for tier, fs in enumerate(self.tiers):
+            yield from fs.close(f.tier_files[tier])
+
+    def fsync(self, f: TieredSimFile):
+        """Tier-0 durability only; the model's staging fsync drives
+        :meth:`tier_fsync` per level for deeper durability."""
+        yield from self.tiers[0].fsync(f.tier_files[0])
+
+    # -- pump path: explicit per-tier ops --------------------------------------
+
+    def tier_read(self, f: TieredSimFile, tier: int, nbytes: int):
+        yield from self.tiers[tier].read(f.tier_files[tier], nbytes)
+
+    def tier_write(self, f: TieredSimFile, tier: int, nbytes: int):
+        tf = f.tier_files[tier]
+        # Pump writes are CRFS's own threads issuing large aligned
+        # extents — the bulk-writer path, like chunk writeback.
+        tf.bulk_writer = True
+        yield from self.tiers[tier].write(tf, nbytes)
+
+    def tier_writev(self, f: TieredSimFile, tier: int, sizes: "list[int]"):
+        tf = f.tier_files[tier]
+        tf.bulk_writer = True
+        yield from self.tiers[tier].writev(tf, sizes)
+
+    def tier_fsync(self, f: TieredSimFile, tier: int):
+        yield from self.tiers[tier].fsync(f.tier_files[tier])

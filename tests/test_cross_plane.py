@@ -457,3 +457,50 @@ class TestCrossPlaneBatchDifferential:
         timing = timing_batched_run(16, 1)
         assert func["batch"] == timing["batch"]
         assert func["batch"]["batches"] == func["batch"]["chunks"] == 0
+
+
+# -- tiered staging differential ----------------------------------------------
+
+
+class TestCrossPlaneTieredDifferential:
+    """``stats()["tiers"]`` under the gated two-tier workload is a pure
+    function of the workload (the gate pins the pop-vs-stage race), so
+    the whole section — every per-tier counter *including* the
+    pump-queue gauge — must be bit-identical across planes, and a
+    faulted arm's strand error must surface identically too.  Reuses
+    the crossplane experiment's arm builders so the test and the
+    experiment can never drift apart."""
+
+    @pytest.mark.parametrize("faulted", [False, True], ids=["clean", "deep_dead"])
+    def test_tiers_section_identical(self, faulted):
+        from repro.experiments.crossplane import (
+            _error_key,
+            _functional_tiered_stats,
+            _tiered_config,
+            _timing_tiered_stats,
+        )
+
+        config = _tiered_config(faulted)
+        func = _functional_tiered_stats(config, faulted)
+        timing = _timing_tiered_stats(config, seed=1, faulted=faulted)
+
+        assert func["tiers"] == timing["tiers"]
+        assert _error_key(func["_sync_error"]) == _error_key(
+            timing["_sync_error"]
+        )
+
+        per_tier = func["tiers"]["per_tier"]
+        if faulted:
+            # the dead deep tier strands the run; only the gate chunk
+            # (written before the outage rule arms) lands deep
+            assert func["_sync_error"] is not None
+            assert per_tier["1"]["chunks_stranded"] == 6
+            assert per_tier["1"]["chunks_staged"] == 1
+            assert per_tier["1"]["breaker_trips"] == 1
+            assert per_tier["0"]["breaker_trips"] == 0
+        else:
+            assert func["_sync_error"] is None
+            assert per_tier["1"]["chunks_staged"] == 7
+            assert per_tier["1"]["chunks_stranded"] == 0
+            assert per_tier["1"]["pump_queue_max"] == 6
+            assert func["tiers"]["sync_through"] == 1

@@ -695,3 +695,311 @@ class TestPathScopedRules:
         assert backend.listdir("/") == ["f"]
         assert backend.file_size(h) == 4
         assert backend.faults_fired == 4
+
+
+# -- per-tier cells: faults on the deep tier of a staging chain ----------------
+#
+# A tiered mount accepts writes at tier 0 and pumps them deeper in the
+# background, so a deep-tier fault is *never* an application-write
+# fault: the invariant in every cell is degrade-to-shallower-tier —
+# writes keep completing, tier 0 keeps the full byte image, the mount's
+# own resilience counters never move, and the failure is attributed to
+# the faulty tier's breaker alone.  Retry exhaustion strands extents at
+# tier 0 and surfaces only from a deep-durability fsync.
+#
+# Determinism without gating: one IO thread seals in order, one pump
+# thread with batch 1 migrates in order, so the deep tier sees its ops
+# in extent order and every seeded schedule lands identically.
+
+#: Tier counters a free-running run still fully determines (the
+#: pump-queue depth gauge is timing-dependent and excluded).
+TIER_DETERMINISTIC = (
+    "chunks_staged",
+    "bytes_staged",
+    "chunks_migrated",
+    "bytes_migrated",
+    "chunks_stranded",
+    "bytes_stranded",
+    "migrate_errors",
+    "migrate_retries",
+    "breaker_trips",
+    "breaker_recoveries",
+)
+
+
+def tier_cell_functional(rules, attempts, nchunks=NCHUNKS, gated=False, batch=1):
+    """One cell on the threaded plane: write ``nchunks`` chunks through
+    a mem -> faulty-mem staging chain, fsync to deep durability
+    (catching the strand error), close, unmount.  ``gated`` holds the
+    pump in the gate file's first deep pwrite until the whole run is
+    queued (for deterministic batch formation)."""
+    from repro.backends import TieredBackend
+
+    gate = threading.Event()
+    popped = threading.Event()
+
+    def hold(_s):
+        popped.set()
+        gate.wait()
+
+    all_rules = list(rules)
+    if gated:
+        all_rules.insert(0, FaultRule(op="pwrite", nth=1, delay=1.0, path="/gate*"))
+    tier0 = MemBackend()
+    deep_mem = MemBackend()
+    deep = FaultyBackend(deep_mem, all_rules, sleep=hold if gated else lambda s: None)
+    cfg = CRFSConfig(
+        chunk_size=CHUNK, pool_size=(nchunks + 4) * CHUNK, io_threads=1,
+        retry_attempts=attempts, breaker_threshold=2,
+        tier_pump_threads=1, tier_pump_batch_chunks=batch, **FAST,
+    )
+    sync_errors = []
+    with CRFS(TieredBackend([tier0, deep]), cfg) as fs:
+        if gated:
+            fg = fs.open("/gate.img")
+            fg.write(b"\x00" * CHUNK)
+            assert popped.wait(timeout=30), "tier pump never reached the gate"
+        f = fs.open("/run.img")
+        for i in range(nchunks):
+            # staging is asynchronous: the write itself never raises
+            f.write(bytes([i + 1]) * CHUNK)
+        if gated:
+            gate.set()
+        try:
+            f.fsync()  # durability through the deep tier
+        except OSError as exc:
+            sync_errors.append(exc)
+        f.close()
+        if gated:
+            fg.close()
+        stats = fs.stats()
+    return stats, sync_errors, tier0, deep_mem
+
+
+def tier_cell_sim(rules, attempts, nchunks=NCHUNKS, gated=False, batch=1, seed=1):
+    """The same cell on the timing plane (virtual-clock gate)."""
+    from repro.sim import SharedBandwidth, Simulator
+    from repro.simcrfs import SimCRFS
+    from repro.simio.faulty import FaultySimFilesystem
+    from repro.simio.nullfs import NullSimFilesystem
+    from repro.simio.params import DEFAULT_HW
+    from repro.simio.tiered import TieredSimFilesystem
+    from repro.util.rng import rng_for
+
+    sim = Simulator()
+    hw = DEFAULT_HW
+    from repro.sim import SharedBandwidth as _SB
+
+    membus = _SB(sim, hw.membus_bandwidth)
+    all_rules = list(rules)
+    if gated:
+        all_rules.insert(0, FaultRule(op="pwrite", nth=1, delay=1.0, path="/gate*"))
+    deep = FaultySimFilesystem(
+        NullSimFilesystem(sim, hw, rng_for(seed, "tiercell/deep")), all_rules
+    )
+    backend = TieredSimFilesystem(
+        [NullSimFilesystem(sim, hw, rng_for(seed, "tiercell/t0")), deep]
+    )
+    cfg = CRFSConfig(
+        chunk_size=CHUNK, pool_size=(nchunks + 4) * CHUNK, io_threads=1,
+        retry_attempts=attempts, breaker_threshold=2,
+        tier_pump_threads=1, tier_pump_batch_chunks=batch, **FAST,
+    )
+    crfs = SimCRFS(sim, hw, cfg, backend, membus)
+    sync_errors = []
+
+    def proc():
+        if gated:
+            fg = crfs.open("/gate.img")
+            yield from crfs.write(fg, CHUNK)
+        f = crfs.open("/run.img")
+        for _ in range(nchunks):
+            yield from crfs.write(f, CHUNK)
+        try:
+            yield from crfs.fsync(f)
+        except OSError as exc:
+            sync_errors.append(exc)
+        yield from crfs.close(f)
+        if gated:
+            yield from crfs.close(fg)
+
+    sim.run_until_complete([sim.spawn(proc())])
+    sim.run_until_complete([sim.spawn(crfs.drain_staging(), name="drain")])
+    crfs.shutdown()
+    return crfs.stats(), sync_errors
+
+
+def tier_comparable(stats):
+    """The workload-determined slice of the ``tiers`` section."""
+    return {
+        level: {k: counters[k] for k in TIER_DETERMINISTIC}
+        for level, counters in stats["tiers"]["per_tier"].items()
+    }
+
+
+class TestTierPwriteCells:
+    """Deep-tier pwrite faults: strand-at-tier-0, never write-through."""
+
+    @pytest.mark.parametrize("schedule", ["first", "every", "prob"])
+    @pytest.mark.parametrize("attempts", [1, 4])
+    def test_cell(self, schedule, attempts):
+        recovers = schedule == "first" and attempts > 1
+        stats, sync_errors, tier0, deep_mem = tier_cell_functional(
+            make_rules("pwrite", schedule), attempts
+        )
+        tiers = stats["tiers"]["per_tier"]
+        run = b"".join(bytes([i + 1]) * CHUNK for i in range(NCHUNKS))
+
+        # degrade-to-shallower-tier: the mount pipeline never saw a fault
+        assert stats["io_errors"] == 0
+        assert stats["resilience"]["errors_latched"] == 0
+        assert stats["resilience"]["chunks_retried"] == 0
+        assert stats["resilience"]["breaker_trips"] == 0
+        # and tier 0 holds the full image no matter what the deep tier did
+        assert backing(tier0, "/run.img", len(run)) == run
+        assert tiers["0"]["chunks_staged"] == NCHUNKS
+
+        if recovers:
+            assert sync_errors == []
+            assert tiers["1"]["chunks_stranded"] == 0
+            assert tiers["1"]["migrate_retries"] == 1
+            assert tiers["1"]["breaker_trips"] == 0
+            assert stats["tiers"]["sync_through"] == 1
+            assert backing(deep_mem, "/run.img", len(run)) == run
+        elif schedule == "first":  # one-shot fault, no retry budget
+            assert len(sync_errors) == 1
+            assert "injected-pwrite" in str(sync_errors[0])
+            # only the first extent strands; the rest land deep
+            assert tiers["1"]["chunks_stranded"] == 1
+            assert tiers["1"]["chunks_staged"] == NCHUNKS - 1
+            assert tiers["1"]["breaker_trips"] == 0
+            assert backing(deep_mem, "/run.img", len(run))[CHUNK:] == run[CHUNK:]
+        else:  # every / prob(p=1): the deep tier is gone for good
+            assert len(sync_errors) == 1
+            assert tiers["1"]["chunks_stranded"] == NCHUNKS
+            assert tiers["1"]["chunks_staged"] == 0
+            # consecutive failures trip the *tier's* breaker exactly once
+            assert tiers["1"]["breaker_trips"] == 1
+            assert deep_mem.stat("/run.img").size == 0
+            if attempts > 1:
+                assert tiers["1"]["migrate_retries"] == NCHUNKS * (attempts - 1)
+
+
+class TestTierPwritevCells:
+    """Batched migrations are one deep op: one fault decision, one retry
+    schedule, and a strand attributed to every chunk the batch carried."""
+
+    RUN = 16  # two full gathers at batch limit 8
+
+    @pytest.mark.parametrize("schedule", ["first", "every", "prob"])
+    @pytest.mark.parametrize("attempts", [1, 4])
+    def test_cell(self, schedule, attempts):
+        recovers = schedule == "first" and attempts > 1
+        stats, sync_errors, tier0, deep_mem = tier_cell_functional(
+            make_rules("pwritev", schedule), attempts,
+            nchunks=self.RUN, gated=True, batch=8,
+        )
+        tiers = stats["tiers"]["per_tier"]
+        run = b"".join(bytes([i + 1]) * CHUNK for i in range(self.RUN))
+
+        assert stats["resilience"]["errors_latched"] == 0
+        assert stats["resilience"]["breaker_trips"] == 0
+        assert backing(tier0, "/run.img", len(run)) == run
+
+        if recovers:
+            assert sync_errors == []
+            assert tiers["1"]["chunks_stranded"] == 0
+            assert tiers["1"]["migrate_retries"] == 1  # the batch, as one op
+            assert backing(deep_mem, "/run.img", len(run)) == run
+        elif schedule == "first":  # first gather strands whole, second lands
+            assert len(sync_errors) == 1
+            assert tiers["1"]["chunks_stranded"] == 8
+            assert tiers["1"]["migrate_errors"] == 1
+            assert tiers["1"]["breaker_trips"] == 0
+            half = 8 * CHUNK
+            assert backing(deep_mem, "/run.img", len(run))[half:] == run[half:]
+        else:  # both gathers strand; the tier breaker trips once
+            assert len(sync_errors) == 1
+            assert "injected-pwritev" in str(sync_errors[0])
+            assert tiers["1"]["chunks_stranded"] == self.RUN
+            assert tiers["1"]["migrate_errors"] == 2
+            assert tiers["1"]["breaker_trips"] == 1
+
+
+class TestTierFsyncCells:
+    """A deep-tier fsync fault is synchronous: it raises at the
+    deep-durability fsync itself, after the migrations all landed."""
+
+    @pytest.mark.parametrize("schedule", ["first", "every", "prob"])
+    def test_cell(self, schedule):
+        stats, sync_errors, tier0, deep_mem = tier_cell_functional(
+            make_rules("fsync", schedule), attempts=4
+        )
+        run = b"".join(bytes([i + 1]) * CHUNK for i in range(NCHUNKS))
+        assert len(sync_errors) == 1
+        assert "injected-fsync" in str(sync_errors[0])
+        # the data was never the problem: everything migrated deep
+        assert stats["tiers"]["per_tier"]["1"]["chunks_stranded"] == 0
+        assert stats["tiers"]["per_tier"]["1"]["chunks_staged"] == NCHUNKS
+        assert backing(deep_mem, "/run.img", len(run)) == run
+        # and no breaker anywhere counts a synchronous fsync fault
+        assert stats["tiers"]["per_tier"]["1"]["breaker_trips"] == 0
+        assert stats["tiers"]["sync_through"] == -1
+
+    def test_one_shot_fsync_fault_then_clean(self):
+        """After the one-shot fault fires, the next deep-durability
+        fsync is clean and records sync_through."""
+        from repro.backends import TieredBackend
+
+        deep_mem = MemBackend()
+        deep = FaultyBackend(
+            deep_mem, make_rules("fsync", "first"), sleep=lambda s: None
+        )
+        cfg = CRFSConfig(
+            chunk_size=CHUNK, pool_size=4 * CHUNK, io_threads=1,
+            tier_pump_threads=1, **FAST,
+        )
+        with CRFS(TieredBackend([MemBackend(), deep]), cfg) as fs:
+            f = fs.open("/run.img")
+            f.write(DATA)
+            with pytest.raises(OSError, match="injected-fsync"):
+                f.fsync()
+            f.fsync()  # clean
+            assert fs.stats()["tiers"]["sync_through"] == 1
+            f.close()
+
+
+class TestSimTierCellParity:
+    """Every cell above, run on both planes: the workload-determined
+    tier counters and the strand-error surface must land identically."""
+
+    CELLS = [
+        ("pwrite", "first", 1, NCHUNKS, False, 1),
+        ("pwrite", "first", 4, NCHUNKS, False, 1),
+        ("pwrite", "every", 1, NCHUNKS, False, 1),
+        ("pwrite", "every", 4, NCHUNKS, False, 1),
+        ("pwrite", "prob", 4, NCHUNKS, False, 1),
+        ("pwritev", "first", 4, 16, True, 8),
+        ("pwritev", "every", 1, 16, True, 8),
+        ("fsync", "every", 4, NCHUNKS, False, 1),
+    ]
+
+    @pytest.mark.parametrize("op,schedule,attempts,nchunks,gated,batch", CELLS)
+    def test_cell_parity(self, op, schedule, attempts, nchunks, gated, batch):
+        func_stats, func_sync, _, _ = tier_cell_functional(
+            make_rules(op, schedule), attempts,
+            nchunks=nchunks, gated=gated, batch=batch,
+        )
+        sim_stats, sim_sync = tier_cell_sim(
+            make_rules(op, schedule), attempts,
+            nchunks=nchunks, gated=gated, batch=batch,
+        )
+        assert tier_comparable(func_stats) == tier_comparable(sim_stats)
+        assert func_stats["tiers"]["sync_through"] == sim_stats["tiers"]["sync_through"]
+        assert len(func_sync) == len(sim_sync)
+        if func_sync:
+            assert str(func_sync[0]) == str(sim_sync[0])
+        # tier faults never leak into the mount resilience section
+        for stats in (func_stats, sim_stats):
+            assert stats["resilience"]["chunks_retried"] == 0
+            assert stats["resilience"]["breaker_trips"] == 0

@@ -154,6 +154,68 @@ class TestPoolStarvation:
                     # dropped silently: the data still arrives on demand
                     assert f.pread(CHUNK, CHUNK) == data[CHUNK:]
 
+    @pytest.mark.timeout(60)
+    def test_full_cache_sheds_for_a_starved_writer(self):
+        """Cache capacity == pool capacity: once readback populates
+        every entry, the cache leases the whole pool.  A write into
+        uncached territory must shed those leases and proceed — the
+        regression was a 30 s pool stall mid-write that poisoned the
+        planner and broke the file's close path."""
+        data = image(4)
+        fs = CRFS(MemBackend(), ra_config())
+        with fs:
+            f = fs.open("/ckpt")
+            f.write(data)
+            f.fsync()
+            for i in range(4):
+                assert f.pread(CHUNK, i * CHUNK) == data[i * CHUNK : (i + 1) * CHUNK]
+            # settle: the cache now pins all four pool chunks
+            deadline = time.monotonic() + 10
+            while fs.pool.free_chunks > 0:
+                assert time.monotonic() < deadline, fs.stats()["read"]
+                time.sleep(0.001)
+            t0 = time.monotonic()
+            f.write(b"Y" * CHUNK)  # appends past the cached range
+            f.fsync()
+            assert time.monotonic() - t0 < 10.0  # no pool-deadline stall
+            assert f.pread(CHUNK, 4 * CHUNK) == b"Y" * CHUNK
+            f.close()
+            assert fs.pool.free_chunks == 4  # every lease returned
+
+    @pytest.mark.timeout(60)
+    def test_sim_plane_sheds_instead_of_deadlocking_the_clock(self):
+        """Same shape on the virtual clock: with no real pool deadline
+        to fire, a cache pinning the whole pool would deadlock the
+        simulator outright unless the writer sheds the leases."""
+        from repro.sim import SharedBandwidth, Simulator
+        from repro.simcrfs import SimCRFS
+        from repro.simio.nullfs import NullSimFilesystem
+        from repro.simio.params import DEFAULT_HW
+        from repro.util.rng import rng_for
+
+        sim = Simulator()
+        hw = DEFAULT_HW
+        crfs = SimCRFS(
+            sim, hw, ra_config(),
+            NullSimFilesystem(sim, hw, rng_for(1, "shed/backend")),
+            SharedBandwidth(sim, hw.membus_bandwidth),
+        )
+
+        def proc():
+            f = crfs.open("/ckpt")
+            yield from crfs.write(f, 4 * CHUNK)
+            yield from crfs.fsync(f)
+            crfs.seek(f, 0)
+            for _ in range(4):
+                yield from crfs.read(f, CHUNK)
+            yield from crfs.write(f, CHUNK)  # must shed, not park forever
+            yield from crfs.fsync(f)
+            yield from crfs.close(f)
+
+        sim.run_until_complete([sim.spawn(proc())])
+        crfs.shutdown()
+        assert crfs.stats()["open_files"] == 0
+
 
 class TestShutdownSafety:
     @pytest.mark.timeout(30)
