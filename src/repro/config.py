@@ -60,6 +60,13 @@ class CRFSConfig:
     #: pool (prioritized below writeback).  0 disables prefetch (the
     #: cache, if any, fills on demand only); > 0 requires a cache.
     readahead_chunks: int = 0
+    #: Adaptive prefetch window (AIMD): ``readahead_chunks`` becomes the
+    #: *initial* window, which grows by one chunk per streak of
+    #: consecutive sequential hits (up to ``read_cache_chunks - 1``) and
+    #: halves under cache pressure — unread prefetches evicted, fetches
+    #: dropped on a starved pool, delivered prefetches wasted.  False
+    #: (the default) keeps the window pinned at ``readahead_chunks``.
+    readahead_adaptive: bool = False
     #: Writes of at least this many bytes bypass aggregation and go
     #: straight to the backend (after flushing the partial chunk, so
     #: issue order is preserved).  0 disables write-through — the paper's
@@ -160,6 +167,10 @@ class CRFSConfig:
         if self.readahead_chunks and not self.read_cache_chunks:
             raise ConfigError(
                 "readahead_chunks requires a read cache (read_cache_chunks > 0)"
+            )
+        if self.readahead_adaptive and self.readahead_chunks < 1:
+            raise ConfigError(
+                "readahead_adaptive requires an initial window (readahead_chunks >= 1)"
             )
         if self.read_cache_chunks:
             if self.readahead_chunks >= self.read_cache_chunks:

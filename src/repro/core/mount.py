@@ -267,6 +267,7 @@ class CRFS:
                         depth=self.config.readahead_chunks,
                         emit=self.kernel.emit,
                         clock=self.kernel.clock,
+                        adaptive=self.config.readahead_adaptive,
                     ),
                     self.pool,
                     self.queue,

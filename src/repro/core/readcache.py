@@ -145,7 +145,9 @@ class ReadCache:
         self._release_evicted(evicted)
         chunk = self.pool.try_acquire(tenant=self.tenant)
         if chunk is None:
-            self.core.fetch_failed(centry)  # silent un-admit (demand origin)
+            # Silent un-admit (demand origin); starved=True still feeds
+            # the adaptive window its pool-contention pressure signal.
+            self.core.fetch_failed(centry, starved=True)
             return self.backend.pread(self.backend_handle, hi - lo, lo)
         length = min(cs, file_size - base)
         try:
@@ -206,7 +208,7 @@ class ReadCache:
                 return
             chunk = self.pool.try_acquire(tenant=self.tenant)
             if chunk is None:
-                self.core.fetch_failed(centry)
+                self.core.fetch_failed(centry, starved=True)
                 self._cond.notify_all()
                 return
         try:

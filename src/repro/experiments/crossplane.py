@@ -172,6 +172,95 @@ def _timing_batched_stats(config: CRFSConfig, seed: int) -> dict[str, Any]:
     return crfs.stats()
 
 
+# -- adaptive readahead parity arm ---------------------------------------------
+#
+# The adaptive window is a pure decision kernel: it moves only on the
+# access sequence (grow streaks) and on removal accounting (pressure),
+# so a scripted chunk-granular read plan exercises every transition
+# deterministically.  The write phase reuses the pwrite gate so the
+# whole checkpoint queues before the lone worker runs; the read plan
+# then walks sequentially (the window grows to its ceiling), skips two
+# prefetched chunks (they age out unused — two wasted-prefetch pressure
+# signals shrink the window), recovers, and skips once more before
+# draining to EOF.  Skipped chunks are always issued *before* a chunk
+# the reader then waits on, and the lone worker services prefetches in
+# FIFO order, so every skipped chunk is delivered (ready) by the time
+# LRU eviction reaches it — the wasted-vs-dropped classification, and
+# with it the whole extended ``read`` section, is workload-determined
+# on both planes.
+
+_ADAPTIVE_FILE_CHUNKS = 40
+
+
+def _adaptive_config() -> CRFSConfig:
+    return CRFSConfig(
+        chunk_size=64 * KiB,
+        pool_size=3 * MiB,  # all 41 gated write chunks fit, and the
+        io_threads=1,  # 7-entry cache never starves during the reads
+        read_cache_chunks=7,  # adaptive ceiling (capacity - 2) stays 5
+        readahead_chunks=2,
+        readahead_adaptive=True,
+    )
+
+
+def _adaptive_read_plan() -> list[int]:
+    """Chunk indices read (via seek) by both planes, in order."""
+    plan = list(range(10))  # sequential warm-up: grow to the ceiling
+    plan.append(12)  # skip 10, 11 -> wasted prefetches shrink the window
+    plan.extend(range(13, 26))  # recovery: streaks grow it back
+    plan.append(28)  # skip 26, 27 -> shrink again
+    plan.extend(range(29, _ADAPTIVE_FILE_CHUNKS))  # drain to EOF
+    return plan
+
+
+def _functional_adaptive_stats(config: CRFSConfig) -> dict[str, Any]:
+    gate = threading.Event()
+    backend = FaultyBackend(
+        MemBackend(),
+        [FaultRule(op="pwrite", nth=1, delay=1.0)],
+        sleep=lambda _s: gate.wait(),
+    )
+    fs = CRFS(backend, config)
+    cs = config.chunk_size
+    with fs:
+        with fs.open("/gate.img") as fg, fs.open("/rank0.img") as fb:
+            fg.write(b"\x00" * cs)
+            for _ in range(_ADAPTIVE_FILE_CHUNKS):
+                fb.write(b"\x00" * cs)
+            gate.set()
+            for index in _adaptive_read_plan():
+                fb.seek(index * cs)
+                fb.read(cs)
+    return fs.stats()
+
+
+def _timing_adaptive_stats(config: CRFSConfig, seed: int) -> dict[str, Any]:
+    sim = Simulator()
+    hw = DEFAULT_HW
+    membus = SharedBandwidth(sim, hw.membus_bandwidth)
+    backend = FaultySimFilesystem(
+        NullSimFilesystem(sim, hw, rng_for(seed, "crossplane/adaptive")),
+        [FaultRule(op="pwrite", nth=1, delay=1.0)],
+    )
+    crfs = SimCRFS(sim, hw, config, backend, membus)
+    cs = config.chunk_size
+
+    def proc():
+        fg = crfs.open("/gate.img")
+        fb = crfs.open("/rank0.img")
+        yield from crfs.write(fg, cs)
+        for _ in range(_ADAPTIVE_FILE_CHUNKS):
+            yield from crfs.write(fb, cs)
+        for index in _adaptive_read_plan():
+            crfs.seek(fb, index * cs)
+            yield from crfs.read(fb, cs)
+        yield from crfs.close(fb)
+        yield from crfs.close(fg)
+
+    sim.run_until_complete([sim.spawn(proc())])
+    return crfs.stats()
+
+
 # -- multi-tenant parity arm ---------------------------------------------------
 #
 # Same gating trick as the batched arm: the default tenant's one-chunk
@@ -189,7 +278,13 @@ _TENANT_RUN_CHUNKS = {"a": 6, "b": 3}
 
 #: Per-tenant fields read off a clock or raced at close, not determined
 #: by the workload — excluded from the bit-identical comparison.
-_TENANT_TIMING_FIELDS = ("drain_time_total", "drain_time_max", "drain_waits_blocked")
+_TENANT_TIMING_FIELDS = (
+    "drain_time_total",
+    "drain_time_max",
+    "drain_p50",
+    "drain_p99",
+    "drain_waits_blocked",
+)
 
 
 def _tenant_config() -> CRFSConfig:
@@ -433,6 +528,22 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
             ]
         )
 
+    aconfig = _adaptive_config()
+    afunc_ra = _functional_adaptive_stats(aconfig)
+    atiming_ra = _timing_adaptive_stats(aconfig, seed)
+    for key in ("read", "chunks_written", "bytes_out"):
+        match = afunc_ra[key] == atiming_ra[key]
+        if not match:
+            mismatches.append(f"adaptive.{key}")
+        table.add_row(
+            [
+                f"adaptive.{key}",
+                str(afunc_ra[key]),
+                str(atiming_ra[key]),
+                "yes" if match else "NO",
+            ]
+        )
+
     tconfig = _tenant_config()
     tfunc = _functional_tenant_stats(tconfig)
     ttiming = _timing_tenant_stats(tconfig, seed)
@@ -517,6 +628,24 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
             and func["read"]["prefetched"] > 0
             and func["read"]["bytes_read"] == sum(sizes),
             f"read section: {func['read']}",
+        ),
+        Check(
+            "gated adaptive-readahead arm: the extended read section "
+            "(window_grown/window_shrunk/current_window) is bit-identical",
+            afunc_ra["read"] == atiming_ra["read"]
+            and afunc_ra["read"]["window_grown"] > 0
+            and afunc_ra["read"]["window_shrunk"] > 0
+            and afunc_ra["read"]["prefetch_wasted"] > 0
+            and afunc_ra["read"]["current_window"] >= 1,
+            f"adaptive read section: {afunc_ra['read']}",
+        ),
+        Check(
+            "static arms leave the adaptive window untouched "
+            "(zero window counters with readahead_adaptive off)",
+            func["read"]["window_grown"] == 0
+            and func["read"]["window_shrunk"] == 0
+            and func["read"]["current_window"] == 0,
+            f"static read section: {func['read']}",
         ),
         Check(
             "gated batched workload coalesced identically on both planes",

@@ -102,6 +102,33 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
     unbatched["planes"]["sim"]["batched_writeback"] = bw_off
     unbatched_report = compare_artifacts(unbatched, first)
 
+    # Restart-storm ablation: under contention (4 ranks, one tight
+    # shared cache) the deliberately over-eager static window thrashes,
+    # and readahead-off leaves the fetch latency unhidden; the adaptive
+    # window must beat *both* on time-to-last-restore.  Note the
+    # mis-tuned static loses even to readahead-off — that inversion is
+    # the point: a wrong knob is worse than no knob, and adaptivity is
+    # what makes the knob safe to ship.  Full image size, as above.
+    st_scn = SCENARIOS["restart_storm"]
+    st_ad = run_scenario_sim(st_scn, seed=seed)
+    st_static = run_scenario_sim(
+        dataclasses.replace(
+            st_scn, config=st_scn.config.with_(readahead_adaptive=False)
+        ),
+        seed=seed,
+    )
+    st_off = run_scenario_sim(
+        dataclasses.replace(
+            st_scn,
+            config=st_scn.config.with_(
+                readahead_chunks=0, readahead_adaptive=False
+            ),
+        ),
+        seed=seed,
+    )
+    storm_vs_static = st_static["restore_span_s"] / st_ad["restore_span_s"] - 1.0
+    storm_vs_off = st_off["restore_span_s"] / st_ad["restore_span_s"] - 1.0
+
     checks = [
         Check(
             "two same-seed sim runs are byte-identical",
@@ -159,6 +186,27 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
             and bw_batch["chunks"] > bw_batch["batches"]
             and bw_off["stats"]["batch"]["batches"] == 0,
             f"batch section: {bw_batch}",
+        ),
+        Check(
+            "storm restore: adaptive beats the mis-tuned static window "
+            "by >= 5% time-to-last-restore",
+            storm_vs_static >= 0.05,
+            f"span {st_ad['restore_span_s']:.4f}s vs static "
+            f"{st_static['restore_span_s']:.4f}s ({storm_vs_static:+.1%})",
+        ),
+        Check(
+            "storm restore: adaptive beats readahead-off by >= 2%",
+            storm_vs_off >= 0.02,
+            f"span {st_ad['restore_span_s']:.4f}s vs off "
+            f"{st_off['restore_span_s']:.4f}s ({storm_vs_off:+.1%})",
+        ),
+        Check(
+            "the adaptive clamp eliminates the static window's thrash",
+            st_ad["stats"]["read"]["prefetch_wasted"] == 0
+            and st_static["stats"]["read"]["prefetch_wasted"] > 0,
+            f"wasted prefetches: adaptive "
+            f"{st_ad['stats']['read']['prefetch_wasted']}, static "
+            f"{st_static['stats']['read']['prefetch_wasted']}",
         ),
         Check(
             "disabling batching fails the goodput gate",

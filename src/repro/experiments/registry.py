@@ -28,6 +28,7 @@ from . import (
     internode,
     perfbench,
     restart,
+    restart_storm,
     table1,
     table2,
     tenant_storm,
@@ -53,6 +54,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "faultsweep": faultsweep.run,  # repo artifact: writeback resilience
     "perfbench": perfbench.run,  # repo artifact: perf-regression gate
     "tenant_storm": tenant_storm.run,  # repo artifact: multi-tenant isolation
+    "restart_storm": restart_storm.run,  # repo artifact: mass concurrent restore
 }
 
 

@@ -179,6 +179,23 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
             "wait(s) in the fair arm",
         ),
         Check(
+            "per-tenant drain-latency histogram is populated "
+            "(p99 >= p50 > 0 for every victim, in every arm)",
+            all(
+                arm["tenants"][v]["drain_p99"]
+                >= arm["tenants"][v]["drain_p50"]
+                > 0.0
+                for arm in (solo, fair, unfair)
+                for v in _VICTIMS
+            ),
+            "fair arm: "
+            + ", ".join(
+                f"{v} p50 {fair['tenants'][v]['drain_p50'] * 1e3:.2f}ms "
+                f"p99 {fair['tenants'][v]['drain_p99'] * 1e3:.2f}ms"
+                for v in _VICTIMS
+            ),
+        ),
+        Check(
             "victims never waited on the buffer pool (reservations held)",
             all(
                 arm["tenants"][v]["pool_max_in_use"] <= _BURST_CHUNKS

@@ -1,6 +1,9 @@
-"""``python -m repro.perf`` — run / compare / update-baseline.
+"""``python -m repro.perf`` — run / compare / check / update the baseline.
 
 Typical loop::
+
+    # structural gate: the committed baseline covers every scenario
+    python -m repro.perf check-baseline
 
     # measure (sim plane is the deterministic, CI-gating one)
     python -m repro.perf run --plane sim --out results/perf
@@ -22,14 +25,17 @@ from typing import Any
 from ..util.tables import TextTable
 from .compare import compare_artifacts, render_report
 from .runner import run_suite
+from .scenarios import SCENARIOS
 from .schema import (
+    REQUIRED_METRICS,
+    ArtifactError,
     artifact_filename,
     build_artifact,
     dump_artifact,
     load_artifact,
 )
 
-__all__ = ["main", "DEFAULT_BASELINE", "DEFAULT_OUT_DIR"]
+__all__ = ["main", "check_baseline", "DEFAULT_BASELINE", "DEFAULT_OUT_DIR"]
 
 DEFAULT_BASELINE = pathlib.Path("benchmarks/baselines/baseline.json")
 DEFAULT_OUT_DIR = pathlib.Path("results/perf")
@@ -83,6 +89,106 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     report = compare_artifacts(new, baseline)
     print(render_report(report, verbose=args.verbose))
     return 0 if report.ok else 1
+
+
+def check_baseline(baseline: dict[str, Any]) -> list[str]:
+    """Structural sanity of a committed baseline; returns problems.
+
+    The metric *values* are the compare gate's business — this guards
+    the baseline's shape: every curated scenario present with its
+    required metrics, and each subsystem scenario carrying the stats
+    section that proves its machinery actually engaged (so a future
+    regeneration can't silently pin a baseline where readahead,
+    batching, tenancy, tiering, or the restart storm never ran).
+    """
+    problems: list[str] = []
+    scenarios = baseline.get("planes", {}).get("sim", {})
+    if not scenarios:
+        return ["baseline has no sim plane"]
+
+    for name in SCENARIOS:
+        if name not in scenarios:
+            problems.append(f"scenario {name!r} missing from the baseline")
+            continue
+        missing = [k for k in REQUIRED_METRICS if k not in scenarios[name]]
+        if missing:
+            problems.append(f"{name}: required metric(s) missing: {missing}")
+    for name in scenarios:
+        if name not in SCENARIOS:
+            problems.append(f"baseline pins unknown scenario {name!r}")
+
+    def sub(scenario: str, *path: str) -> Any:
+        node: Any = scenarios.get(scenario)
+        for key in path:
+            if not isinstance(node, dict) or key not in node:
+                problems.append(
+                    f"{scenario}: missing {'.'.join(path)} in the snapshot"
+                )
+                return None
+            node = node[key]
+        return node
+
+    read = sub("restart_readahead", "stats", "read")
+    if read is not None and not (read.get("prefetched", 0) > 0):
+        problems.append("restart_readahead: no prefetches in the baseline")
+
+    batch = sub("batched_writeback", "stats", "batch")
+    if batch is not None and not (batch.get("batches", 0) > 0):
+        problems.append("batched_writeback: the gather never coalesced")
+
+    tenants = sub("tenant_storm", "stats", "tenants")
+    if tenants is not None:
+        if not {"storm", "alice", "bob"} <= set(tenants):
+            problems.append(
+                f"tenant_storm: tenants incomplete: {sorted(tenants)}"
+            )
+        elif not tenants["storm"]["chunks_written"] > 0:
+            problems.append("tenant_storm: the storm tenant never drained")
+
+    tiers = sub("tiered_staging", "stats", "tiers")
+    if tiers is not None:
+        if tiers.get("levels") != 2:
+            problems.append(f"tiered_staging: expected 2 tiers: {tiers}")
+        else:
+            deep = tiers["per_tier"]["1"]
+            if not deep["chunks_staged"] > 0:
+                problems.append("tiered_staging: nothing reached the deep tier")
+            if deep["chunks_stranded"] != 0:
+                problems.append("tiered_staging: chunks stranded in staging")
+
+    storm_read = sub("restart_storm", "stats", "read")
+    if storm_read is not None:
+        for key in ("window_grown", "window_shrunk", "current_window"):
+            if key not in storm_read:
+                problems.append(
+                    f"restart_storm: adaptive counter {key!r} missing"
+                )
+        if not storm_read.get("prefetched", 0) > 0:
+            problems.append("restart_storm: no prefetches in the baseline")
+    if sub("restart_storm", "restore_span_s") is not None:
+        if not scenarios["restart_storm"]["restore_span_s"] > 0:
+            problems.append("restart_storm: restore_span_s not positive")
+
+    return problems
+
+
+def _cmd_check_baseline(args: argparse.Namespace) -> int:
+    try:
+        baseline = load_artifact(args.baseline)
+    except ArtifactError as exc:
+        print(f"cannot load baseline: {exc}", file=sys.stderr)
+        return 2
+    problems = check_baseline(baseline)
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}", file=sys.stderr)
+        return 1
+    names = sorted(baseline["planes"]["sim"])
+    print(
+        f"baseline ok: {len(names)} scenario(s) "
+        f"[{', '.join(names)}] with required metrics and stats sections"
+    )
+    return 0
 
 
 def _cmd_update_baseline(args: argparse.Namespace) -> int:
@@ -214,6 +320,16 @@ def main(argv: list[str] | None = None) -> int:
         "--verbose", action="store_true", help="show all metrics, not just drift"
     )
     cmp_p.set_defaults(fn=_cmd_compare)
+
+    chk_p = sub.add_parser(
+        "check-baseline",
+        help="verify the committed baseline covers every scenario; exit 1 if not",
+    )
+    chk_p.add_argument(
+        "--baseline", type=pathlib.Path, default=DEFAULT_BASELINE,
+        help=f"baseline artifact (default: {DEFAULT_BASELINE})",
+    )
+    chk_p.set_defaults(fn=_cmd_check_baseline)
 
     up_p = sub.add_parser(
         "update-baseline", help="re-pin the committed sim-plane baseline"

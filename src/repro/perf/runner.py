@@ -33,6 +33,7 @@ from ..pipeline import ChunkWritten, PipelineEvent, PipelineObserver, WriteObser
 from ..sim import SharedBandwidth, Simulator
 from ..simcrfs import SimCRFS
 from ..simio.faulty import FaultySimFilesystem
+from ..simio.lustre import LustreFilesystem, LustreServers
 from ..simio.nfs import NFSFilesystem, NFSServer
 from ..simio.nullfs import NullSimFilesystem
 from ..simio.params import DEFAULT_HW
@@ -79,8 +80,9 @@ def _metrics(
     elapsed: float,
     recorder: LatencyRecorder,
     stats: dict[str, Any],
+    restore_marks: list[tuple[float, float]] | None = None,
 ) -> dict[str, Any]:
-    return {
+    out = {
         "bytes_in": total_bytes,
         "writes": nwrites,
         "elapsed_s": elapsed,
@@ -95,6 +97,16 @@ def _metrics(
         "drain_time_s": stats["drain"]["time_total"],
         "stats": stats,
     }
+    if restore_marks:
+        # Read-back scenarios: time-to-last-restore (first restart to
+        # last byte delivered) and the slowest single rank's restore.
+        # Extra keys beside REQUIRED_METRICS — recorded in the artifact,
+        # gated by the perfbench ablation checks rather than compare.
+        starts = [t0 for t0, _ in restore_marks]
+        ends = [t1 for _, t1 in restore_marks]
+        out["restore_span_s"] = max(ends) - min(starts)
+        out["restore_latency_max_s"] = max(t1 - t0 for t0, t1 in restore_marks)
+    return out
 
 
 # -- sim plane ----------------------------------------------------------------
@@ -108,6 +120,10 @@ def run_scenario_sim(scenario: Scenario, seed: int, fast: bool = False) -> dict[
     rng = rng_for(seed, f"perf/{scenario.name}/backend")
     if scenario.sim_backend == "nfs":
         backend = NFSFilesystem(sim, hw, rng, membus, NFSServer(sim, hw))
+    elif scenario.sim_backend == "lustre":
+        backend = LustreFilesystem(
+            sim, hw, rng, membus, LustreServers(sim, hw), app_memory=0
+        )
     elif scenario.sim_backend == "tiered_nfs":
         deep_rng = rng_for(seed, f"perf/{scenario.name}/backend-deep")
         backend = TieredSimFilesystem(
@@ -127,6 +143,7 @@ def run_scenario_sim(scenario: Scenario, seed: int, fast: bool = False) -> dict[
     workloads = [
         scenario.sizes(seed, i, fast) for i in range(scenario.nwriters)
     ]
+    restore_marks: list[tuple[float, float]] = []
 
     def writer(index: int):
         f = crfs.open(scenario.path(index))
@@ -141,11 +158,17 @@ def run_scenario_sim(scenario: Scenario, seed: int, fast: bool = False) -> dict[
             # the file).
             yield from crfs.fsync(f)
             crfs.seek(f, 0)
+            t0 = sim.now
             image, done = sum(workloads[index]), 0
             while done < image:
                 n = min(scenario.read_request, image - done)
                 yield from crfs.read(f, n)
                 done += n
+                if scenario.read_think_s > 0.0:
+                    # Restore work per request (CRIU-style page
+                    # injection) — the latency prefetch overlaps.
+                    yield sim.timeout(scenario.read_think_s)
+            restore_marks.append((t0, sim.now))
         yield from crfs.close(f)
 
     procs = [
@@ -169,6 +192,7 @@ def run_scenario_sim(scenario: Scenario, seed: int, fast: bool = False) -> dict[
         elapsed=elapsed,
         recorder=recorder,
         stats=crfs.stats(),
+        restore_marks=restore_marks,
     )
 
 
@@ -204,6 +228,8 @@ def run_scenario_real(
         ]
         payload = bytes(max(max(w) for w in workloads if w))
         failures: list[BaseException] = []
+        restore_marks: list[tuple[float, float]] = []
+        marks_lock = threading.Lock()
 
         def writer(index: int) -> None:
             try:
@@ -214,11 +240,17 @@ def run_scenario_real(
                             f.fsync()
                     if scenario.read_request:
                         f.fsync()
+                        # No real sleeping for read_think_s: wall-clock
+                        # timing here should measure CRFS, and the real
+                        # plane's numbers are advisory anyway.
+                        t0 = time.perf_counter()
                         image, done = sum(workloads[index]), 0
                         while done < image:
                             n = min(scenario.read_request, image - done)
                             f.pread(n, done)
                             done += n
+                        with marks_lock:
+                            restore_marks.append((t0, time.perf_counter()))
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 failures.append(exc)
 
@@ -241,6 +273,7 @@ def run_scenario_real(
             elapsed=elapsed,
             recorder=recorder,
             stats=fs.stats(),
+            restore_marks=restore_marks,
         )
 
 

@@ -20,6 +20,11 @@ must keep honest:
 * ``restart_readahead`` — write an image then read it back
   sequentially over the NFS model: the restart read plane, with the
   chunked readahead cache prefetching through the IO pool.
+* ``restart_storm`` — 4 ranks restart concurrently over the striped
+  Lustre model behind a deliberately over-eager readahead window on a
+  tight shared cache: the adaptive clamp keeps the window inside the
+  thrash-free ceiling, beating both the static window and
+  readahead-off on time-to-last-restore (``restore_span_s``).
 * ``tenant_storm`` — a storm tenant's oversized burst beside two
   reserved-pool victims through one IO thread: weighted DRR service,
   queue-quota admission control, per-tenant pool partitioning.
@@ -82,11 +87,17 @@ class Scenario:
     #: and re-reads its image sequentially in requests of this size
     #: (0 = write-only scenario).
     read_request: int = 0
+    #: Per-read restore work on the sim plane, in virtual seconds (the
+    #: CRIU-style page-injection time readahead overlaps with the next
+    #: fetch); the real plane never sleeps for it.
+    read_think_s: float = 0.0
     #: Sim-plane backing filesystem: "null" (Fig-5 rig, raw aggregation),
     #: "nfs" (the shared-server NFSv3 model, whose staged read path —
-    #: link, server CPU, disk — readahead can pipeline), or "tiered_nfs"
-    #: (a null staging tier over the NFS model, pumped in the
-    #: background; the real plane mirrors it as mem → local dir).
+    #: link, server CPU, disk — readahead can pipeline), "lustre" (the
+    #: striped multi-OST model with per-request seek latency, the rig
+    #: where prefetch pipelining is physical), or "tiered_nfs" (a null
+    #: staging tier over the NFS model, pumped in the background; the
+    #: real plane mirrors it as mem → local dir).
     sim_backend: str = "null"
     #: Factory for the backend fault schedule (fresh rules per run).
     fault_rules: Callable[[], list[FaultRule]] = field(default=_no_rules)
@@ -198,6 +209,27 @@ SCENARIOS: dict[str, Scenario] = {
             fast_image_size=2 * MiB,
             read_request=256 * KiB,
             sim_backend="nfs",
+        ),
+        Scenario(
+            name="restart_storm",
+            description="4 ranks restart concurrently over the striped "
+            "Lustre model through a deliberately over-eager window on a "
+            "tight shared cache: the adaptive clamp keeps the window "
+            "inside the thrash-free ceiling",
+            config=CRFSConfig(
+                chunk_size=256 * KiB,
+                pool_size=16 * 256 * KiB,  # 4 chunks per resident rank
+                io_threads=2,
+                read_cache_chunks=4,
+                readahead_chunks=3,  # working set 5 > cache 4: mis-tuned
+                readahead_adaptive=True,
+            ),
+            nwriters=4,
+            image_size=4 * MiB,
+            fast_image_size=2 * MiB,
+            read_request=256 * KiB,
+            read_think_s=0.02,
+            sim_backend="lustre",
         ),
         Scenario(
             name="tenant_storm",

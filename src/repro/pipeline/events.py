@@ -48,6 +48,8 @@ __all__ = [
     "ChunkPrefetched",
     "PrefetchWasted",
     "PrefetchDropped",
+    "WindowGrown",
+    "WindowShrunk",
     "TierStaged",
     "TierMigrated",
     "TierPumpPressure",
@@ -335,6 +337,29 @@ class PrefetchDropped(PipelineEvent):
 
     path: str
     file_offset: int
+    t: float = 0.0
+
+
+@dataclass(frozen=True)
+class WindowGrown(PipelineEvent):
+    """The adaptive readahead window widened by one chunk after a
+    streak of consecutive sequential hits; ``window`` is the new
+    width.  Never emitted with ``readahead_adaptive`` off."""
+
+    path: str
+    window: int
+    t: float = 0.0
+
+
+@dataclass(frozen=True)
+class WindowShrunk(PipelineEvent):
+    """The adaptive readahead window halved under cache pressure — an
+    unread prefetch was evicted, a fetch was dropped on a starved pool,
+    or a delivered prefetch went to waste; ``window`` is the new width.
+    Never emitted with ``readahead_adaptive`` off."""
+
+    path: str
+    window: int
     t: float = 0.0
 
 

@@ -46,10 +46,12 @@ from .events import (
     PrefetchWasted,
     ReadHit,
     ReadMiss,
+    WindowGrown,
+    WindowShrunk,
 )
 from .kernel import EmitFn
 
-__all__ = ["CacheEntry", "ReadaheadCore", "DEMAND", "PREFETCH"]
+__all__ = ["AdaptiveWindow", "CacheEntry", "ReadaheadCore", "DEMAND", "PREFETCH"]
 
 #: Why an entry entered the cache: a foreground miss or the window.
 DEMAND = "demand"
@@ -84,12 +86,96 @@ class CacheEntry:
         return f"<CacheEntry #{self.index} {self.origin} {state}>"
 
 
+class AdaptiveWindow:
+    """AIMD prefetch-window controller — a pure decision kernel.
+
+    Additive increase: every ``grow_streak`` consecutive sequential hits
+    widen the window by one chunk, up to ``ceiling`` (cache capacity
+    minus two, so a fully grown window's working set — the chunk being
+    served plus the window — still leaves one slot of slack and never
+    evicts a ready-but-unread prefetch).  Multiplicative decrease: each
+    cache-pressure signal
+    — an unread prefetch evicted, a fetch dropped on a starved pool, a
+    delivered prefetch wasted — halves the window down to ``floor``.
+    With ``adaptive=False`` the window is pinned at ``initial``: the
+    static-``readahead_chunks`` degeneracy the property tests pin.
+
+    Purity contract: the window is a function of the sequence of
+    :meth:`on_access` / :meth:`on_pressure` calls alone, which both
+    planes derive from the identical access sequence and removal
+    accounting — never from fetch timing — so the cross-plane
+    differential holds for the window counters too.
+    """
+
+    __slots__ = ("window", "initial", "floor", "ceiling", "grow_streak",
+                 "adaptive", "_streak", "_last_index")
+
+    def __init__(
+        self,
+        initial: int,
+        ceiling: int,
+        adaptive: bool = False,
+        floor: int = 1,
+        grow_streak: int = 2,
+    ):
+        if adaptive and initial < 1:
+            raise ValueError(f"adaptive window needs initial >= 1, got {initial}")
+        if adaptive and not floor <= initial <= ceiling:
+            raise ValueError(
+                f"adaptive window needs {floor} <= initial <= {ceiling}, got {initial}"
+            )
+        self.window = initial
+        self.initial = initial
+        self.floor = floor
+        self.ceiling = ceiling
+        self.grow_streak = grow_streak
+        self.adaptive = adaptive
+        self._streak = 0
+        self._last_index: Optional[int] = None
+
+    def on_access(self, index: int, hit: bool) -> bool:
+        """Observe one chunk access; True when the window grew."""
+        sequential = self._last_index is not None and index == self._last_index + 1
+        self._last_index = index
+        if not self.adaptive:
+            return False
+        if hit and sequential:
+            self._streak += 1
+        else:
+            self._streak = 0
+        if self._streak >= self.grow_streak and self.window < self.ceiling:
+            self.window += 1
+            self._streak = 0
+            return True
+        return False
+
+    def on_pressure(self) -> bool:
+        """Observe one cache-pressure signal; True when the window
+        shrank.  Pressure also breaks the current hit streak, so growth
+        restarts from scratch once the pressure clears."""
+        if not self.adaptive:
+            return False
+        self._streak = 0
+        shrunk = max(self.floor, self.window // 2)
+        if shrunk < self.window:
+            self.window = shrunk
+            return True
+        return False
+
+
 class ReadaheadCore:
     """Per-file readahead decisions: LRU cache index + prefetch window.
 
     ``capacity`` bounds resident entries (both ready and in flight);
-    ``depth`` is the sliding prefetch window issued after every access.
-    ``capacity > depth`` (enforced by :class:`~repro.config.CRFSConfig`)
+    ``depth`` is the sliding prefetch window issued after every access —
+    fixed at the ``readahead_chunks`` knob by default, governed by an
+    :class:`AdaptiveWindow` between 1 and ``capacity - 2`` when
+    ``adaptive`` is set.  The adaptive ceiling keeps one slot of slack
+    beyond the working set (current chunk + window): at ``capacity - 1``
+    the set fills the cache exactly and every window slide evicts a
+    ready-but-unread prefetch — the window would thrash at its own
+    ceiling.  ``capacity > depth`` (enforced by
+    :class:`~repro.config.CRFSConfig` and by the window ceiling)
     guarantees the window can never evict the chunk being served.
     """
 
@@ -101,6 +187,7 @@ class ReadaheadCore:
         depth: int,
         emit: Optional[EmitFn] = None,
         clock: Optional[Callable[[], float]] = None,
+        adaptive: bool = False,
     ):
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
@@ -109,10 +196,23 @@ class ReadaheadCore:
         self.path = path
         self.chunk_size = chunk_size
         self.capacity = capacity
-        self.depth = depth
+        ceiling = max(1, capacity - 2)
+        self.window = AdaptiveWindow(
+            # An adaptive window starts inside its own bounds even when
+            # the configured static depth exceeds the thrash-free ceiling.
+            initial=min(depth, ceiling) if adaptive else depth,
+            ceiling=ceiling,
+            adaptive=adaptive,
+        )
         self._emit = emit if emit is not None else (lambda event: None)
         self._clock = clock if clock is not None else (lambda: 0.0)
         self._entries: "OrderedDict[int, CacheEntry]" = OrderedDict()
+
+    @property
+    def depth(self) -> int:
+        """The current prefetch-window width (the static knob, or the
+        adaptive controller's live value)."""
+        return self.window.window
 
     # -- introspection ---------------------------------------------------------
 
@@ -153,16 +253,20 @@ class ReadaheadCore:
                     t=self._clock(),
                 )
             )
-            return None
-        entry.used = True
-        self._entries.move_to_end(index)
-        self._emit(
-            ReadHit(
-                path=self.path,
-                file_offset=index * self.chunk_size,
-                t=self._clock(),
+        else:
+            entry.used = True
+            self._entries.move_to_end(index)
+            self._emit(
+                ReadHit(
+                    path=self.path,
+                    file_offset=index * self.chunk_size,
+                    t=self._clock(),
+                )
             )
-        )
+        if self.window.on_access(index, hit=entry is not None):
+            self._emit(
+                WindowGrown(path=self.path, window=self.window.window, t=self._clock())
+            )
         return entry
 
     def admit(self, index: int, origin: str) -> Tuple[CacheEntry, List[CacheEntry]]:
@@ -182,7 +286,7 @@ class ReadaheadCore:
             if old is entry:  # capacity >= 1 makes this unreachable
                 break
             del self._entries[old_index]
-            self._account_removal(old)
+            self._account_removal(old, pressure_drop=True)
             old.evicted = True
             evicted.append(old)
         return entry, evicted
@@ -222,15 +326,18 @@ class ReadaheadCore:
             )
         return True
 
-    def fetch_failed(self, entry: CacheEntry) -> None:
+    def fetch_failed(self, entry: CacheEntry, starved: bool = False) -> None:
         """An issued fetch was abandoned: pool starved or backend error.
 
         The entry leaves the index; a prefetch is drop-accounted
         (foreground demand failures raise at the caller instead, so
         demand removals stay silent).  Waiters are woken by the caller
-        and retry from a fresh access.
+        and retry from a fresh access.  ``starved`` marks pool
+        contention — a cache-pressure signal for the adaptive window —
+        while backend errors leave the window alone (the circuit
+        breaker owns that failure mode).
         """
-        self._remove(entry)
+        self._remove(entry, pressure_drop=starved)
 
     # -- removal (invalidation, eviction, teardown) ----------------------------
 
@@ -258,22 +365,36 @@ class ReadaheadCore:
             self._remove(entry)
         return removed
 
-    def _remove(self, entry: CacheEntry) -> None:
+    def _remove(self, entry: CacheEntry, pressure_drop: bool = False) -> None:
         current = self._entries.get(entry.index)
         if current is entry:
             del self._entries[entry.index]
         if not entry.evicted:
-            self._account_removal(entry)
+            self._account_removal(entry, pressure_drop=pressure_drop)
         entry.evicted = True
 
-    def _account_removal(self, entry: CacheEntry) -> None:
+    def _account_removal(self, entry: CacheEntry, pressure_drop: bool = False) -> None:
+        """Emit the accounting event for a removal, feeding the adaptive
+        window its pressure signals.  A wasted prefetch (fetched, never
+        read) is always pressure; an unready removal is pressure only
+        when ``pressure_drop`` says so (LRU eviction, pool starvation —
+        not invalidation by a write or a backend error)."""
         offset = entry.index * self.chunk_size
         if not entry.ready:
             if entry.origin == PREFETCH:
                 self._emit(
                     PrefetchDropped(path=self.path, file_offset=offset, t=self._clock())
                 )
+            if pressure_drop:
+                self._note_pressure()
         elif entry.origin == PREFETCH and not entry.used:
             self._emit(
                 PrefetchWasted(path=self.path, file_offset=offset, t=self._clock())
+            )
+            self._note_pressure()
+
+    def _note_pressure(self) -> None:
+        if self.window.on_pressure():
+            self._emit(
+                WindowShrunk(path=self.path, window=self.window.window, t=self._clock())
             )

@@ -328,6 +328,7 @@ class SimCRFS:
                 depth=self.config.readahead_chunks,
                 emit=self.kernel.emit,
                 clock=lambda: self.sim.now,
+                adaptive=self.config.readahead_adaptive,
             )
         f = SimCRFSFile(
             path,
@@ -557,7 +558,9 @@ class SimCRFS:
                 centry, evicted = core.admit(index, DEMAND)
                 self._release_read_evicted(evicted, f.tenant)
                 if self._pool_starved(f.tenant):
-                    core.fetch_failed(centry)  # silent un-admit (demand)
+                    # Silent un-admit (demand); starved=True still feeds
+                    # the adaptive window its pool-pressure signal.
+                    core.fetch_failed(centry, starved=True)
                     self._wake_read_waiters(centry)
                     yield from self.backend.read(f.backend_file, hi - lo)
                     return
@@ -624,7 +627,7 @@ class SimCRFS:
         if centry.evicted:  # invalidated/cleared while queued
             return
         if self._pool_starved(tenant):
-            core.fetch_failed(centry)
+            core.fetch_failed(centry, starved=True)
             self._wake_read_waiters(centry)
             return
         yield self._pool_acquire(tenant)

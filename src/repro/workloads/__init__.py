@@ -1,6 +1,8 @@
-"""Workload models: NAS LU footprints and synthetic raw-bandwidth writers."""
+"""Workload models: NAS LU footprints, synthetic raw-bandwidth writers
+and the mass-concurrent restart storm."""
 
 from .nas import NASClass, LU_CLASSES, lu_class, app_total_bytes
+from .restart_storm import RestartStormWorkload
 from .synthetic import RawWriteWorkload
 
 __all__ = [
@@ -9,4 +11,5 @@ __all__ = [
     "lu_class",
     "app_total_bytes",
     "RawWriteWorkload",
+    "RestartStormWorkload",
 ]

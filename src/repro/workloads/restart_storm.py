@@ -1,0 +1,88 @@
+"""Restart-storm workload: mass concurrent restore after a failure.
+
+The paper treats restart as a single-rank sequential read (Section
+V-F), but the CRIU-style failover scenarios in the related work make
+mass concurrent restore the hard case: N ranks on M nodes all re-read
+their checkpoint images at once after a node dies.  This module models
+that storm as data — per-rank image sizes, the sequential read-request
+plan, and deterministic arrival jitter — so the registry experiment and
+the perf harness replay the identical storm from the same seed.
+
+Arrivals are drawn per (node, rank) from the seeded RNG tree
+(``rng_for(seed, "storm/<node>/<rank>")``), uniform on ``[0,
+jitter_s)``: real failover restores do not start in lockstep (detection
+and scheduling skew spread them out), and the spread is itself a knob —
+``jitter_s=0`` is the synchronized worst case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import KiB, MiB
+from ..util.rng import rng_for
+
+__all__ = ["RestartStormWorkload"]
+
+
+@dataclass(frozen=True)
+class RestartStormWorkload:
+    """N ranks x M nodes concurrently restoring one image each."""
+
+    ranks: int = 8
+    nodes: int = 1
+    image_bytes: int = 8 * MiB
+    read_request: int = 256 * KiB
+    jitter_s: float = 0.0
+    #: Per-read restore work (CRIU-style page injection: map + copy the
+    #: pages just read before asking for more).  This is what readahead
+    #: overlaps with the next fetch; 0 models a pure read-back storm.
+    think_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.ranks < 1:
+            raise ValueError("need at least one rank")
+        if self.nodes < 1:
+            raise ValueError("need at least one node")
+        if self.image_bytes <= 0:
+            raise ValueError("image_bytes must be positive")
+        if self.read_request <= 0:
+            raise ValueError("read_request must be positive")
+        if self.jitter_s < 0:
+            raise ValueError("jitter_s must be >= 0")
+        if self.think_s < 0:
+            raise ValueError("think_s must be >= 0")
+
+    @property
+    def total_ranks(self) -> int:
+        return self.ranks * self.nodes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_ranks * self.image_bytes
+
+    def image_path(self, node: int, rank: int) -> str:
+        return f"/ckpt/node{node}/rank{rank}.img"
+
+    def arrival(self, seed: int, node: int, rank: int) -> float:
+        """This rank's restore start offset, uniform on [0, jitter_s)."""
+        if self.jitter_s == 0.0:
+            return 0.0
+        rng = rng_for(seed, f"storm/{node}/{rank}")
+        return float(rng.random() * self.jitter_s)
+
+    def arrivals(self, seed: int) -> list[tuple[int, int, float]]:
+        """Every (node, rank, arrival) of the storm, in spawn order."""
+        return [
+            (node, rank, self.arrival(seed, node, rank))
+            for node in range(self.nodes)
+            for rank in range(self.ranks)
+        ]
+
+    def read_plan(self) -> list[int]:
+        """One rank's sequential restore read-call sequence."""
+        full, rem = divmod(self.image_bytes, self.read_request)
+        sizes = [self.read_request] * full
+        if rem:
+            sizes.append(rem)
+        return sizes

@@ -50,7 +50,7 @@ class TestFramework:
             "table1", "fig3", "fig5", "table2",
             "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
             "restart", "internode", "crossplane", "faultsweep", "perfbench",
-            "tenant_storm",
+            "tenant_storm", "restart_storm",
         }
 
     def test_unknown_experiment(self):

@@ -305,6 +305,120 @@ class TestCLI:
         capsys.readouterr()
 
 
+# -- check-baseline: structural gate on the committed artifact ----------------
+
+
+class TestCheckBaseline:
+    def test_committed_baseline_is_structurally_sound(self):
+        from repro.perf.cli import check_baseline
+
+        baseline = load_artifact("benchmarks/baselines/baseline.json")
+        assert check_baseline(baseline) == []
+
+    def test_cli_passes_on_committed_baseline(self, capsys):
+        assert perf_main(["check-baseline"]) == 0
+        assert "baseline ok" in capsys.readouterr().out
+
+    def test_missing_scenario_is_reported_and_exits_nonzero(
+        self, tmp_path, capsys
+    ):
+        from repro.perf.cli import check_baseline
+
+        baseline = load_artifact("benchmarks/baselines/baseline.json")
+        broken = copy.deepcopy(baseline)
+        del broken["planes"]["sim"]["restart_storm"]
+        problems = check_baseline(broken)
+        assert any("restart_storm" in p and "missing" in p for p in problems)
+        path = dump_artifact(broken, tmp_path / "broken.json")
+        assert perf_main(["check-baseline", "--baseline", str(path)]) == 1
+        assert "restart_storm" in capsys.readouterr().err
+
+    def test_unknown_pinned_scenario_is_reported(self):
+        from repro.perf.cli import check_baseline
+
+        baseline = copy.deepcopy(
+            load_artifact("benchmarks/baselines/baseline.json")
+        )
+        baseline["planes"]["sim"]["mystery"] = copy.deepcopy(
+            baseline["planes"]["sim"]["single_writer_seq"]
+        )
+        assert any(
+            "mystery" in p for p in check_baseline(baseline)
+        )
+
+    def test_disengaged_machinery_is_reported(self):
+        from repro.perf.cli import check_baseline
+
+        baseline = copy.deepcopy(
+            load_artifact("benchmarks/baselines/baseline.json")
+        )
+        baseline["planes"]["sim"]["batched_writeback"]["stats"]["batch"][
+            "batches"
+        ] = 0
+        del baseline["planes"]["sim"]["restart_storm"]["stats"]["read"][
+            "window_grown"
+        ]
+        problems = check_baseline(baseline)
+        assert any("gather never coalesced" in p for p in problems)
+        assert any("window_grown" in p for p in problems)
+
+    def test_unreadable_baseline_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "absent.json"
+        assert perf_main(["check-baseline", "--baseline", str(missing)]) == 2
+        capsys.readouterr()
+
+
+# -- restart storm: adaptive readahead under contention -----------------------
+
+
+class TestRestartStorm:
+    def test_restore_metrics_surface_on_both_planes(self):
+        sim = run_scenario_sim(SCENARIOS["restart_storm"], SEED, fast=True)
+        real = run_scenario_real(SCENARIOS["restart_storm"], SEED, fast=True)
+        for m in (sim, real):
+            assert m["restore_span_s"] > 0
+            assert m["restore_latency_max_s"] > 0
+            # span covers first restart to last byte, so it bounds the
+            # slowest single rank's restore from above
+            assert m["restore_span_s"] >= m["restore_latency_max_s"]
+        # every rank's image came back through the read path
+        assert sim["stats"]["read"]["bytes_read"] == sim["bytes_in"]
+
+    def test_adaptive_beats_static_and_off_under_contention(self):
+        import dataclasses
+
+        storm = SCENARIOS["restart_storm"]
+        adaptive = run_scenario_sim(storm, SEED, fast=True)
+        static = run_scenario_sim(
+            dataclasses.replace(
+                storm, config=storm.config.with_(readahead_adaptive=False)
+            ),
+            SEED,
+            fast=True,
+        )
+        off = run_scenario_sim(
+            dataclasses.replace(
+                storm,
+                config=storm.config.with_(
+                    readahead_chunks=0, readahead_adaptive=False
+                ),
+            ),
+            SEED,
+            fast=True,
+        )
+        assert adaptive["restore_span_s"] < static["restore_span_s"]
+        assert adaptive["restore_span_s"] < off["restore_span_s"]
+        # the mis-tuned static window thrashes; the clamp does not
+        assert adaptive["stats"]["read"]["prefetch_wasted"] == 0
+        assert static["stats"]["read"]["prefetch_wasted"] > 0
+
+    def test_storm_scenario_is_seed_deterministic(self):
+        a = run_scenario_sim(SCENARIOS["restart_storm"], SEED, fast=True)
+        b = run_scenario_sim(SCENARIOS["restart_storm"], SEED, fast=True)
+        assert a["restore_span_s"] == b["restore_span_s"]
+        assert a["stats"]["read"] == b["stats"]["read"]
+
+
 # -- committed baseline stays reproducible ------------------------------------
 
 

@@ -21,6 +21,8 @@ from repro.config import CRFSConfig
 from repro.core import CRFS
 from repro.units import KiB
 
+pytestmark = pytest.mark.property
+
 CHUNK = 4 * KiB
 #: Offsets stay within this span: a handful of chunks, so random ops
 #: actually collide with chunk boundaries and cached entries.

@@ -25,6 +25,8 @@ from repro.core import CRFS
 from repro.errors import BackendIOError
 from repro.units import KiB
 
+pytestmark = pytest.mark.stress
+
 CHUNK = 16 * KiB
 NWRITERS = 8
 PER_WRITER = 8 * CHUNK  # bytes each writer streams

@@ -15,9 +15,13 @@ Pure-kernel properties on :class:`repro.pipeline.tenancy.DRRScheduler`
 This file runs in the CI stress/property step, not the tier-1 lane.
 """
 
+import pytest
+
 from hypothesis import given, settings, strategies as st
 
 from repro.pipeline.tenancy import DEFAULT_TENANT, DRRScheduler
+
+pytestmark = pytest.mark.property
 
 #: tenant name -> weight; two to four tenants, small integer weights so
 #: a full DRR round (sum of weights) stays cheap to saturate.

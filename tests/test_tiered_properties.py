@@ -26,6 +26,8 @@ from repro.config import CRFSConfig
 from repro.core import CRFS
 from repro.units import KiB
 
+pytestmark = pytest.mark.property
+
 CHUNK = 16 * KiB
 
 FAST = dict(retry_backoff=1e-4, retry_backoff_max=1e-3, retry_jitter=0.0)

@@ -16,6 +16,8 @@ from repro.config import CRFSConfig
 from repro.core import CRFS
 from repro.units import KiB
 
+pytestmark = pytest.mark.stress
+
 CHUNK = 16 * KiB
 POOL_CHUNKS = 8
 NFILES = 4
