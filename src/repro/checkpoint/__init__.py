@@ -15,6 +15,14 @@
 from .sizedist import BucketSpec, TABLE1_BUCKETS, WriteSizeDistribution
 from .image import MemoryRegion, ProcessImage
 from .blcr import BLCRWriter, CheckpointStats
+from .llm import LLMCheckpointPlan
+from .manifest import (
+    MANIFEST_MAGIC,
+    MANIFEST_VERSION,
+    Manifest,
+    generation_path,
+    manifest_path,
+)
 from .restart import restore_image, restore_via_mount, verify_roundtrip, RestartError
 
 __all__ = [
@@ -25,6 +33,12 @@ __all__ = [
     "ProcessImage",
     "BLCRWriter",
     "CheckpointStats",
+    "LLMCheckpointPlan",
+    "MANIFEST_MAGIC",
+    "MANIFEST_VERSION",
+    "Manifest",
+    "generation_path",
+    "manifest_path",
     "restore_image",
     "restore_via_mount",
     "verify_roundtrip",

@@ -1,0 +1,85 @@
+"""The LLM checkpoint personality.
+
+BLCR traffic (Table I) is one process image dumped whole per epoch; LLM
+training traffic is the opposite shape: a handful of huge tensor-shard
+files, checkpointed at every iteration boundary, with most bytes
+unchanged between iterations (the optimizer touches a slice of the
+state).  :class:`LLMCheckpointPlan` captures that personality as pure
+bookkeeping — shard paths, per-iteration cadence, and a deterministic
+dirty-chunk draw at a configurable dirty fraction — which the delta
+kernel (:mod:`repro.pipeline.delta`) turns into incremental write
+plans on either plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import MiB
+from ..util.rng import rng_for
+
+__all__ = ["LLMCheckpointPlan"]
+
+
+@dataclass(frozen=True)
+class LLMCheckpointPlan:
+    """Cadence-checkpoint shape for one training job.
+
+    ``dirty_chunks`` draws are pure functions of ``(seed, shard,
+    iteration)`` — two runs of the same plan at the same seed declare
+    identical dirty sets on either plane.
+    """
+
+    #: How many tensor-shard files the job checkpoints ("few huge
+    #: files", not one-per-rank).
+    shards: int = 2
+    #: Logical bytes per shard file.
+    shard_bytes: int = 4 * MiB
+    #: Checkpoint generations (iteration boundaries) per run.
+    iterations: int = 8
+    #: Fraction of each shard's chunks the optimizer dirtied since the
+    #: last iteration (1.0 = full rewrite every iteration).
+    dirty_fraction: float = 0.25
+    #: Shard files are named ``<path_prefix><shard>.ckpt``.
+    path_prefix: str = "/shard"
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.shard_bytes < 1:
+            raise ValueError(f"shard_bytes must be >= 1, got {self.shard_bytes}")
+        if self.iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {self.iterations}")
+        if not 0.0 < self.dirty_fraction <= 1.0:
+            raise ValueError(
+                f"dirty_fraction must be in (0, 1], got {self.dirty_fraction}"
+            )
+
+    def shard_path(self, shard: int) -> str:
+        return f"{self.path_prefix}{shard}.ckpt"
+
+    def nchunks(self, chunk_size: int) -> int:
+        return (self.shard_bytes + chunk_size - 1) // chunk_size
+
+    def dirty_count(self, chunk_size: int) -> int:
+        """Chunks dirtied per post-gen-0 iteration (at least one — an
+        iteration that changed nothing would not checkpoint)."""
+        return max(1, round(self.dirty_fraction * self.nchunks(chunk_size)))
+
+    def dirty_chunks(
+        self, seed: int, shard: int, iteration: int, chunk_size: int
+    ) -> tuple[int, ...] | None:
+        """The dirty-chunk declaration for one (shard, iteration).
+
+        Iteration 0 returns ``None`` — the first checkpoint of a chain
+        is always a full dump.  Later iterations draw a deterministic
+        ``dirty_fraction`` subset of the shard's chunks.
+        """
+        if iteration == 0:
+            return None
+        rng = rng_for(
+            seed, f"llm/{self.path_prefix}/shard{shard}/iter{iteration}"
+        )
+        n = self.nchunks(chunk_size)
+        picks = rng.choice(n, size=min(self.dirty_count(chunk_size), n), replace=False)
+        return tuple(sorted(int(i) for i in picks))

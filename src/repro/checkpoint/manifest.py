@@ -1,0 +1,149 @@
+"""The delta-checkpoint manifest format (``repro.checkpoint.manifest``).
+
+An incremental checkpoint chain stores each generation's dirty chunks
+in its own generation file (``<path>.g<N>``) and records, per chunk of
+the *logical* image, which generation owns the current bytes.  That
+ownership map is the manifest (``<path>.manifest``): a canonical-JSON
+body followed by its SHA-256, so a torn or stale manifest write fails
+validation loudly (:class:`~repro.errors.ManifestError`) instead of
+silently reassembling the wrong generation.
+
+The module is deliberately dependency-light (json + hashlib + the error
+hierarchy) so the plane-agnostic delta kernel
+(:mod:`repro.pipeline.delta`) can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from ..errors import ManifestError
+
+__all__ = [
+    "MANIFEST_MAGIC",
+    "MANIFEST_VERSION",
+    "Manifest",
+    "generation_path",
+    "manifest_path",
+]
+
+MANIFEST_MAGIC = "repro.checkpoint.manifest"
+MANIFEST_VERSION = 1
+
+
+def generation_path(path: str, generation: int) -> str:
+    """The generation file holding ``generation``'s dirty chunks."""
+    return f"{path}.g{generation}"
+
+
+def manifest_path(path: str) -> str:
+    """The manifest file beside the logical checkpoint path."""
+    return f"{path}.manifest"
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """Chunk-ownership map for one logical checkpoint image.
+
+    ``owners[i]`` is the generation whose generation file holds chunk
+    ``i``'s current bytes, at that chunk's logical offset.  The final
+    chunk may be partial (``logical_size`` clips it).
+    """
+
+    path: str
+    generation: int
+    chunk_size: int
+    logical_size: int
+    owners: tuple[int, ...]
+
+    @property
+    def nchunks(self) -> int:
+        return len(self.owners)
+
+    def chunk_length(self, index: int) -> int:
+        """Chunk ``index``'s length, clipped at the logical image end."""
+        return min(self.chunk_size, self.logical_size - index * self.chunk_size)
+
+    def owner_runs(self) -> list[tuple[int, int, int, int]]:
+        """Contiguous same-owner chunk runs, as ``(generation,
+        file_offset, length, chunks)`` — the reassembly read plan
+        restore executes (one read per run, served through the normal
+        read path of the owning generation file)."""
+        runs: list[tuple[int, int, int, int]] = []
+        i = 0
+        while i < self.nchunks:
+            gen = self.owners[i]
+            start = i
+            length = 0
+            while i < self.nchunks and self.owners[i] == gen:
+                length += self.chunk_length(i)
+                i += 1
+            runs.append((gen, start * self.chunk_size, length, i - start))
+        return runs
+
+    def to_bytes(self) -> bytes:
+        """Canonical serialized form: one JSON line + its SHA-256 line."""
+        body = json.dumps(
+            {
+                "magic": MANIFEST_MAGIC,
+                "version": MANIFEST_VERSION,
+                "path": self.path,
+                "generation": self.generation,
+                "chunk_size": self.chunk_size,
+                "logical_size": self.logical_size,
+                "owners": list(self.owners),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode()
+        digest = hashlib.sha256(body).hexdigest().encode()
+        return body + b"\n" + digest + b"\n"
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "Manifest":
+        """Parse and validate; any tear or mismatch raises loudly."""
+        lines = raw.split(b"\n")
+        if len(lines) < 3 or lines[2] != b"" or not lines[0] or not lines[1]:
+            raise ManifestError("torn manifest: expected body + checksum lines")
+        body, digest = lines[0], lines[1]
+        if hashlib.sha256(body).hexdigest().encode() != digest:
+            raise ManifestError("manifest checksum mismatch (torn write?)")
+        try:
+            doc = json.loads(body)
+        except ValueError as exc:
+            raise ManifestError(f"manifest body is not valid JSON: {exc}") from exc
+        if doc.get("magic") != MANIFEST_MAGIC:
+            raise ManifestError(f"bad manifest magic: {doc.get('magic')!r}")
+        if doc.get("version") != MANIFEST_VERSION:
+            raise ManifestError(f"unsupported manifest version: {doc.get('version')!r}")
+        try:
+            manifest = cls(
+                path=doc["path"],
+                generation=doc["generation"],
+                chunk_size=doc["chunk_size"],
+                logical_size=doc["logical_size"],
+                owners=tuple(doc["owners"]),
+            )
+        except KeyError as exc:
+            raise ManifestError(f"manifest missing field {exc}") from exc
+        manifest._validate_shape()
+        return manifest
+
+    def _validate_shape(self) -> None:
+        if self.chunk_size <= 0:
+            raise ManifestError(f"bad chunk_size {self.chunk_size}")
+        if self.logical_size < 0:
+            raise ManifestError(f"bad logical_size {self.logical_size}")
+        expected = (self.logical_size + self.chunk_size - 1) // self.chunk_size
+        if len(self.owners) != expected:
+            raise ManifestError(
+                f"owner map has {len(self.owners)} chunks, logical size "
+                f"{self.logical_size} at chunk {self.chunk_size} needs {expected}"
+            )
+        for gen in self.owners:
+            if not isinstance(gen, int) or gen < 0 or gen > self.generation:
+                raise ManifestError(
+                    f"owner {gen!r} outside generations 0..{self.generation}"
+                )

@@ -118,6 +118,12 @@ class CRFSConfig:
     #: write-through durability.  0 returns at tier-0 (staging) speed.
     #: Ignored by single-backend mounts.
     fsync_tier: int = -1
+    #: Incremental (delta) checkpointing: fsync the manifest file before
+    #: a generation commits.  True (the default) makes the manifest the
+    #: durable commit point of the chain; False is the ablation arm
+    #: (cadence latency without the manifest barrier — a crash can then
+    #: tear the manifest, which restore detects via its checksum).
+    delta_manifest_sync: bool = True
     #: Pump workers migrating staged extents tier-to-tier in the
     #: background (per tiered mount, not per tier).
     tier_pump_threads: int = 1

@@ -43,6 +43,7 @@ from ..pipeline.readahead import ReadaheadCore
 from ..pipeline.resilience import BackendHealth, run_attempts
 from ..pipeline.tenancy import DRRScheduler, PoolLedger
 from .buffer_pool import BufferPool
+from .delta import DeltaCheckpointer
 from .filetable import FileEntry, OpenFileTable
 from .handle import CRFSFile
 from .iopool import IOThreadPool, WorkItem
@@ -134,6 +135,7 @@ class CRFS:
             batch_chunks=config.writeback_batch_chunks,
         )
         self.table = OpenFileTable()
+        self.delta = DeltaCheckpointer(self)
         self._mounted = False
         self._lifecycle = threading.Lock()
 
@@ -473,6 +475,24 @@ class CRFS:
         data = cache.read(size, offset, file_size)
         entry.pipeline.note_read(offset, size, start=t0)
         return data
+
+    # -- incremental (delta) checkpointing --------------------------------------
+
+    def delta_checkpoint(
+        self,
+        path: str,
+        image: bytes | bytearray | memoryview,
+        dirty: Iterable[int] | None = None,
+        tenant: str | None = None,
+    ):
+        """Commit one delta generation of ``path`` (see
+        :class:`~repro.core.delta.DeltaCheckpointer`)."""
+        return self.delta.checkpoint(path, image, dirty=dirty, tenant=tenant)
+
+    def delta_restore(self, path: str, tenant: str | None = None) -> bytes:
+        """Reassemble ``path``'s current image across its generation
+        chain, consulting the manifest."""
+        return self.delta.restore(path, tenant=tenant)
 
     # -- namespace passthrough (Section IV-D3) -----------------------------------
 

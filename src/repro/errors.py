@@ -24,6 +24,7 @@ __all__ = [
     "NoSpace",
     "BackendIOError",
     "BackendTimeoutError",
+    "ManifestError",
     "ShutdownError",
     "QueueFullTimeout",
     "SimulationError",
@@ -125,6 +126,15 @@ class BackendTimeoutError(BackendIOError):
 
     def __init__(self, msg: str = "backend operation timed out"):
         super().__init__(msg)
+
+
+class ManifestError(CRFSError):
+    """A delta-checkpoint manifest is torn, stale or mismatched.
+
+    Restore must fail loudly on a manifest whose checksum, magic,
+    version or shape does not validate — silently reassembling a stale
+    generation would hand the application a corrupt image.
+    """
 
 
 class ShutdownError(CRFSError):

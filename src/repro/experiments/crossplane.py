@@ -31,6 +31,7 @@ from ..simio.tiered import TieredSimFilesystem
 from ..units import KiB, MiB
 from ..util.rng import rng_for
 from ..util.tables import TextTable
+from ..workloads import LLMCadenceWorkload
 from .base import Check, ExperimentResult
 from .common import DEFAULT_SEED
 
@@ -53,7 +54,28 @@ COMPARED_FIELDS = (
     "resilience",
     "batch",
     "tiers",
+    "delta",
 )
+
+#: Delta-arm snapshot fields compared whole (the read section is
+#: compared through :data:`DELTA_READ_FIELDS` instead: prefetches still
+#: in flight when restore closes a generation file are a thread race on
+#: the functional plane, so the prefetch lifecycle counters are timing,
+#: not workload).
+DELTA_COMPARED_FIELDS = (
+    "delta",
+    "writes",
+    "bytes_in",
+    "write_through_bytes",
+    "chunks_written",
+    "bytes_out",
+    "io_errors",
+    "seals",
+    "open_files",
+)
+
+#: The workload-determined subset of the delta arm's read section.
+DELTA_READ_FIELDS = ("reads", "bytes_read", "hits", "misses")
 
 #: Restart read-back request size (both planes replay the same stream).
 READ_REQUEST = 48 * KiB
@@ -475,6 +497,82 @@ def _timing_tiered_stats(
     return stats
 
 
+#: Shard sized to an uneven tail chunk (16 whole chunks + 100 bytes) so
+#: the chain exercises tail-clipping on every generation.
+_DELTA_SHARD_BYTES = 1 * MiB + 100
+_DELTA_ITERATIONS = 4
+
+
+def _delta_config() -> CRFSConfig:
+    # Pool of 64 chunks: restore holds several generation files' caches
+    # at once, and a starved pool makes prefetch drops a thread race on
+    # the functional plane — a generous pool keeps every compared
+    # counter workload-determined.
+    return CRFSConfig(
+        chunk_size=64 * KiB,
+        pool_size=64 * 64 * KiB,
+        io_threads=2,
+        read_cache_chunks=4,
+        readahead_chunks=2,
+    )
+
+
+def _delta_workload() -> LLMCadenceWorkload:
+    return LLMCadenceWorkload(
+        shards=2,
+        shard_bytes=_DELTA_SHARD_BYTES,
+        iterations=_DELTA_ITERATIONS,
+        dirty_fraction=0.25,
+    )
+
+
+def _functional_delta_stats(config: CRFSConfig, seed: int) -> dict[str, Any]:
+    wl = _delta_workload()
+    cs = config.chunk_size
+    nchunks = wl.nchunks(cs)
+    fs = CRFS(MemBackend(), config)
+    with fs:
+        images = {s: bytearray(wl.shard_bytes) for s in range(wl.shards)}
+        for iteration, shard, dirty in wl.schedule(seed, cs):
+            img = images[shard]
+            # Each generation fills its dirty chunks with its own byte
+            # value: a restore that resolves any chunk to the wrong
+            # generation cannot match the reference image.
+            for c in range(nchunks) if dirty is None else dirty:
+                lo, hi = c * cs, min((c + 1) * cs, len(img))
+                img[lo:hi] = bytes([iteration + 1]) * (hi - lo)
+            fs.delta_checkpoint(wl.shard_path(shard), img, dirty)
+        for shard in range(wl.shards):
+            restored = fs.delta_restore(wl.shard_path(shard))
+            if restored != bytes(images[shard]):
+                raise AssertionError(
+                    f"shard {shard}: delta restore diverged from the "
+                    "reference image"
+                )
+    return fs.stats()
+
+
+def _timing_delta_stats(config: CRFSConfig, seed: int) -> dict[str, Any]:
+    wl = _delta_workload()
+    sim = Simulator()
+    hw = DEFAULT_HW
+    membus = SharedBandwidth(sim, hw.membus_bandwidth)
+    backend = NullSimFilesystem(sim, hw, rng_for(seed, "crossplane/delta"))
+    crfs = SimCRFS(sim, hw, config, backend, membus)
+
+    def proc():
+        for _iteration, shard, dirty in wl.schedule(seed, config.chunk_size):
+            yield from crfs.delta_checkpoint(
+                wl.shard_path(shard), wl.shard_bytes, dirty
+            )
+        for shard in range(wl.shards):
+            yield from crfs.delta_restore(wl.shard_path(shard))
+
+    sim.run_until_complete([sim.spawn(proc())])
+    crfs.shutdown()
+    return crfs.stats()
+
+
 def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
     sizes = _workload(seed, fast)
     # Pool of 4 chunks, cache of 4, window of 2: reads start after the
@@ -561,6 +659,35 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
                 "yes" if match else "NO",
             ]
         )
+
+    dconfig = _delta_config()
+    dfunc = _functional_delta_stats(dconfig, seed)
+    dtiming = _timing_delta_stats(dconfig, seed)
+    for key in DELTA_COMPARED_FIELDS:
+        match = dfunc[key] == dtiming[key]
+        if not match:
+            mismatches.append(f"delta.{key}")
+        table.add_row(
+            [
+                f"delta.{key}",
+                str(dfunc[key]),
+                str(dtiming[key]),
+                "yes" if match else "NO",
+            ]
+        )
+    dfunc_read = {k: dfunc["read"][k] for k in DELTA_READ_FIELDS}
+    dtiming_read = {k: dtiming["read"][k] for k in DELTA_READ_FIELDS}
+    match = dfunc_read == dtiming_read
+    if not match:
+        mismatches.append("delta.read")
+    table.add_row(
+        [
+            "delta.read",
+            str(dfunc_read),
+            str(dtiming_read),
+            "yes" if match else "NO",
+        ]
+    )
 
     tiered: dict[str, tuple[dict[str, Any], dict[str, Any]]] = {}
     for arm, faulted in (("tiered", False), ("tiered_faulted", True)):
@@ -653,6 +780,26 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
             and bfunc["batch"]["batches"] > 0
             and bfunc["batch"]["chunks"] == _BATCH_RUN_CHUNKS,
             f"batch section: {bfunc['batch']}",
+        ),
+        Check(
+            "gated delta arm: stats()['delta'] bit-identical and the "
+            "chain actually shared chunks across generations",
+            dfunc["delta"] == dtiming["delta"]
+            and dfunc["delta"]["generations"]
+            == _DELTA_ITERATIONS * _delta_workload().shards
+            and dfunc["delta"]["clean_chunks"] > 0
+            and dfunc["delta"]["restores"] == _delta_workload().shards
+            and 0
+            < dfunc["delta"]["bytes_written"]
+            < dfunc["delta"]["logical_bytes"],
+            f"delta section: {dfunc['delta']}",
+        ),
+        Check(
+            "delta-free arms leave the delta section at zero "
+            "(the section is pinned in the schema either way)",
+            all(v == 0 for v in func["delta"].values())
+            and func["delta"] == timing["delta"],
+            f"main-arm delta section: {func['delta']}",
         ),
         Check(
             "per-tenant accounting bit-identical across planes",

@@ -109,6 +109,28 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
     # mis-tuned static loses even to readahead-off — that inversion is
     # the point: a wrong knob is worse than no knob, and adaptivity is
     # what makes the knob safe to ship.  Full image size, as above.
+    # Delta ablation: the LLM cadence scenario with incremental
+    # checkpointing knocked out (delta_dirty_fraction=1.0 — every
+    # generation a full rewrite) must move ~3x the bytes through the
+    # pipeline; the virtual-clock proof the delta path pays for itself,
+    # gated at dirty_fraction + 0.1 so the manifest/bookkeeping overhead
+    # stays honest.  Substituting the full-rewrite metrics into the
+    # artifact must then trip the compare gate (bytes_in is exact):
+    # the committed baseline really does pin delta on.
+    lc = SCENARIOS["llm_cadence"]
+    lc_on = run_scenario_sim(lc, seed=seed, fast=fast)
+    lc_off = run_scenario_sim(
+        dataclasses.replace(lc, delta_dirty_fraction=1.0), seed=seed, fast=fast
+    )
+    lc_delta = lc_on["stats"]["delta"]
+    lc_full = lc_off["stats"]["delta"]
+    lc_bytes_ratio = lc_delta["bytes_written"] / lc_full["bytes_written"]
+    lc_restore_ratio = lc_on["restore_span_s"] / lc_off["restore_span_s"]
+
+    full_rewrite = copy.deepcopy(second)
+    full_rewrite["planes"]["sim"]["llm_cadence"] = lc_off
+    full_rewrite_report = compare_artifacts(full_rewrite, first)
+
     st_scn = SCENARIOS["restart_storm"]
     st_ad = run_scenario_sim(st_scn, seed=seed)
     st_static = run_scenario_sim(
@@ -207,6 +229,42 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
             f"wasted prefetches: adaptive "
             f"{st_ad['stats']['read']['prefetch_wasted']}, static "
             f"{st_static['stats']['read']['prefetch_wasted']}",
+        ),
+        Check(
+            "delta checkpointing writes at most dirty_fraction + 0.1 "
+            "of the full-rewrite bytes",
+            0 < lc_bytes_ratio <= lc.delta_dirty_fraction + 0.1,
+            f"{lc_delta['bytes_written']} vs {lc_full['bytes_written']} "
+            f"bytes (ratio {lc_bytes_ratio:.4f}, "
+            f"gate {lc.delta_dirty_fraction + 0.1:.2f})",
+        ),
+        Check(
+            "the full-rewrite arm really rewrote everything while the "
+            "delta arm shared chunks",
+            lc_full["bytes_written"] == lc_full["logical_bytes"]
+            and lc_full["clean_chunks"] == 0
+            and lc_delta["clean_chunks"] > 0,
+            f"full-rewrite: {lc_full['bytes_written']} of "
+            f"{lc_full['logical_bytes']} logical bytes; delta arm kept "
+            f"{lc_delta['clean_chunks']} chunks clean",
+        ),
+        Check(
+            "restore-from-chain stays within 2x of the single-image "
+            "restore",
+            0 < lc_restore_ratio <= 2.0,
+            f"span {lc_on['restore_span_s']:.4f}s across the chain vs "
+            f"{lc_off['restore_span_s']:.4f}s single-image "
+            f"({lc_restore_ratio:.2f}x)",
+        ),
+        Check(
+            "substituting the full-rewrite arm trips the compare gate",
+            not full_rewrite_report.ok
+            and any(
+                d.scenario == "llm_cadence" and d.metric == "bytes_in"
+                for d in full_rewrite_report.regressions
+            ),
+            f"regressions: "
+            f"{[(d.scenario, d.metric) for d in full_rewrite_report.regressions]}",
         ),
         Check(
             "disabling batching fails the goodput gate",

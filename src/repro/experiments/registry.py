@@ -26,6 +26,7 @@ from . import (
     fig10,
     fig11,
     internode,
+    llm_cadence,
     perfbench,
     restart,
     restart_storm,
@@ -55,6 +56,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "perfbench": perfbench.run,  # repo artifact: perf-regression gate
     "tenant_storm": tenant_storm.run,  # repo artifact: multi-tenant isolation
     "restart_storm": restart_storm.run,  # repo artifact: mass concurrent restore
+    "llm_cadence": llm_cadence.run,  # repo artifact: incremental checkpoint cadence
 }
 
 

@@ -7,7 +7,16 @@ coordinated checkpoint protocol (suspend communication → BLCR-dump every
 rank → resume).
 """
 
-from .stacks import MPIStack, MVAPICH2, OPENMPI, MPICH2, ALL_STACKS, stack_by_name
+from .stacks import (
+    MPIStack,
+    MVAPICH2,
+    OPENMPI,
+    MPICH2,
+    ALL_STACKS,
+    LLM,
+    LLMStack,
+    stack_by_name,
+)
 from .job import MPIJob, RankPlacement
 from .coordinator import (
     CheckpointCoordinator,
@@ -21,6 +30,8 @@ __all__ = [
     "OPENMPI",
     "MPICH2",
     "ALL_STACKS",
+    "LLM",
+    "LLMStack",
     "stack_by_name",
     "MPIJob",
     "RankPlacement",

@@ -17,7 +17,16 @@ from dataclasses import dataclass
 
 from ..units import MB
 
-__all__ = ["MPIStack", "MVAPICH2", "OPENMPI", "MPICH2", "ALL_STACKS", "stack_by_name"]
+__all__ = [
+    "MPIStack",
+    "MVAPICH2",
+    "OPENMPI",
+    "MPICH2",
+    "ALL_STACKS",
+    "stack_by_name",
+    "LLMStack",
+    "LLM",
+]
 
 
 @dataclass(frozen=True)
@@ -72,6 +81,53 @@ MPICH2 = MPIStack(
     suspend_time=0.05,
     resume_time=0.06,
 )
+
+@dataclass(frozen=True)
+class LLMStack:
+    """The LLM-training checkpoint personality.
+
+    Deliberately *not* an :class:`MPIStack` and not in ``ALL_STACKS``
+    (Table II stays the paper's three rows): the traffic shape is
+    different in kind, not just in numbers.  Instead of one image per
+    rank per epoch, the job checkpoints a few huge tensor-shard files at
+    every iteration boundary, and between iterations only a
+    ``dirty_fraction`` of each shard's bytes changed — the shape the
+    delta-checkpoint kernel exists for.
+    """
+
+    name: str = "LLM"
+    transport: str = "RDMA"
+    #: Shard files per job (data-parallel groups dump one shard each).
+    shards: int = 2
+    #: Serialization framing per shard beyond raw tensor bytes.
+    shard_overhead: int = int(0.25 * MB)
+    #: Checkpoint every k training iterations (1 = every iteration).
+    checkpoint_every_iters: int = 1
+    #: Fraction of each shard's chunks dirtied per iteration.
+    dirty_fraction: float = 0.25
+
+    @property
+    def tag(self) -> str:
+        return f"{self.name}-{self.transport}"
+
+    def shard_size(self, model_total_bytes: int) -> int:
+        """Per-shard checkpoint file size for a model of the given
+        total state (parameters + optimizer)."""
+        if self.shards <= 0:
+            raise ValueError(f"shards must be positive, got {self.shards}")
+        return model_total_bytes // self.shards + self.shard_overhead
+
+    def job_checkpoint_size(self, model_total_bytes: int) -> int:
+        """Logical bytes per checkpoint generation (all shards)."""
+        return self.shard_size(model_total_bytes) * self.shards
+
+    def delta_bytes_per_checkpoint(self, model_total_bytes: int) -> int:
+        """Approximate bytes a *delta* generation writes (steady state,
+        after generation 0): the dirty fraction of every shard."""
+        return int(self.job_checkpoint_size(model_total_bytes) * self.dirty_fraction)
+
+
+LLM = LLMStack()
 
 ALL_STACKS = (MVAPICH2, OPENMPI, MPICH2)
 

@@ -169,6 +169,24 @@ def check_baseline(baseline: dict[str, Any]) -> list[str]:
         if not scenarios["restart_storm"]["restore_span_s"] > 0:
             problems.append("restart_storm: restore_span_s not positive")
 
+    delta = sub("llm_cadence", "stats", "delta")
+    if delta is not None:
+        if not delta.get("generations", 0) > 0:
+            problems.append("llm_cadence: no delta generations committed")
+        if not 0 < delta.get("bytes_written", 0) < delta.get("logical_bytes", 0):
+            problems.append(
+                "llm_cadence: delta bytes_written not strictly below the "
+                "full-rewrite logical bytes — the delta path never saved "
+                f"anything: {delta}"
+            )
+        if not delta.get("restores", 0) > 0:
+            problems.append("llm_cadence: no chain restore in the baseline")
+        if not delta.get("reassembly_reads", 0) > 0:
+            problems.append("llm_cadence: restore never read a reassembly run")
+    if sub("llm_cadence", "restore_span_s") is not None:
+        if not scenarios["llm_cadence"]["restore_span_s"] > 0:
+            problems.append("llm_cadence: restore_span_s not positive")
+
     return problems
 
 

@@ -40,6 +40,7 @@ from ..simio.params import DEFAULT_HW
 from ..simio.tiered import TieredSimFilesystem
 from ..units import MiB
 from ..util.rng import rng_for
+from ..workloads import LLMCadenceWorkload
 from .scenarios import Scenario, default_scenarios
 
 __all__ = [
@@ -109,6 +110,22 @@ def _metrics(
     return out
 
 
+def _delta_workload(scenario: Scenario, fast: bool) -> LLMCadenceWorkload | None:
+    """The LLM cadence schedule for a delta scenario (None otherwise).
+
+    One source of truth for the dirty-chunk draws: both planes (and the
+    experiments) replay the same ``rng_for``-derived schedule, so the
+    delta stats section is a pure function of (scenario, seed)."""
+    if scenario.delta_generations <= 0:
+        return None
+    return LLMCadenceWorkload(
+        shards=scenario.nwriters,
+        shard_bytes=scenario.image_for(0, fast),
+        iterations=scenario.delta_generations,
+        dirty_fraction=scenario.delta_dirty_fraction,
+    )
+
+
 # -- sim plane ----------------------------------------------------------------
 
 
@@ -140,10 +157,23 @@ def run_scenario_sim(scenario: Scenario, seed: int, fast: bool = False) -> dict[
     recorder = LatencyRecorder()
     crfs = SimCRFS(sim, hw, scenario.config, backend, membus, observers=(recorder,))
 
+    cadence = _delta_workload(scenario, fast)
     workloads = [
-        scenario.sizes(seed, i, fast) for i in range(scenario.nwriters)
+        [] if cadence else scenario.sizes(seed, i, fast)
+        for i in range(scenario.nwriters)
     ]
     restore_marks: list[tuple[float, float]] = []
+
+    def delta_writer(index: int):
+        path = scenario.path(index)
+        nbytes = scenario.image_for(index, fast)
+        cs = scenario.config.chunk_size
+        for gen in range(scenario.delta_generations):
+            dirty = cadence.dirty_chunks(seed, index, gen, cs)
+            yield from crfs.delta_checkpoint(path, nbytes, dirty)
+        t0 = sim.now
+        yield from crfs.delta_restore(path)
+        restore_marks.append((t0, sim.now))
 
     def writer(index: int):
         f = crfs.open(scenario.path(index))
@@ -171,8 +201,9 @@ def run_scenario_sim(scenario: Scenario, seed: int, fast: bool = False) -> dict[
             restore_marks.append((t0, sim.now))
         yield from crfs.close(f)
 
+    make_writer = delta_writer if cadence is not None else writer
     procs = [
-        sim.spawn(writer(i), name=f"perf-{scenario.name}-w{i}")
+        sim.spawn(make_writer(i), name=f"perf-{scenario.name}-w{i}")
         for i in range(scenario.nwriters)
     ]
     sim.run_until_complete(procs)
@@ -186,12 +217,20 @@ def run_scenario_sim(scenario: Scenario, seed: int, fast: bool = False) -> dict[
             [sim.spawn(crfs.drain_staging(), name="pump-drain")]
         )
     crfs.shutdown()
+    stats = crfs.stats()
+    if cadence is not None:
+        # Delta mode has no precomputed write stream: the bytes the
+        # pipeline accepted (dirty extents only) are the workload.
+        total_bytes, nwrites = stats["bytes_in"], stats["writes"]
+    else:
+        total_bytes = sum(sum(w) for w in workloads)
+        nwrites = sum(len(w) for w in workloads)
     return _metrics(
-        total_bytes=sum(sum(w) for w in workloads),
-        nwrites=sum(len(w) for w in workloads),
+        total_bytes=total_bytes,
+        nwrites=nwrites,
         elapsed=elapsed,
         recorder=recorder,
-        stats=crfs.stats(),
+        stats=stats,
         restore_marks=restore_marks,
     )
 
@@ -223,13 +262,43 @@ def run_scenario_real(
         recorder = LatencyRecorder()
         fs = CRFS(backend, scenario.config, observers=(recorder,))
 
+        cadence = _delta_workload(scenario, fast)
         workloads = [
-            scenario.sizes(seed, i, fast) for i in range(scenario.nwriters)
+            [] if cadence else scenario.sizes(seed, i, fast)
+            for i in range(scenario.nwriters)
         ]
-        payload = bytes(max(max(w) for w in workloads if w))
+        payload = (
+            b"" if cadence else bytes(max(max(w) for w in workloads if w))
+        )
         failures: list[BaseException] = []
         restore_marks: list[tuple[float, float]] = []
         marks_lock = threading.Lock()
+
+        def delta_writer(index: int) -> None:
+            # Real bytes keep the reassembly honest: each generation
+            # fills its dirty chunks with its own byte value, so a
+            # restore that picks the wrong generation for any chunk
+            # cannot match the reference image.
+            try:
+                cs = scenario.config.chunk_size
+                nbytes = scenario.image_for(index, fast)
+                path = scenario.path(index)
+                image = bytearray(nbytes)
+                nchunks = (nbytes + cs - 1) // cs
+                for gen in range(scenario.delta_generations):
+                    dirty = cadence.dirty_chunks(seed, index, gen, cs)
+                    for c in range(nchunks) if dirty is None else dirty:
+                        lo, hi = c * cs, min((c + 1) * cs, nbytes)
+                        image[lo:hi] = bytes([gen % 256]) * (hi - lo)
+                    fs.delta_checkpoint(path, image, dirty)
+                t0 = time.perf_counter()
+                restored = fs.delta_restore(path)
+                if restored != bytes(image):
+                    raise AssertionError(f"{path}: delta restore mismatch")
+                with marks_lock:
+                    restore_marks.append((t0, time.perf_counter()))
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                failures.append(exc)
 
         def writer(index: int) -> None:
             try:
@@ -254,10 +323,11 @@ def run_scenario_real(
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 failures.append(exc)
 
+        target = delta_writer if cadence is not None else writer
         start = time.perf_counter()
         with fs:
             threads = [
-                threading.Thread(target=writer, args=(i,), name=f"perf-w{i}")
+                threading.Thread(target=target, args=(i,), name=f"perf-w{i}")
                 for i in range(scenario.nwriters)
             ]
             for t in threads:
@@ -267,12 +337,18 @@ def run_scenario_real(
         elapsed = time.perf_counter() - start
         if failures:
             raise failures[0]
+        stats = fs.stats()
+        if cadence is not None:
+            total_bytes, nwrites = stats["bytes_in"], stats["writes"]
+        else:
+            total_bytes = sum(sum(w) for w in workloads)
+            nwrites = sum(len(w) for w in workloads)
         return _metrics(
-            total_bytes=sum(sum(w) for w in workloads),
-            nwrites=sum(len(w) for w in workloads),
+            total_bytes=total_bytes,
+            nwrites=nwrites,
             elapsed=elapsed,
             recorder=recorder,
-            stats=fs.stats(),
+            stats=stats,
             restore_marks=restore_marks,
         )
 

@@ -32,6 +32,11 @@ must keep honest:
   chunk writebacks complete at tier-0 (staging) speed while batch-aware
   background pumps migrate extents to the deep tier; writers finish at
   tier-0 completion time, the pump drains after.
+* ``llm_cadence`` — the LLM trainer personality: two tensor-shard
+  files checkpoint a deterministic dirty quarter of their chunks every
+  iteration through the delta pipeline (generation 0 is a full dump),
+  then each restore reassembles the current image across the
+  generation chain through the readahead cache.
 
 Workloads are derived from ``rng_for(seed, "perf/<scenario>/<writer>")``
 so every writer's byte stream is a pure function of the seed — two runs
@@ -109,6 +114,14 @@ class Scenario:
     #: bigger burst than its victims); empty = everyone writes
     #: ``image_size`` bytes.
     writer_scale: tuple[float, ...] = ()
+    #: Incremental-checkpoint mode: > 0 turns each writer into an LLM
+    #: cadence checkpointer committing this many generations of its
+    #: shard through the delta pipeline, then restoring the image
+    #: across the chain (replaces the write-stream workload).
+    delta_generations: int = 0
+    #: Fraction of the shard's chunks dirtied per post-zero generation
+    #: (1.0 = every generation is a full rewrite — the ablation arm).
+    delta_dirty_fraction: float = 1.0
 
     def path(self, writer: int) -> str:
         """The file this writer targets (tenant routing happens here)."""
@@ -273,6 +286,31 @@ SCENARIOS: dict[str, Scenario] = {
             image_size=4 * MiB,
             fast_image_size=1 * MiB,
             sim_backend="tiered_nfs",
+        ),
+        Scenario(
+            name="llm_cadence",
+            description="LLM trainer cadence: per-iteration delta "
+            "checkpoints of two tensor shards, restore reassembles the "
+            "image across the generation chain",
+            config=CRFSConfig(
+                chunk_size=256 * KiB,
+                pool_size=8 * MiB,  # 32 chunks: chain restore stays fed
+                io_threads=2,
+                read_cache_chunks=8,
+                readahead_chunks=4,
+            ),
+            nwriters=2,
+            writer_paths=("/shard0.ckpt", "/shard1.ckpt"),
+            # 16 chunks at 256 KiB: round(0.25 * 16) = 4 dirty chunks
+            # per generation, so 8 generations write 16 + 7*4 = 44 of
+            # the 128 full-rewrite chunks (ratio 0.34375) — the
+            # perfbench gate's 0.35 ceiling with deterministic margin.
+            # --fast keeps the exact ratio: 4 chunks, 1 dirty.
+            image_size=4 * MiB,
+            fast_image_size=1 * MiB,
+            sim_backend="nfs",
+            delta_generations=8,
+            delta_dirty_fraction=0.25,
         ),
     )
 }

@@ -16,6 +16,7 @@ snapshots for identical workloads — which the cross-plane differential
 tests assert.
 """
 
+from .delta import DeltaExtent, DeltaPlan, DeltaTracker
 from .events import (
     AdmissionWait,
     BackendDegraded,
@@ -26,6 +27,8 @@ from .events import (
     ChunkRetried,
     ChunkSealed,
     ChunkWritten,
+    DeltaGenerationCommitted,
+    DeltaRestored,
     ErrorLatched,
     FileClosed,
     FileDrained,
@@ -78,6 +81,11 @@ __all__ = [
     "DEFAULT_TENANT",
     "DEMAND",
     "DRRScheduler",
+    "DeltaExtent",
+    "DeltaGenerationCommitted",
+    "DeltaPlan",
+    "DeltaRestored",
+    "DeltaTracker",
     "ErrorLatched",
     "FileClosed",
     "FileDrained",

@@ -35,6 +35,8 @@ __all__ = [
     "BatchWritten",
     "BatchBroken",
     "ChunkRetried",
+    "DeltaGenerationCommitted",
+    "DeltaRestored",
     "FileDrained",
     "WorkersDrained",
     "ErrorLatched",
@@ -360,6 +362,38 @@ class WindowShrunk(PipelineEvent):
 
     path: str
     window: int
+    t: float = 0.0
+
+
+@dataclass(frozen=True)
+class DeltaGenerationCommitted(PipelineEvent):
+    """One incremental checkpoint generation committed: its dirty
+    chunks landed in the generation file, the manifest write succeeded,
+    and the chunk-ownership chain advanced.  ``dirty_bytes`` is what the
+    pipeline actually wrote for data; ``logical_bytes`` is the full
+    image a non-delta checkpoint would have rewritten."""
+
+    path: str
+    generation: int
+    dirty_chunks: int
+    clean_chunks: int
+    dirty_bytes: int
+    logical_bytes: int
+    manifest_bytes: int
+    t: float = 0.0
+
+
+@dataclass(frozen=True)
+class DeltaRestored(PipelineEvent):
+    """A delta restore reassembled the current image across the
+    generation chain: ``reassembly_reads`` contiguous same-owner runs
+    read through the normal (cacheable) read path, ``reassembly_bytes``
+    logical bytes delivered."""
+
+    path: str
+    generation: int
+    reassembly_reads: int
+    reassembly_bytes: int
     t: float = 0.0
 
 

@@ -31,6 +31,7 @@ import time
 from typing import Any, Callable, Iterable
 
 from ..errors import BackendIOError, FileStateError
+from .delta import DeltaTracker
 from .events import (
     BatchBroken,
     BatchWritten,
@@ -372,6 +373,9 @@ class PipelineKernel:
             fsync_tier=fsync_tier,
         )
         self._observers: list[PipelineObserver] = [self.stats, *observers]
+        # Per-path delta-checkpoint generation chains (created lazily;
+        # non-delta mounts never populate this).
+        self._deltas: dict[str, DeltaTracker] = {}
 
     def subscribe(self, observer: PipelineObserver) -> None:
         """Attach an observer to the unified event stream."""
@@ -393,6 +397,16 @@ class PipelineKernel:
             clock=self.clock,
             tenant=tenant,
         )
+
+    def delta(self, path: str) -> DeltaTracker:
+        """The path's delta generation chain (created on first use),
+        wired to this kernel's event stream and clock."""
+        tracker = self._deltas.get(path)
+        if tracker is None:
+            tracker = self._deltas[path] = DeltaTracker(
+                path, self.chunk_size, emit=self.emit, clock=self.clock
+            )
+        return tracker
 
     def file_opened(self, path: str, tenant: str = "default") -> None:
         self.emit(FileOpened(path=path, t=self.clock(), tenant=tenant))

@@ -24,6 +24,8 @@ from .events import (
     ChunkRetried,
     ChunkSealed,
     ChunkWritten,
+    DeltaGenerationCommitted,
+    DeltaRestored,
     ErrorLatched,
     FileClosed,
     FileDrained,
@@ -218,6 +220,17 @@ class PipelineStats(PipelineObserver):
         self._drain_samples: dict[str, list[float]] = {
             name: [] for name in self.tenants
         }
+        # -- incremental (delta) checkpointing (zeros without delta use)
+        self.delta_generations = 0
+        self.delta_dirty_chunks = 0
+        self.delta_clean_chunks = 0
+        self.delta_bytes_written = 0
+        self.delta_logical_bytes = 0
+        self.delta_manifest_writes = 0
+        self.delta_manifest_bytes = 0
+        self.delta_restores = 0
+        self.delta_reassembly_reads = 0
+        self.delta_reassembly_bytes = 0
         # -- files
         self.open_files = 0
         # -- drain waits (close/fsync/unmount) and pool shutdown
@@ -361,6 +374,18 @@ class PipelineStats(PipelineObserver):
             elif isinstance(event, WindowShrunk):
                 self.window_shrunk += 1
                 self.current_window = event.window
+            elif isinstance(event, DeltaGenerationCommitted):
+                self.delta_generations += 1
+                self.delta_dirty_chunks += event.dirty_chunks
+                self.delta_clean_chunks += event.clean_chunks
+                self.delta_bytes_written += event.dirty_bytes
+                self.delta_logical_bytes += event.logical_bytes
+                self.delta_manifest_writes += 1
+                self.delta_manifest_bytes += event.manifest_bytes
+            elif isinstance(event, DeltaRestored):
+                self.delta_restores += 1
+                self.delta_reassembly_reads += event.reassembly_reads
+                self.delta_reassembly_bytes += event.reassembly_bytes
             elif isinstance(event, TierStaged):
                 t = self.tiers["0"]
                 t["chunks_staged"] += 1
@@ -477,6 +502,18 @@ class PipelineStats(PipelineObserver):
                             self.tiers.items(), key=lambda kv: int(kv[0])
                         )
                     },
+                },
+                "delta": {
+                    "generations": self.delta_generations,
+                    "dirty_chunks": self.delta_dirty_chunks,
+                    "clean_chunks": self.delta_clean_chunks,
+                    "bytes_written": self.delta_bytes_written,
+                    "logical_bytes": self.delta_logical_bytes,
+                    "manifest_writes": self.delta_manifest_writes,
+                    "manifest_bytes": self.delta_manifest_bytes,
+                    "restores": self.delta_restores,
+                    "reassembly_reads": self.delta_reassembly_reads,
+                    "reassembly_bytes": self.delta_reassembly_bytes,
                 },
                 "resilience": {
                     "chunks_retried": self.chunks_retried,

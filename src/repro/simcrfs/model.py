@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional
 
+from ..checkpoint.manifest import Manifest, generation_path, manifest_path
 from ..config import CRFSConfig
 from ..errors import BackendIOError, BackendTimeoutError, ShutdownError
 from ..pipeline import (
@@ -539,6 +540,101 @@ class SimCRFS:
     def seek(self, f: SimCRFSFile, pos: int) -> None:
         """Reposition the sequential read cursor (restart replays)."""
         f.read_pos = pos
+
+    # -- incremental (delta) checkpoints (mirror of core.delta) -----------------
+
+    def delta_checkpoint(
+        self,
+        path: str,
+        logical_size: int,
+        dirty: Iterable[int] | None = None,
+        tenant: str | None = None,
+    ):
+        """Generator: commit one generation of ``path``'s delta chain.
+
+        The exact op sequence of the functional plane's
+        :meth:`repro.core.delta.DeltaCheckpointer.checkpoint`: dirty
+        extents stream through the normal write pipeline into this
+        generation's file (one write per contiguous extent, at its
+        logical offset), fsync + close drain it, then the manifest is
+        written synchronously straight to the backend — the durable
+        commit point.  Only a successful manifest write advances the
+        chain; a failed one marks it torn, exactly like the threaded
+        plane.  Data is a stream of sizes here, so the caller declares
+        ``logical_size`` and the dirty chunk indices instead of bytes.
+        """
+        tracker = self.kernel.delta(path)
+        plan = tracker.plan_checkpoint(logical_size, dirty)
+        f = self.open(generation_path(path, plan.generation), tenant=tenant)
+        try:
+            for ext in plan.extents:
+                f.pos = ext.file_offset
+                yield from self.write(f, ext.length)
+            yield from self.fsync(f)
+        finally:
+            yield from self.close(f)
+        raw = plan.manifest.to_bytes()
+        try:
+            mf = self.backend.open(manifest_path(path))
+            try:
+                yield from self.backend.write(mf, len(raw))
+                if self.config.delta_manifest_sync:
+                    yield from self.backend.fsync(mf)
+            finally:
+                yield from self.backend.close(mf)
+        except BaseException:
+            # The old manifest was truncated before the failure: the
+            # on-disk chain head is suspect until a clean commit.
+            tracker.note_torn()
+            raise
+        tracker.commit(plan, len(raw))
+        return plan
+
+    def delta_restore(self, path: str, tenant: str | None = None):
+        """Generator: reassemble the current logical image across the
+        chain — the timing twin of
+        :meth:`repro.core.delta.DeltaCheckpointer.restore`.
+
+        The manifest read is modelled (the functional plane validates
+        real bytes; this plane is data-free, so the committed tracker
+        state *is* the manifest), then each contiguous same-owner run
+        costs one read through the normal cacheable read path, with
+        every distinct generation file opened exactly once at its
+        recorded physical size.  Returns the reassembled logical size.
+        """
+        tracker = self.kernel.delta(path)
+        tracker.check_restorable()
+        manifest = Manifest(
+            path=tracker.path,
+            generation=tracker.generation,
+            chunk_size=tracker.chunk_size,
+            logical_size=tracker.logical_size,
+            owners=tuple(tracker.owners),
+        )
+        mf = self.backend.open(manifest_path(path))
+        try:
+            yield from self.backend.read(mf, len(manifest.to_bytes()))
+        finally:
+            yield from self.backend.close(mf)
+        runs = manifest.owner_runs()
+        open_files: "dict[int, SimCRFSFile]" = {}
+        try:
+            for gen, file_offset, length, _chunks in runs:
+                f = open_files.get(gen)
+                if f is None:
+                    f = self.open(
+                        generation_path(path, gen),
+                        size=tracker.gen_size(gen),
+                        tenant=tenant,
+                    )
+                    open_files[gen] = f
+                self.seek(f, file_offset)
+                yield from self.read(f, length)
+        finally:
+            for f in open_files.values():
+                yield from self.close(f)
+        tracker.note_restore(len(runs), manifest.logical_size)
+        return manifest.logical_size
 
     # -- readahead internals (mirror of core.readcache, virtual time) ----------
 

@@ -1,6 +1,7 @@
 """Workload models: NAS LU footprints, synthetic raw-bandwidth writers
 and the mass-concurrent restart storm."""
 
+from .llm_cadence import LLMCadenceWorkload
 from .nas import NASClass, LU_CLASSES, lu_class, app_total_bytes
 from .restart_storm import RestartStormWorkload
 from .synthetic import RawWriteWorkload
@@ -10,6 +11,7 @@ __all__ = [
     "LU_CLASSES",
     "lu_class",
     "app_total_bytes",
+    "LLMCadenceWorkload",
     "RawWriteWorkload",
     "RestartStormWorkload",
 ]

@@ -504,3 +504,42 @@ class TestCrossPlaneTieredDifferential:
             assert per_tier["1"]["chunks_stranded"] == 0
             assert per_tier["1"]["pump_queue_max"] == 6
             assert func["tiers"]["sync_through"] == 1
+
+
+class TestCrossPlaneDeltaDifferential:
+    """Delta-checkpoint chains on both planes: the whole workload-
+    determined stats surface — including the ``delta`` section — must
+    be bit-identical for the same cadence schedule, and the restore
+    read traffic must agree on the deterministic read counters.
+    Prefetch lifecycle counters are excluded: in-flight prefetches at
+    generation-file close are drop-accounted racily on the threaded
+    plane (same reason the write differential above excludes the read
+    section).  Reuses the crossplane experiment's arm builders so the
+    test and the experiment can never drift apart."""
+
+    def test_delta_section_identical(self):
+        from repro.experiments.crossplane import (
+            _DELTA_ITERATIONS,
+            DELTA_COMPARED_FIELDS,
+            DELTA_READ_FIELDS,
+            _delta_config,
+            _functional_delta_stats,
+            _timing_delta_stats,
+        )
+
+        config = _delta_config()
+        func = _functional_delta_stats(config, seed=7)
+        timing = _timing_delta_stats(config, seed=7)
+
+        for key in DELTA_COMPARED_FIELDS:
+            assert func[key] == timing[key], key
+        assert {k: func["read"][k] for k in DELTA_READ_FIELDS} == {
+            k: timing["read"][k] for k in DELTA_READ_FIELDS
+        }
+
+        delta = func["delta"]
+        assert delta["generations"] == 2 * _DELTA_ITERATIONS
+        assert delta["clean_chunks"] > 0  # the chain actually shared chunks
+        assert delta["restores"] == 2
+        assert 0 < delta["bytes_written"] < delta["logical_bytes"]
+        assert delta["manifest_writes"] == delta["generations"]

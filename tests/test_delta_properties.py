@@ -1,0 +1,142 @@
+"""Property-based laws of the delta-checkpoint chain (Hypothesis).
+
+Random generation chains — random image sizes (grow, shrink, empty)
+and random declared-dirty chunk sets — on the functional plane,
+checked against three laws:
+
+1. **Reassembly law** — after every committed generation, restore
+   returns the byte-exact current logical image, no matter how the
+   chain's ownership is scattered across generation files.
+2. **Degeneracy law** — generation 0 is exactly today's full-image
+   behavior: the same workload-determined pipeline counters and the
+   same backing bytes as a plain full write of the generation file.
+3. **Savings law** — every generation writes ``dirty_bytes <=
+   logical_bytes``, with equality exactly when no chunk was clean; the
+   mount's ``stats()["delta"]`` section is the exact sum of the
+   per-generation plans.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import MemBackend
+from repro.backends.base import normalize_path
+from repro.config import CRFSConfig
+from repro.core import CRFS
+from repro.units import KiB
+
+pytestmark = pytest.mark.property
+
+CHUNK = 4 * KiB
+MAX_CHUNKS = 12
+
+
+def small_config(**kw):
+    kw.setdefault("chunk_size", CHUNK)
+    kw.setdefault("pool_size", 8 * CHUNK)
+    kw.setdefault("io_threads", 1)
+    return CRFSConfig(**kw)
+
+
+def pattern(n, salt):
+    return bytes((i * 31 + salt * 7 + 13) % 256 for i in range(n))
+
+
+#: One generation: (logical_size, declared_dirty | None).  Sizes cover
+#: empty, sub-chunk, unaligned and multi-chunk images; dirty draws may
+#: exceed the image and are clipped, None means "all chunks".
+gen_step = st.tuples(
+    st.integers(min_value=0, max_value=MAX_CHUNKS * CHUNK // 2 + 37),
+    st.one_of(
+        st.none(),
+        st.sets(st.integers(min_value=0, max_value=MAX_CHUNKS - 1), max_size=8),
+    ),
+)
+chains = st.lists(gen_step, min_size=1, max_size=6)
+
+
+class TestGenerationChains:
+    @given(chain=chains)
+    @settings(max_examples=25, deadline=None)
+    def test_restore_is_byte_identical_after_every_generation(self, chain):
+        mem = MemBackend()
+        path = "/ckpt"
+        image = bytearray()
+        expected_bytes = expected_logical = 0
+        all_dirty_everywhere = True
+        with CRFS(mem, small_config()) as fs:
+            tracker = fs.kernel.delta(normalize_path(path))
+            for salt, (size, declared) in enumerate(chain):
+                nchunks = (size + CHUNK - 1) // CHUNK
+                if declared is not None:
+                    declared = {i for i in declared if i < nchunks}
+                # Preview the plan (pure) to learn the *effective* dirty
+                # set — declared plus the auto-dirtied growth/tail
+                # chunks — and mutate only those regions, exactly what a
+                # truthful workload is allowed to change.
+                preview = tracker.plan_checkpoint(size, declared)
+                if len(image) < size:
+                    image.extend(bytes(size - len(image)))
+                else:
+                    del image[size:]
+                for index in sorted(preview.dirty):
+                    lo = index * CHUNK
+                    hi = min(lo + CHUNK, size)
+                    image[lo:hi] = pattern(hi - lo, salt=salt)
+
+                plan = fs.delta_checkpoint(path, image, dirty=declared)
+                assert plan.dirty == preview.dirty
+                # savings law, per generation
+                assert plan.dirty_bytes <= plan.logical_bytes
+                assert (plan.dirty_bytes == plan.logical_bytes) == (
+                    plan.clean_chunks == 0
+                )
+                all_dirty_everywhere &= plan.clean_chunks == 0
+                expected_bytes += plan.dirty_bytes
+                expected_logical += plan.logical_bytes
+
+                # reassembly law, after every commit
+                assert fs.delta_restore(path) == bytes(image)
+            delta = fs.stats()["delta"]
+
+        assert delta["generations"] == len(chain)
+        assert delta["bytes_written"] == expected_bytes
+        assert delta["logical_bytes"] == expected_logical
+        assert delta["restores"] == len(chain)
+        assert delta["bytes_written"] <= delta["logical_bytes"]
+        assert (delta["bytes_written"] == delta["logical_bytes"]) == (
+            all_dirty_everywhere
+        )
+
+    @given(
+        size=st.integers(min_value=1, max_value=5 * CHUNK + 99),
+        declared=st.one_of(
+            st.none(), st.sets(st.integers(min_value=0, max_value=4), max_size=3)
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_generation_zero_degenerates_to_full_write(self, size, declared):
+        """Whatever dirtiness is declared, generation 0 is a full dump
+        with the same pipeline counters as a plain write of the same
+        bytes to the same (generation) path."""
+        data = pattern(size, salt=9)
+
+        mem_plain = MemBackend()
+        with CRFS(mem_plain, small_config()) as fs:
+            f = fs.open("/ckpt.g0", create=True, truncate=True)
+            f.pwrite(data, 0)
+            f.fsync()
+            f.close()
+            plain = fs.stats()
+
+        mem_delta = MemBackend()
+        with CRFS(mem_delta, small_config()) as fs:
+            plan = fs.delta_checkpoint("/ckpt", data, dirty=declared)
+            dstats = fs.stats()
+
+        assert plan.generation == 0 and plan.clean_chunks == 0
+        for key in ("writes", "bytes_in", "chunks_written", "bytes_out"):
+            assert dstats[key] == plain[key], key
+        assert mem_delta.read_file("/ckpt.g0") == mem_plain.read_file("/ckpt.g0")
+        assert dstats["delta"]["bytes_written"] == len(data)

@@ -50,7 +50,7 @@ class TestFramework:
             "table1", "fig3", "fig5", "table2",
             "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
             "restart", "internode", "crossplane", "faultsweep", "perfbench",
-            "tenant_storm", "restart_storm",
+            "tenant_storm", "restart_storm", "llm_cadence",
         }
 
     def test_unknown_experiment(self):
@@ -77,6 +77,13 @@ class TestCheapExperiments:
         # FIFO ablation demonstrably does not.
         assert r.measured["fair_ratio"] <= 1.25
         assert r.measured["unfair_ratio"] >= 2.0
+
+    def test_llm_cadence_fast_passes(self):
+        r = run_experiment("llm_cadence", fast=True)
+        assert r.ok, r.render()
+        assert all(
+            r.measured["sim"][k] == v for k, v in r.measured["expected"].items()
+        )
 
     def test_fig5_fast_passes(self):
         r = run_experiment("fig5", fast=True)

@@ -1003,3 +1003,293 @@ class TestSimTierCellParity:
         for stats in (func_stats, sim_stats):
             assert stats["resilience"]["chunks_retried"] == 0
             assert stats["resilience"]["breaker_trips"] == 0
+
+
+# -- delta-checkpoint cells: manifest and generation-file faults ---------------
+
+
+def delta_mount(rules, attempts=1, **cfg_kw):
+    mem = MemBackend()
+    backend = FaultyBackend(mem, rules, sleep=lambda s: None)
+    cfg = CRFSConfig(
+        chunk_size=CHUNK, pool_size=4 * CHUNK, io_threads=1,
+        retry_attempts=attempts, **FAST, **cfg_kw,
+    )
+    return mem, backend, CRFS(backend, cfg)
+
+
+def manifest_rules(op, schedule):
+    # Op counts are global per op name (the gen-file data writes consume
+    # the early pwrite counts), so path-scoped cells use persistent
+    # schedules; the "first fault, then recovery" column disarms the
+    # rule between attempts instead of relying on ``nth``.
+    err = OSError(f"injected-{op}")
+    if schedule == "every":
+        return [FaultRule(op=op, path="*.manifest", nth=1, every=True, error=err)]
+    if schedule == "prob":
+        return [FaultRule(op=op, path="*.manifest", p=1.0, seed=5, error=err)]
+    raise ValueError(schedule)
+
+
+class TestDeltaManifestCells:
+    """Manifest writes are the chain's synchronous commit point: a
+    faulted manifest pwrite/fsync raises at the checkpoint call, never
+    advances the generation, and latches the torn flag — restore must
+    refuse loudly rather than silently reassemble a stale generation,
+    until a clean commit replaces the manifest."""
+
+    @pytest.mark.parametrize("op", ["pwrite", "fsync"])
+    @pytest.mark.parametrize("schedule", ["every", "prob"])
+    def test_persistent_fault_cell(self, op, schedule):
+        from repro.errors import ManifestError
+
+        mem, backend, fs = delta_mount(manifest_rules(op, schedule))
+        with fs:
+            for _ in range(2):  # a retry fares no better
+                with pytest.raises(OSError, match=f"injected-{op}"):
+                    fs.delta_checkpoint("/ckpt", DATA)
+                with pytest.raises(ManifestError, match="torn"):
+                    fs.delta_restore("/ckpt")
+            tracker = fs.kernel.delta("/ckpt")
+            assert tracker.generation == -1  # the chain never advanced
+            delta = fs.stats()["delta"]
+
+        assert backend.faults_fired >= 2
+        # only clean commits count
+        assert delta["generations"] == 0
+        assert delta["manifest_writes"] == 0
+
+    @pytest.mark.parametrize("op", ["pwrite", "fsync"])
+    def test_first_fault_then_recovery_cell(self, op):
+        from repro.errors import ManifestError
+
+        mem, backend, fs = delta_mount(manifest_rules(op, "every"))
+        with fs:
+            with pytest.raises(OSError, match=f"injected-{op}"):
+                fs.delta_checkpoint("/ckpt", DATA)
+            tracker = fs.kernel.delta("/ckpt")
+            assert tracker.generation == -1 and tracker.torn
+            with pytest.raises(ManifestError, match="torn"):
+                fs.delta_restore("/ckpt")
+
+            backend.rules.clear()  # the outage ends
+            fs.delta_checkpoint("/ckpt", DATA)  # clean re-commit
+            assert tracker.generation == 0 and not tracker.torn
+            assert fs.delta_restore("/ckpt") == DATA
+            delta = fs.stats()["delta"]
+
+        assert backend.faults_fired == 1
+        assert delta["generations"] == 1
+        assert delta["manifest_writes"] == 1
+
+    def test_torn_second_generation_never_loses_gen0_silently(self):
+        """A tear while replacing the manifest mid-chain: the chain
+        stays at generation 0, but restore refuses (the on-disk head is
+        suspect) until the re-commit lands — then the full post-gen-1
+        image reassembles."""
+        from repro.errors import ManifestError
+
+        mem, backend, fs = delta_mount([])
+        with fs:
+            image = bytearray(DATA)
+            fs.delta_checkpoint("/ckpt", image)
+            backend.add_rule(
+                FaultRule(
+                    op="pwrite", path="*.manifest", nth=1, every=True,
+                    error=OSError("injected-tear"),
+                )
+            )
+            image[CHUNK : 2 * CHUNK] = bytes(CHUNK)
+            with pytest.raises(OSError, match="injected-tear"):
+                fs.delta_checkpoint("/ckpt", image, dirty=[1])
+            tracker = fs.kernel.delta("/ckpt")
+            assert tracker.generation == 0
+            with pytest.raises(ManifestError, match="torn"):
+                fs.delta_restore("/ckpt")
+
+            backend.rules.clear()
+            fs.delta_checkpoint("/ckpt", image, dirty=[1])
+            assert tracker.generation == 1
+            assert fs.delta_restore("/ckpt") == bytes(image)
+
+    def test_manifest_sync_off_skips_the_faulted_fsync(self):
+        """``delta_manifest_sync=False`` is the knob's ablation arm: a
+        manifest fsync rule can never fire because the fsync is never
+        issued."""
+        mem, backend, fs = delta_mount(
+            manifest_rules("fsync", "every"), delta_manifest_sync=False
+        )
+        with fs:
+            fs.delta_checkpoint("/ckpt", DATA)
+            assert fs.delta_restore("/ckpt") == DATA
+        assert backend.faults_fired == 0
+
+
+class TestDeltaDataCells:
+    """Generation-file data writes ride the normal asynchronous
+    pipeline: an exhausted writeback fault surfaces at the checkpoint's
+    internal fsync/close, the manifest write is never attempted (no
+    torn latch), and the previous chain head stays fully restorable."""
+
+    def test_gen0_data_fault_leaves_no_chain(self):
+        from repro.errors import ManifestError
+
+        rules = [
+            FaultRule(
+                op="pwrite", path="*.g0", nth=1, every=True,
+                error=OSError("injected-data"),
+            )
+        ]
+        mem, backend, fs = delta_mount(rules)
+        with fs:
+            with pytest.raises(BackendIOError, match="injected-data"):
+                fs.delta_checkpoint("/ckpt", DATA)
+            tracker = fs.kernel.delta("/ckpt")
+            assert tracker.generation == -1 and not tracker.torn
+            with pytest.raises(ManifestError, match="no committed"):
+                fs.delta_restore("/ckpt")
+
+    def test_gen1_data_fault_keeps_gen0_restorable(self):
+        mem, backend, fs = delta_mount([])
+        with fs:
+            fs.delta_checkpoint("/ckpt", DATA)
+            backend.add_rule(
+                FaultRule(
+                    op="pwrite", path="*.g1", nth=1, every=True,
+                    error=OSError("injected-data"),
+                )
+            )
+            mutated = bytearray(DATA)
+            mutated[:CHUNK] = bytes(CHUNK)
+            with pytest.raises(BackendIOError, match="injected-data"):
+                fs.delta_checkpoint("/ckpt", mutated, dirty=[0])
+            tracker = fs.kernel.delta("/ckpt")
+            assert tracker.generation == 0 and not tracker.torn
+            # the old chain head is intact and reassembles gen 0's bytes
+            assert fs.delta_restore("/ckpt") == DATA
+
+    def test_data_fault_retry_recovers_byte_identically(self):
+        rules = [
+            FaultRule(
+                op="pwrite", path="*.g0", nth=1, error=OSError("injected-data")
+            )
+        ]
+        mem, backend, fs = delta_mount(rules, attempts=4)
+        with fs:
+            fs.delta_checkpoint("/ckpt", DATA)
+            assert fs.delta_restore("/ckpt") == DATA
+            stats = fs.stats()
+        assert backend.faults_fired == 1
+        assert stats["resilience"]["chunks_retried"] == 1
+        assert stats["resilience"]["errors_latched"] == 0
+
+
+class TestSimDeltaManifestCells:
+    """The same manifest cells on the timing plane, via the shared
+    FaultSchedule — plus cross-plane parity of the delta section for
+    the full tear-refuse-recover sequence."""
+
+    def _run(self, rules, proc_body):
+        from repro.sim import SharedBandwidth, Simulator
+        from repro.simcrfs import SimCRFS
+        from repro.simio.faulty import FaultySimFilesystem
+        from repro.simio.nullfs import NullSimFilesystem
+        from repro.simio.params import DEFAULT_HW
+        from repro.util.rng import rng_for
+
+        sim = Simulator()
+        hw = DEFAULT_HW
+        membus = SharedBandwidth(sim, hw.membus_bandwidth)
+        backend = FaultySimFilesystem(
+            NullSimFilesystem(sim, hw, rng_for(1, "fault-delta")), rules
+        )
+        cfg = CRFSConfig(
+            chunk_size=CHUNK, pool_size=4 * CHUNK, io_threads=1,
+            retry_attempts=1, **FAST,
+        )
+        crfs = SimCRFS(sim, hw, cfg, backend, membus)
+        sim.run_until_complete([sim.spawn(proc_body(crfs))])
+        crfs.shutdown()
+        return backend, crfs.stats()
+
+    @pytest.mark.parametrize("op", ["pwrite", "fsync"])
+    def test_sim_manifest_fault_latches_torn_and_refuses_restore(self, op):
+        from repro.errors import ManifestError
+
+        outcomes = {}
+
+        def proc(crfs):
+            tracker = crfs.kernel.delta("/ckpt")
+            try:
+                yield from crfs.delta_checkpoint("/ckpt", len(DATA))
+            except OSError as exc:
+                outcomes["checkpoint"] = str(exc)
+            outcomes["generation"] = tracker.generation
+            outcomes["torn"] = tracker.torn
+            try:
+                yield from crfs.delta_restore("/ckpt")
+            except ManifestError as exc:
+                outcomes["restore"] = str(exc)
+
+        backend, stats = self._run(manifest_rules(op, "every"), proc)
+        assert outcomes["checkpoint"] == f"injected-{op}"
+        assert outcomes["generation"] == -1 and outcomes["torn"]
+        assert "torn" in outcomes["restore"]
+        assert backend.faults_fired >= 1
+        assert stats["delta"]["generations"] == 0
+
+    def test_tear_refuse_recover_parity_with_functional_plane(self):
+        """Drive the identical gen0-commit / gen1-tear / refused
+        restore / clean re-commit / chain restore sequence on both
+        planes: the delta sections and the workload-determined write
+        counters must be bit-identical."""
+        from repro.errors import ManifestError
+
+        tear = OSError("injected-tear")
+
+        # functional plane
+        mem, fbackend, fs = delta_mount([])
+        with fs:
+            image = bytearray(DATA)
+            fs.delta_checkpoint("/ckpt", image)
+            fbackend.add_rule(
+                FaultRule(op="pwrite", path="*.manifest", nth=1,
+                          every=True, error=tear)
+            )
+            image[CHUNK : 2 * CHUNK] = bytes(CHUNK)
+            with pytest.raises(OSError, match="injected-tear"):
+                fs.delta_checkpoint("/ckpt", image, dirty=[1])
+            with pytest.raises(ManifestError, match="torn"):
+                fs.delta_restore("/ckpt")
+            fbackend.rules.clear()
+            fs.delta_checkpoint("/ckpt", image, dirty=[1])
+            assert fs.delta_restore("/ckpt") == bytes(image)
+            func = fs.stats()
+
+        # timing plane, same sequence
+        def proc(crfs):
+            backend = crfs.backend
+            yield from crfs.delta_checkpoint("/ckpt", len(DATA))
+            backend.add_rule(
+                FaultRule(op="pwrite", path="*.manifest", nth=1,
+                          every=True, error=tear)
+            )
+            try:
+                yield from crfs.delta_checkpoint("/ckpt", len(DATA), dirty=[1])
+            except OSError:
+                pass
+            try:
+                yield from crfs.delta_restore("/ckpt")
+            except ManifestError:
+                pass
+            backend.rules.clear()
+            yield from crfs.delta_checkpoint("/ckpt", len(DATA), dirty=[1])
+            yield from crfs.delta_restore("/ckpt")
+
+        _, timing = self._run([], proc)
+
+        assert func["delta"] == timing["delta"]
+        for key in ("writes", "bytes_in", "chunks_written", "bytes_out", "seals"):
+            assert func[key] == timing[key], key
+        assert func["delta"]["generations"] == 2
+        assert func["delta"]["restores"] == 1
