@@ -43,7 +43,18 @@ class Backend(ABC):
 
     @abstractmethod
     def pwrite(self, handle: Any, data: bytes | memoryview, offset: int) -> int:
-        """Write ``data`` at ``offset``; returns bytes written (all of it)."""
+        """Write ``data`` at ``offset``; returns bytes written (all of it).
+
+        Aliasing contract: the backend consumes ``data`` before
+        returning — the caller may mutate (or recycle) the underlying
+        buffer the moment the call returns.  Backends must therefore
+        either copy the bytes out synchronously or write them to their
+        store within the call; they must never retain a live view of the
+        caller's buffer.  (The CRFS mount leans on this: pooled chunk
+        buffers are recycled immediately after drain, and the POSIX shim
+        extends the same promise to application ``pwrite`` callers —
+        the ingest copy into the chunk buffer is the snapshot point.)
+        """
 
     def pwritev(
         self, handle: Any, views: Sequence[bytes | memoryview], offset: int
@@ -64,7 +75,32 @@ class Backend(ABC):
 
     @abstractmethod
     def pread(self, handle: Any, size: int, offset: int) -> bytes:
-        """Read up to ``size`` bytes at ``offset`` (short read at EOF)."""
+        """Read up to ``size`` bytes at ``offset`` (short read at EOF).
+
+        Returning ``bytes`` makes one materialization at the backend
+        boundary a property of this signature; callers that own a
+        destination buffer (the read cache filling a pooled chunk) use
+        :meth:`pread_into` instead and skip it.
+        """
+
+    def pread_into(self, handle: Any, buf: memoryview | bytearray, offset: int) -> int:
+        """Read up to ``len(buf)`` bytes at ``offset`` into ``buf``;
+        returns the byte count (short read at EOF).
+
+        The readinto-style path for callers with their own destination
+        (pooled cache buffers).  This default routes through
+        :meth:`pread` and splices — it still pays the backend-boundary
+        copy, but in one place.  Backends with direct access to their
+        store (:class:`~repro.backends.mem.MemBackend` splicing from the
+        node, :class:`~repro.backends.localdir.LocalDirBackend` via
+        ``os.preadv``) override it to fill ``buf`` without the
+        intermediate ``bytes``.
+        """
+        out = memoryview(buf)
+        data = self.pread(handle, len(out), offset)
+        n = len(data)
+        out[:n] = data
+        return n
 
     @abstractmethod
     def fsync(self, handle: Any) -> None:

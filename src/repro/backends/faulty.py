@@ -230,6 +230,13 @@ class FaultyBackend(Backend):
         self._check("pread", path)
         return self.inner.pread(inner, size, offset)
 
+    def pread_into(self, handle: Any, buf: memoryview | bytearray, offset: int) -> int:
+        # Counts as a "pread" for fault matching — the rule vocabulary
+        # targets the logical op, not the buffer-ownership variant.
+        inner, path = _unwrap(handle)
+        self._check("pread", path)
+        return self.inner.pread_into(inner, buf, offset)
+
     def fsync(self, handle: Any) -> None:
         inner, path = _unwrap(handle)
         self._check("fsync", path)

@@ -195,6 +195,12 @@ class InstrumentedBackend(Backend):
         self._record("pread", self._path_of(handle), len(out), offset, start)
         return out
 
+    def pread_into(self, handle: Any, buf: memoryview | bytearray, offset: int) -> int:
+        start = self.clock()
+        n = self.inner.pread_into(handle, buf, offset)
+        self._record("pread_into", self._path_of(handle), n, offset, start)
+        return n
+
     def fsync(self, handle: Any) -> None:
         start = self.clock()
         self.inner.fsync(handle)

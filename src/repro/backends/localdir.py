@@ -86,13 +86,31 @@ class LocalDirBackend(Backend):
         return total
 
     def pread(self, handle: Any, size: int, offset: int) -> bytes:
-        out = bytearray()
-        while len(out) < size:
+        first = os.pread(handle, size, offset)
+        if len(first) == size or not first:
+            # The common case: one syscall returned the whole region (or
+            # a clean EOF).  Hand the kernel's bytes straight back — no
+            # bytearray accumulation + bytes() double copy.
+            return first
+        out = bytearray(first)
+        while len(out) < size:  # pragma: no cover - rare partial pread
             piece = os.pread(handle, size - len(out), offset + len(out))
             if not piece:
                 break
             out.extend(piece)
         return bytes(out)
+
+    def pread_into(self, handle: Any, buf: memoryview | bytearray, offset: int) -> int:
+        if not hasattr(os, "preadv"):  # pragma: no cover - platform fallback
+            return super().pread_into(handle, buf, offset)
+        out = memoryview(buf)
+        total = 0
+        while total < len(out):
+            n = os.preadv(handle, [out[total:]], offset + total)
+            if not n:
+                break
+            total += n
+        return total
 
     def fsync(self, handle: Any) -> None:
         os.fsync(handle)

@@ -126,41 +126,74 @@ class MemBackend(Backend):
 
     def pwrite(self, handle: Any, data: bytes | memoryview, offset: int) -> int:
         h = self._handle(handle)
-        buf = bytes(data)
-        if not buf:  # POSIX: zero-length writes do not extend the file
+        # Splice the caller's view straight into the node's bytearray —
+        # no intermediate bytes().  The slice assignment consumes the
+        # view before returning, which is the pwrite aliasing contract.
+        view = data if isinstance(data, memoryview) else memoryview(data)
+        length = view.nbytes
+        if length == 0:  # POSIX: zero-length writes do not extend the file
             return 0
         node = h.node
         with node.lock:
-            end = offset + len(buf)
+            end = offset + length
             if end > len(node.data):
                 node.data.extend(b"\x00" * (end - len(node.data)))
-            node.data[offset:end] = buf
+            node.data[offset:end] = view
         self.total_pwrites += 1
-        self.total_bytes_written += len(buf)
-        return len(buf)
+        self.total_bytes_written += length
+        return length
 
     def pwritev(
         self, handle: Any, views: Sequence[bytes | memoryview], offset: int
     ) -> int:
         h = self._handle(handle)
-        buf = b"".join(bytes(v) for v in views)
-        if not buf:
+        vs = [v if isinstance(v, memoryview) else memoryview(v) for v in views]
+        total = sum(v.nbytes for v in vs)
+        if total == 0:
             return 0
         node = h.node
         with node.lock:
-            end = offset + len(buf)
+            end = offset + total
             if end > len(node.data):
                 node.data.extend(b"\x00" * (end - len(node.data)))
-            node.data[offset:end] = buf
-        # One splice, one backend op: the whole point of the batch.
+            # One zero-extend, then back-to-back splices — no b"".join
+            # materialization of the whole batch.
+            pos = offset
+            for v in vs:
+                node.data[pos : pos + v.nbytes] = v
+                pos += v.nbytes
+        # One backend op for the whole batch: the point of the gather.
         self.total_pwrites += 1
-        self.total_bytes_written += len(buf)
-        return len(buf)
+        self.total_bytes_written += total
+        return total
 
     def pread(self, handle: Any, size: int, offset: int) -> bytes:
         h = self._handle(handle)
+        # The one materialization the bytes-returning signature demands
+        # (exactly the requested region; see Backend.pread).  Callers
+        # with their own buffer use pread_into and skip it.  Going
+        # through a view avoids the bytearray-slice + bytes() double
+        # copy.
         with h.node.lock:
-            return bytes(h.node.data[offset : offset + size])
+            src = memoryview(h.node.data)
+            try:
+                return bytes(src[offset : offset + size])
+            finally:
+                src.release()
+
+    def pread_into(self, handle: Any, buf: memoryview | bytearray, offset: int) -> int:
+        h = self._handle(handle)
+        out = memoryview(buf)
+        with h.node.lock:
+            data = h.node.data
+            n = min(len(out), max(0, len(data) - offset))
+            if n:
+                src = memoryview(data)
+                try:
+                    out[:n] = src[offset : offset + n]
+                finally:
+                    src.release()
+        return n
 
     def fsync(self, handle: Any) -> None:
         self._handle(handle)  # validate only; memory is already "stable"
@@ -269,7 +302,8 @@ class MemBackend(Backend):
     # -- test/debug helpers -----------------------------------------------------
 
     def read_file(self, path: str) -> bytes:
-        """Whole-file read by path (test convenience)."""
+        """Whole-file read by path (test convenience; one deliberate
+        whole-image materialization — not a hot-path API)."""
         node = self._lookup(path)
         if isinstance(node, _DirNode):
             raise IsADirectory(path)

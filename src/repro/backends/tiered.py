@@ -338,6 +338,9 @@ class TieredBackend(Backend):
         # the pump.
         return self.tiers[0].pread(handle.inner[0], size, offset)
 
+    def pread_into(self, handle: Any, buf: memoryview | bytearray, offset: int) -> int:
+        return self.tiers[0].pread_into(handle.inner[0], buf, offset)
+
     def fsync(self, handle: Any) -> None:
         self.fsync_through(handle, self._core.fsync_tier)
 

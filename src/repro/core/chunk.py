@@ -62,6 +62,27 @@ class Chunk:
         self.buffer[self.valid : self.valid + length] = data[:length]
         self.valid += length
 
+    def fill_external(self, length: int) -> None:
+        """Declare ``length`` bytes already written into :attr:`buffer`
+        by an external filler (``Backend.pread_into``).
+
+        The zero-copy twin of :meth:`append` for the read-cache fetch
+        path: the backend filled the buffer directly, so only the valid
+        length advances — no second copy.  The filler reads into the
+        buffer *before* :meth:`open_for`, so a failed fetch leaves the
+        chunk clean (buffer contents are irrelevant to cleanliness;
+        ``reset`` never scrubs them either).
+        """
+        if self.valid != 0:
+            raise FileStateError(
+                f"external fill on chunk {self.index} with {self.valid} valid bytes"
+            )
+        if length > len(self.buffer):
+            raise FileStateError(
+                f"external fill of {length} overflows chunk (size {len(self.buffer)})"
+            )
+        self.valid = length
+
     def seal(self, reason: SealReason) -> None:
         self.seal_reason = reason
 

@@ -154,11 +154,14 @@ class IOThreadPool:
         chunk, entry = item.chunk, item.entry
         start = entry.pipeline.clock()
         # Retry the pwrite under the policy before latching; only the
-        # error that survives retry exhaustion reaches the entry.
+        # error that survives retry exhaustion reaches the entry.  One
+        # payload view for all attempts — the chunk stays leased until
+        # the completion below.
+        payload = chunk.payload()
         error = run_attempts(
             self.retry,
             lambda: self.backend.pwrite(
-                entry.backend_handle, chunk.payload(), chunk.file_offset
+                entry.backend_handle, payload, chunk.file_offset
             ),
             path=entry.path,
             file_offset=chunk.file_offset,
@@ -195,11 +198,14 @@ class IOThreadPool:
                 self._write_one(item)
             return
         start = entry.pipeline.clock()
+        # One iovec list per batch, built up front and reused across
+        # retry attempts — the payloads are views of pooled buffers that
+        # stay leased (and stable) until the completions below recycle
+        # them, so re-slicing per attempt would only re-allocate.
+        views = [c.payload() for c in chunks]
         error = run_attempts(
             self.retry,
-            lambda: self.backend.pwritev(
-                entry.backend_handle, [c.payload() for c in chunks], base
-            ),
+            lambda: self.backend.pwritev(entry.backend_handle, views, base),
             path=entry.path,
             file_offset=base,
             clock=entry.pipeline.clock,

@@ -473,7 +473,11 @@ class CRFS:
             entry.planner.append_point,
         )
         data = cache.read(size, offset, file_size)
-        entry.pipeline.note_read(offset, size, start=t0)
+        # The cache served views internally; the bytes it returned are
+        # the one boundary materialization — account it (len(data) is
+        # the request clipped at file_size, matching the timing plane's
+        # end - offset).
+        entry.pipeline.note_read(offset, size, start=t0, copied=len(data))
         return data
 
     # -- incremental (delta) checkpointing --------------------------------------

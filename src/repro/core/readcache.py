@@ -83,6 +83,20 @@ class ReadCache:
         #: never weighed against the tenant's writeback share).
         self.tenant = tenant
         self._cond = threading.Condition()
+        # Deferred-release machinery for the zero-copy serve path: while
+        # a read is collecting views of pooled buffers (_defer_depth >
+        # 0), an evicted payload the read has already collected a view
+        # of (its id is in _held) parks in _deferred instead of
+        # returning to the pool — releasing it mid-read would let
+        # another writer recycle a buffer the pending join still
+        # references.  Evictees the read does *not* hold views of
+        # release immediately, preserving the pre-zero-copy pool timing
+        # (a concurrent prefetch's try_acquire must not starve on a
+        # buffer that's merely parked).  Drained when the read's join
+        # completes.  Guarded by _cond.
+        self._defer_depth = 0
+        self._deferred: list[Any] = []
+        self._held: set[int] = set()
 
     # -- the foreground read path ---------------------------------------------
 
@@ -98,17 +112,36 @@ class ReadCache:
         if size <= 0 or end <= offset:
             return b""
         cs = self.core.chunk_size
-        parts: list[bytes] = []
+        parts: list[Any] = []
         with self._cond:
-            for index in range(offset // cs, (end - 1) // cs + 1):
-                lo = max(offset, index * cs)
-                hi = min(end, (index + 1) * cs)
-                parts.append(self._chunk_slice(index, lo, hi, file_size))
-                self._issue_prefetches(index, file_size)
-        return b"".join(parts)
+            self._defer_depth += 1
+            try:
+                for index in range(offset // cs, (end - 1) // cs + 1):
+                    lo = max(offset, index * cs)
+                    hi = min(end, (index + 1) * cs)
+                    parts.append(self._chunk_slice(index, lo, hi, file_size))
+                    self._issue_prefetches(index, file_size)
+                # The POSIX-shim boundary: this single join is the one
+                # materialization a cached read pays (the read_boundary
+                # copy the pipeline accounts) — everything above handed
+                # back views of pooled buffers.
+                return b"".join(parts)
+            finally:
+                self._defer_depth -= 1
+                if self._defer_depth == 0:
+                    self._held.clear()
+                    if self._deferred:
+                        drained, self._deferred = self._deferred, []
+                        for payload in drained:
+                            self.pool.release(payload)
 
-    def _chunk_slice(self, index: int, lo: int, hi: int, file_size: int) -> bytes:
-        """One chunk's contribution to a read (caller holds _cond)."""
+    def _chunk_slice(
+        self, index: int, lo: int, hi: int, file_size: int
+    ) -> "memoryview | bytes":
+        """One chunk's contribution to a read: a zero-copy view of the
+        resident buffer, or backend bytes on the degraded path (caller
+        holds _cond, with deferred release active — views stay valid
+        until the join)."""
         base = index * self.core.chunk_size
         while True:
             centry = self.core.access(index)
@@ -130,15 +163,18 @@ class ReadCache:
                         )
                 if centry.evicted:
                     continue
-            return bytes(centry.payload.buffer[lo - base : hi - base])
+            self._held.add(id(centry.payload))
+            return memoryview(centry.payload.buffer)[lo - base : hi - base]
 
     def _demand_fetch(
         self, centry_index: int, lo: int, hi: int, file_size: int
-    ) -> bytes:
+    ) -> "memoryview | bytes":
         """Foreground miss: fetch the whole aligned chunk synchronously
-        (caller holds _cond).  A starved pool degrades to an uncached
-        slice read; a backend failure surfaces as :class:`CRFSError`
-        (counted by the breaker) — demand reads are never silent."""
+        (caller holds _cond).  The backend fills the pooled buffer
+        directly (``pread_into``) — no intermediate bytes.  A starved
+        pool degrades to an uncached slice read; a backend failure
+        surfaces as :class:`CRFSError` (counted by the breaker) —
+        demand reads are never silent."""
         cs = self.core.chunk_size
         base = centry_index * cs
         centry, evicted = self.core.admit(centry_index, DEMAND)
@@ -151,11 +187,13 @@ class ReadCache:
             return self.backend.pread(self.backend_handle, hi - lo, lo)
         length = min(cs, file_size - base)
         try:
-            data = self.backend.pread(self.backend_handle, length, base)
+            got = self.backend.pread_into(
+                self.backend_handle, memoryview(chunk.buffer)[:length], base
+            )
         except Exception as exc:
             self.core.fetch_failed(centry)
-            # The chunk never left the clean state (nothing was appended
-            # before the pread failed), so skip the redundant reset.
+            # The chunk never left the clean state (the fill happens
+            # before open_for), so skip the redundant reset.
             self.pool.release(chunk, already_reset=True)
             self._cond.notify_all()
             if self.health is not None:
@@ -164,12 +202,13 @@ class ReadCache:
                 f"{self.path}: demand read of chunk @{base} failed: {exc}"
             ) from exc
         chunk.open_for(self, base)
-        chunk.append(data, 0, len(data))
-        if self.core.fetch_done(centry, chunk, len(data)):
+        chunk.fill_external(got)
+        self._held.add(id(chunk))
+        if self.core.fetch_done(centry, chunk, got):
             self._cond.notify_all()
         else:  # evicted while we fetched (a concurrent writer invalidated)
-            self.pool.release(chunk)
-        return bytes(data[lo - base : hi - base])
+            self._defer_or_release(chunk)
+        return memoryview(chunk.buffer)[lo - base : hi - base]
 
     def _issue_prefetches(self, index: int, file_size: int) -> None:
         """Slide the window (caller holds _cond).  Degraded mode issues
@@ -212,13 +251,19 @@ class ReadCache:
                 self._cond.notify_all()
                 return
         try:
-            data = self.backend.pread(
-                self.backend_handle, item.length, item.file_offset
+            # Fill the leased buffer directly — the chunk is exclusively
+            # ours until fetch_done publishes it, so no lock is needed
+            # around the backend call.
+            got = self.backend.pread_into(
+                self.backend_handle,
+                memoryview(chunk.buffer)[: item.length],
+                item.file_offset,
             )
         except Exception:
             # Prefetch failures are silent: drop the entry, the chunk is
             # refetched on demand if a read actually wants it.  The chunk
-            # is still clean (nothing appended), so skip the reset.
+            # is still clean (the fill happens before open_for), so skip
+            # the reset.
             with self._cond:
                 if not centry.evicted:
                     self.core.fetch_failed(centry)
@@ -229,10 +274,13 @@ class ReadCache:
             return
         with self._cond:
             chunk.open_for(self, item.file_offset)
-            chunk.append(data, 0, len(data))
-            if self.core.fetch_done(centry, chunk, len(data)):
+            chunk.fill_external(got)
+            if self.core.fetch_done(centry, chunk, got):
                 self._cond.notify_all()
-            else:  # evicted while in flight; drop-accounted at eviction
+            else:
+                # Evicted while in flight (drop-accounted at eviction).
+                # The buffer was never published to a reader, so it can
+                # go straight back to the pool.
                 self.pool.release(chunk)
 
     # -- write-path and teardown hooks -----------------------------------------
@@ -251,13 +299,28 @@ class ReadCache:
         with self._cond:
             self._release_evicted(self.core.clear())
 
+    def _defer_or_release(self, payload: Any) -> None:
+        """Return one leased buffer to the pool — unless the read in
+        mid-collection holds a view of it, in which case park it until
+        the read's views are joined (caller holds _cond).  Buffers the
+        read never collected release immediately: eviction victims are
+        LRU while the read's chunks are MRU, so the common case pays no
+        deferral and the pool sees the same timing as an eager release
+        (the cross-plane differential pins that a prefetch try-acquire
+        never starves on a merely-parked buffer)."""
+        if self._defer_depth > 0 and id(payload) in self._held:
+            self._deferred.append(payload)
+        else:
+            self.pool.release(payload)
+
     def _release_evicted(self, entries: Iterable[CacheEntry]) -> None:
-        """Return evictees' buffers to the pool and wake waiters parked
-        on in-flight ones (caller holds _cond)."""
+        """Return evictees' buffers to the pool (deferred while a read
+        holds views of them) and wake waiters parked on in-flight ones
+        (caller holds _cond)."""
         woke = False
         for entry in entries:
             if entry.payload is not None:
-                self.pool.release(entry.payload)
+                self._defer_or_release(entry.payload)
                 entry.payload = None
             if not entry.ready:
                 woke = True

@@ -55,6 +55,7 @@ COMPARED_FIELDS = (
     "batch",
     "tiers",
     "delta",
+    "mem",
 )
 
 #: Delta-arm snapshot fields compared whole (the read section is
@@ -748,6 +749,15 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
             func["bytes_out"] == func["bytes_in"] == sum(sizes)
             and timing["bytes_out"] == timing["bytes_in"] == sum(sizes),
             f"{sum(sizes)} bytes through {func['chunks_written']} chunks",
+        ),
+        Check(
+            "copy ledger bit-identical across planes: one ingest copy "
+            "per byte written, one read_boundary copy per byte served",
+            func["mem"] == timing["mem"]
+            and func["mem"]["by_site"]["ingest"]["bytes"] == sum(sizes)
+            and func["mem"]["by_site"]["read_boundary"]["bytes"] == sum(sizes)
+            and func["mem"]["by_site"]["fetch"]["bytes"] > 0,
+            f"mem section: {func['mem']}",
         ),
         Check(
             "restart read-back exercised the readahead cache",

@@ -131,6 +131,23 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
     full_rewrite["planes"]["sim"]["llm_cadence"] = lc_off
     full_rewrite_report = compare_artifacts(full_rewrite, first)
 
+    # Zero-copy gate: the dedicated sequential-write scenario must pay
+    # exactly one copy per ingested byte — the Chunk.append snapshot —
+    # so bytes-copied-per-byte-written is 1.0 within ε, with zero
+    # read_boundary/fetch traffic on a write-only run.  Then prove the
+    # gate has teeth: inflate bytes_copied by stats["bytes_out"] (the
+    # exact signature of one redundant bytes() per drained chunk
+    # sneaking back into the hot path) and require compare to trip on
+    # (zero_copy, bytes_copied).
+    zc = first["planes"]["sim"]["zero_copy"]
+    zc_mem = zc["stats"]["mem"]
+    zc_ratio = zc_mem["bytes_copied"] / zc["bytes_in"]
+
+    copy_regressed = copy.deepcopy(second)
+    zc_victim = copy_regressed["planes"]["sim"]["zero_copy"]
+    zc_victim["bytes_copied"] += zc_victim["stats"]["bytes_out"]
+    copy_report = compare_artifacts(copy_regressed, first)
+
     st_scn = SCENARIOS["restart_storm"]
     st_ad = run_scenario_sim(st_scn, seed=seed)
     st_static = run_scenario_sim(
@@ -265,6 +282,39 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
             ),
             f"regressions: "
             f"{[(d.scenario, d.metric) for d in full_rewrite_report.regressions]}",
+        ),
+        Check(
+            "zero-copy write path: exactly one copy per ingested byte "
+            "(bytes_copied/bytes_in <= 1.0 + eps)",
+            zc_ratio <= 1.0 + 1e-9
+            and zc_mem["bytes_copied"] == zc["bytes_in"]
+            and zc_mem["by_site"]["ingest"]["bytes"] == zc["bytes_in"]
+            and zc_mem["by_site"]["read_boundary"]["bytes"] == 0
+            and zc_mem["by_site"]["fetch"]["bytes"] == 0,
+            f"ratio {zc_ratio:.6f}, mem section: {zc_mem}",
+        ),
+        Check(
+            "every scenario's copy ledger is conserved "
+            "(bytes_copied == sum over sites)",
+            all(
+                m["stats"]["mem"]["bytes_copied"]
+                == sum(
+                    s["bytes"] for s in m["stats"]["mem"]["by_site"].values()
+                )
+                and m["bytes_copied"] == m["stats"]["mem"]["bytes_copied"]
+                for m in first["planes"]["sim"].values()
+            ),
+            "mem.bytes_copied matches its by_site decomposition everywhere",
+        ),
+        Check(
+            "an injected per-chunk rematerialization trips the copy gate",
+            not copy_report.ok
+            and any(
+                d.scenario == "zero_copy" and d.metric == "bytes_copied"
+                for d in copy_report.regressions
+            ),
+            f"regressions: "
+            f"{[(d.scenario, d.metric) for d in copy_report.regressions]}",
         ),
         Check(
             "disabling batching fails the goodput gate",

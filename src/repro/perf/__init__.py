@@ -19,9 +19,16 @@ against the committed ``benchmarks/baselines/baseline.json``, nonzero
 exit on sim-plane regression), and ``update-baseline``.
 """
 
-from .compare import ComparisonReport, MetricDelta, compare_artifacts, render_report
+from .compare import (
+    OPTIONAL_METRICS,
+    ComparisonReport,
+    MetricDelta,
+    compare_artifacts,
+    render_report,
+)
 from .runner import run_scenario_real, run_scenario_sim, run_suite
 from .scenarios import SCENARIOS, Scenario
+from .trend import compute_trend, render_trend
 from .schema import (
     SCHEMA_VERSION,
     ArtifactError,
@@ -37,6 +44,7 @@ __all__ = [
     "ArtifactError",
     "ComparisonReport",
     "MetricDelta",
+    "OPTIONAL_METRICS",
     "SCENARIOS",
     "SCHEMA_VERSION",
     "Scenario",
@@ -44,9 +52,11 @@ __all__ = [
     "build_artifact",
     "canonical_metrics",
     "compare_artifacts",
+    "compute_trend",
     "dump_artifact",
     "load_artifact",
     "render_report",
+    "render_trend",
     "run_scenario_real",
     "run_scenario_sim",
     "run_suite",

@@ -13,11 +13,16 @@ Typical loop::
 
     # a PR that intentionally shifts perf re-pins the baseline
     python -m repro.perf update-baseline
+
+    # the sparkline dashboard over the committed BENCH history
+    # (--check gates newest-vs-previous goodput in CI)
+    python -m repro.perf trend --check
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from typing import Any
@@ -26,6 +31,7 @@ from ..util.tables import TextTable
 from .compare import compare_artifacts, render_report
 from .runner import run_suite
 from .scenarios import SCENARIOS
+from .trend import compute_trend, render_trend
 from .schema import (
     REQUIRED_METRICS,
     ArtifactError,
@@ -187,6 +193,26 @@ def check_baseline(baseline: dict[str, Any]) -> list[str]:
         if not scenarios["llm_cadence"]["restore_span_s"] > 0:
             problems.append("llm_cadence: restore_span_s not positive")
 
+    mem = sub("zero_copy", "stats", "mem")
+    if mem is not None:
+        zc = scenarios["zero_copy"]
+        for key in ("bytes_copied", "copies", "copy_ratio"):
+            if key not in zc:
+                problems.append(f"zero_copy: copy metric {key!r} missing")
+        if mem.get("bytes_copied") != zc["bytes_in"]:
+            problems.append(
+                "zero_copy: the sequential write path must pay exactly one "
+                f"copy per ingested byte (bytes_copied {mem.get('bytes_copied')} "
+                f"!= bytes_in {zc['bytes_in']})"
+            )
+        by_site = mem.get("by_site", {})
+        for site in ("read_boundary", "fetch"):
+            if by_site.get(site, {}).get("bytes", 0) != 0:
+                problems.append(
+                    f"zero_copy: write-only scenario recorded {site} copies: "
+                    f"{by_site.get(site)}"
+                )
+
     return problems
 
 
@@ -226,79 +252,37 @@ def _cmd_update_baseline(args: argparse.Namespace) -> int:
 
 
 def _cmd_trend(args: argparse.Namespace) -> int:
-    """Summarise sim-plane goodput across committed BENCH artifacts."""
+    """The regression dashboard over committed BENCH artifacts.
+
+    Renders the per-scenario sparkline table (see
+    :mod:`repro.perf.trend`); ``--json`` dumps the computed structure,
+    ``--check`` exits nonzero when the newest BENCH regresses goodput
+    beyond tolerance against the BENCH immediately before it.
+    """
     paths = sorted(args.dir.glob("BENCH_*.json"))
     if not paths:
-        print(f"no BENCH_*.json artifacts under {args.dir}")
+        print(f"no BENCH_*.json artifacts under {args.dir}", file=sys.stderr)
         return 1
     artifacts = []
     for path in paths:
         try:
-            artifacts.append((path, load_artifact(path)))
+            artifacts.append((path.name, load_artifact(path)))
         except Exception as exc:  # noqa: BLE001 - a bad file shouldn't kill trend
             print(f"skipping {path}: {exc}", file=sys.stderr)
     if not artifacts:
         return 1
-    scenarios: list[str] = []
-    for _, art in artifacts:
-        for name in art["planes"].get("sim", {}):
-            if name not in scenarios:
-                scenarios.append(name)
-    table = TextTable(
-        ["artifact", "created", *scenarios],
-        title="Sim-plane goodput trend (MiB/s)",
-    )
-    for path, art in artifacts:
-        sim = art["planes"].get("sim", {})
-        table.add_row(
-            [
-                path.name,
-                str(art.get("created", "?"))[:19],
-                *(
-                    f"{sim[name]['goodput_mib_s']:.2f}" if name in sim else "-"
-                    for name in scenarios
-                ),
-            ]
-        )
-    print(table.render())
-    if len(artifacts) > 1:
-        # The regression dashboard: each artifact's per-scenario goodput
-        # change against the BENCH immediately before it, so a perf
-        # shift is pinned to the artifact (and thus the PR) that
-        # introduced it, not just to the endpoints of the history.
-        delta_table = TextTable(
-            ["artifact", *scenarios],
-            title="Per-scenario goodput vs previous BENCH",
-        )
-        for (_, prev), (path, cur) in zip(artifacts, artifacts[1:]):
-            prev_sim = prev["planes"].get("sim", {})
-            cur_sim = cur["planes"].get("sim", {})
-            cells = []
-            for name in scenarios:
-                if name not in cur_sim:
-                    cells.append("-")
-                elif name not in prev_sim:
-                    cells.append("new")
-                elif prev_sim[name]["goodput_mib_s"] <= 0:
-                    cells.append("?")
-                else:
-                    a = prev_sim[name]["goodput_mib_s"]
-                    b = cur_sim[name]["goodput_mib_s"]
-                    cells.append(f"{100.0 * (b - a) / a:+.1f}%")
-            delta_table.add_row([path.name, *cells])
-        print()
-        print(delta_table.render())
-    first_sim = artifacts[0][1]["planes"].get("sim", {})
-    last_sim = artifacts[-1][1]["planes"].get("sim", {})
-    deltas = []
-    for name in scenarios:
-        if name in first_sim and name in last_sim:
-            a = first_sim[name]["goodput_mib_s"]
-            b = last_sim[name]["goodput_mib_s"]
-            if a > 0:
-                deltas.append(f"{name} {100.0 * (b - a) / a:+.1f}%")
-    if len(artifacts) > 1 and deltas:
-        print("\nfirst -> last: " + ", ".join(deltas))
+    baseline = None
+    try:
+        baseline = load_artifact(args.baseline)
+    except ArtifactError:
+        pass  # staleness is advisory; no baseline, no warning
+    trend = compute_trend(artifacts, baseline=baseline)
+    if args.json:
+        print(json.dumps(trend, indent=2, sort_keys=True))
+    else:
+        print(render_trend(trend))
+    if args.check and trend["check"]["regressions"]:
+        return 1
     return 0
 
 
@@ -365,11 +349,26 @@ def main(argv: list[str] | None = None) -> int:
     up_p.set_defaults(fn=_cmd_update_baseline)
 
     trend_p = sub.add_parser(
-        "trend", help="summarise sim-plane goodput across committed BENCH files"
+        "trend",
+        help="per-scenario sparkline dashboard over committed BENCH files",
     )
     trend_p.add_argument(
         "--dir", type=pathlib.Path, default=DEFAULT_OUT_DIR,
         help=f"directory holding BENCH_*.json (default: {DEFAULT_OUT_DIR})",
+    )
+    trend_p.add_argument(
+        "--baseline", type=pathlib.Path, default=DEFAULT_BASELINE,
+        help="baseline checked for staleness against the BENCH history "
+        f"(default: {DEFAULT_BASELINE})",
+    )
+    trend_p.add_argument(
+        "--json", action="store_true",
+        help="emit the computed trend structure as JSON",
+    )
+    trend_p.add_argument(
+        "--check", action="store_true",
+        help="CI gate: exit 1 when the newest BENCH regresses goodput "
+        "beyond tolerance against the previous BENCH",
     )
     trend_p.set_defaults(fn=_cmd_trend)
 

@@ -98,6 +98,17 @@ def _metrics(
         "drain_time_s": stats["drain"]["time_total"],
         "stats": stats,
     }
+    mem = stats.get("mem")
+    if mem is not None:
+        # Copy accounting (DESIGN.md §3k), promoted from the snapshot to
+        # top-level metrics for every scenario.  Extra keys beside
+        # REQUIRED_METRICS — compared only when both artifacts carry
+        # them, so historical BENCHes that predate the ledger still load.
+        out["bytes_copied"] = mem["bytes_copied"]
+        out["copies"] = mem["copies"]
+        out["copy_ratio"] = (
+            mem["bytes_copied"] / total_bytes if total_bytes > 0 else 0.0
+        )
     if restore_marks:
         # Read-back scenarios: time-to-last-restore (first restart to
         # last byte delivered) and the slowest single rank's restore.

@@ -37,6 +37,11 @@ must keep honest:
   iteration through the delta pipeline (generation 0 is a full dump),
   then each restore reassembles the current image across the
   generation chain through the readahead cache.
+* ``zero_copy`` — one rank streaming the Table-I mix down the
+  aggregation path with copy accounting as the headline metric: the
+  sequential write path must pay exactly one copy per ingested byte
+  (the ``Chunk.append`` snapshot), so ``bytes_copied == bytes_in``
+  and the gate trips if any redundant materialization sneaks back in.
 
 Workloads are derived from ``rng_for(seed, "perf/<scenario>/<writer>")``
 so every writer's byte stream is a pure function of the seed — two runs
@@ -311,6 +316,13 @@ SCENARIOS: dict[str, Scenario] = {
             sim_backend="nfs",
             delta_generations=8,
             delta_dirty_fraction=0.25,
+        ),
+        Scenario(
+            name="zero_copy",
+            description="one rank, sequential write path: the "
+            "copy-accounting gate (one ingest copy per byte, "
+            "bytes_copied == bytes_in)",
+            config=CRFSConfig(chunk_size=1 * MiB, pool_size=8 * MiB, io_threads=2),
         ),
     )
 }

@@ -1,0 +1,224 @@
+"""The perf trend dashboard over committed BENCH history.
+
+``python -m repro.perf trend`` reads every ``BENCH_*.json`` under
+``results/perf`` (one per landed perf-relevant PR, filename-ordered =
+time-ordered) and renders a per-scenario dashboard:
+
+* a sparkline per tracked metric (goodput, drain time, restore span,
+  bytes copied) across the whole history, so a drift that crept in
+  over several PRs is visible even when each step stayed inside the
+  compare gate's tolerance;
+* first→last and best→last deltas, pinning both the cumulative
+  trajectory and how far the head sits below its historical best;
+* a staleness check: when the committed baseline is older than the
+  :data:`STALE_AFTER` newest BENCH artifacts, the baseline has stopped
+  tracking the code and ``update-baseline`` is overdue (warning only —
+  the compare gate already fails hard on real drift).
+
+``trend --check`` is the CI mode: nonzero exit when the newest BENCH
+regresses goodput beyond :data:`CHECK_TOLERANCE` against the BENCH
+immediately before it — the artifact-to-artifact gate that pins a perf
+shift to the PR that introduced it.  ``trend --json`` emits the whole
+computed structure for tooling.
+
+Everything here is a pure function of the loaded artifacts: no clocks,
+no filesystem access — the CLI does the globbing and printing.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..util.tables import TextTable
+
+__all__ = [
+    "CHECK_TOLERANCE",
+    "STALE_AFTER",
+    "TREND_METRICS",
+    "compute_trend",
+    "render_trend",
+    "sparkline",
+]
+
+#: Metrics the dashboard tracks per scenario.  ``restore_span_s`` and
+#: ``bytes_copied`` are optional extras — scenarios (or historical
+#: BENCHes) without them show a gap, not an error.
+TREND_METRICS = ("goodput_mib_s", "drain_time_s", "restore_span_s", "bytes_copied")
+
+#: ``--check`` trips when the newest BENCH's goodput drops more than
+#: this fraction below the previous BENCH (matches the compare gate's
+#: goodput tolerance).
+CHECK_TOLERANCE = 0.10
+
+#: Baseline-staleness horizon: this many BENCHes newer than the
+#: committed baseline and the dashboard warns that the baseline has
+#: stopped tracking the code.
+STALE_AFTER = 3
+
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float | None]) -> str:
+    """One min-max-scaled glyph per value; ``·`` marks a gap."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return ""
+    lo, hi = min(present), max(present)
+    out = []
+    for v in values:
+        if v is None:
+            out.append("·")
+        elif hi == lo:
+            out.append(_SPARK_GLYPHS[0])
+        else:
+            frac = (v - lo) / (hi - lo)
+            out.append(_SPARK_GLYPHS[round(frac * (len(_SPARK_GLYPHS) - 1))])
+    return "".join(out)
+
+
+def _series(
+    artifacts: list[tuple[str, dict[str, Any]]], scenario: str, metric: str
+) -> list[float | None]:
+    out: list[float | None] = []
+    for _, art in artifacts:
+        m = art["planes"].get("sim", {}).get(scenario)
+        out.append(m.get(metric) if m is not None else None)
+    return out
+
+
+def compute_trend(
+    artifacts: list[tuple[str, dict[str, Any]]],
+    baseline: dict[str, Any] | None = None,
+    tolerance: float = CHECK_TOLERANCE,
+) -> dict[str, Any]:
+    """The dashboard structure over a name-ordered BENCH history.
+
+    ``artifacts`` is ``[(name, artifact), ...]`` oldest first (the
+    CLI's sorted glob).  The returned dict carries the per-scenario
+    metric series, the endpoint deltas, the newest-vs-previous goodput
+    gate (``regressions``) and the baseline staleness verdict — the
+    CLI renders it, ``--json`` dumps it verbatim.
+    """
+    scenarios: list[str] = []
+    for _, art in artifacts:
+        for name in art["planes"].get("sim", {}):
+            if name not in scenarios:
+                scenarios.append(name)
+
+    table: dict[str, Any] = {}
+    for scenario in scenarios:
+        metrics: dict[str, Any] = {}
+        for metric in TREND_METRICS:
+            values = _series(artifacts, scenario, metric)
+            present = [v for v in values if v is not None]
+            if not present:
+                continue
+            first, last, best = present[0], present[-1], max(present)
+            if metric != "goodput_mib_s":
+                best = min(present)  # times and copies: smaller is better
+            metrics[metric] = {
+                "values": values,
+                "first": first,
+                "last": last,
+                "best": best,
+                "first_to_last": (last - first) / first if first else 0.0,
+                "best_to_last": (last - best) / best if best else 0.0,
+            }
+        table[scenario] = metrics
+
+    # The CI gate: newest BENCH vs the one immediately before it.
+    regressions: list[dict[str, Any]] = []
+    if len(artifacts) > 1:
+        prev_name, prev = artifacts[-2]
+        last_name, last = artifacts[-1]
+        prev_sim = prev["planes"].get("sim", {})
+        last_sim = last["planes"].get("sim", {})
+        for scenario in scenarios:
+            a = prev_sim.get(scenario, {}).get("goodput_mib_s")
+            b = last_sim.get(scenario, {}).get("goodput_mib_s")
+            if a is None or b is None or a <= 0:
+                continue
+            if b < a * (1.0 - tolerance):
+                regressions.append(
+                    {
+                        "scenario": scenario,
+                        "metric": "goodput_mib_s",
+                        "previous": a,
+                        "latest": b,
+                        "change": (b - a) / a,
+                        "previous_artifact": prev_name,
+                        "latest_artifact": last_name,
+                    }
+                )
+
+    # Baseline staleness: count BENCHes created after the baseline was
+    # pinned (ISO-8601 strings order lexicographically).
+    stale = None
+    if baseline is not None:
+        pinned = str(baseline.get("created", ""))
+        newer = sum(
+            1 for _, art in artifacts if str(art.get("created", "")) > pinned
+        )
+        stale = {
+            "baseline_created": pinned,
+            "benches_newer": newer,
+            "stale": newer >= STALE_AFTER,
+        }
+
+    return {
+        "artifacts": [name for name, _ in artifacts],
+        "scenarios": scenarios,
+        "metrics": list(TREND_METRICS),
+        "table": table,
+        "check": {"tolerance": tolerance, "regressions": regressions},
+        "staleness": stale,
+    }
+
+
+def render_trend(trend: dict[str, Any]) -> str:
+    """Human-readable dashboard for a :func:`compute_trend` structure."""
+    n = len(trend["artifacts"])
+    table = TextTable(
+        ["scenario", "metric", f"trend (n={n})", "first", "last", "Δfirst", "Δbest"],
+        title="Perf trend dashboard (sim plane, oldest → newest BENCH)",
+    )
+    for scenario in trend["scenarios"]:
+        for metric, row in trend["table"][scenario].items():
+            table.add_row(
+                [
+                    scenario,
+                    metric,
+                    sparkline(row["values"]),
+                    f"{row['first']:.4g}",
+                    f"{row['last']:.4g}",
+                    f"{row['first_to_last']:+.1%}",
+                    f"{row['best_to_last']:+.1%}",
+                ]
+            )
+    lines = [table.render()]
+    lines.append(
+        f"history: {trend['artifacts'][0]} → {trend['artifacts'][-1]}"
+        if n > 1
+        else f"history: {trend['artifacts'][0]} (one artifact; deltas are trivial)"
+    )
+    check = trend["check"]
+    if check["regressions"]:
+        for r in check["regressions"]:
+            lines.append(
+                f"REGRESSION: {r['scenario']} {r['metric']} "
+                f"{r['previous']:.4g} → {r['latest']:.4g} ({r['change']:+.1%}) "
+                f"vs {r['previous_artifact']}"
+            )
+    elif n > 1:
+        lines.append(
+            "check: newest BENCH within "
+            f"{check['tolerance']:.0%} of the previous on every scenario"
+        )
+    stale = trend["staleness"]
+    if stale is not None and stale["stale"]:
+        lines.append(
+            f"WARNING: baseline ({stale['baseline_created']}) predates "
+            f"{stale['benches_newer']} BENCH artifact(s) — run "
+            "`python -m repro.perf update-baseline`"
+        )
+    return "\n".join(lines)

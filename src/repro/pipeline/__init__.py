@@ -16,6 +16,7 @@ snapshots for identical workloads — which the cross-plane differential
 tests assert.
 """
 
+from .copies import COPY_SITES, FETCH, INGEST, READ_BOUNDARY, CopyLedger
 from .delta import DeltaExtent, DeltaPlan, DeltaTracker
 from .events import (
     AdmissionWait,
@@ -27,6 +28,7 @@ from .events import (
     ChunkRetried,
     ChunkSealed,
     ChunkWritten,
+    CopyObserved,
     DeltaGenerationCommitted,
     DeltaRestored,
     ErrorLatched,
@@ -78,6 +80,9 @@ __all__ = [
     "ChunkRetried",
     "ChunkSealed",
     "ChunkWritten",
+    "COPY_SITES",
+    "CopyLedger",
+    "CopyObserved",
     "DEFAULT_TENANT",
     "DEMAND",
     "DRRScheduler",
@@ -89,9 +94,11 @@ __all__ = [
     "ErrorLatched",
     "FileClosed",
     "FileDrained",
+    "FETCH",
     "FileOpened",
     "Fill",
     "FilePipeline",
+    "INGEST",
     "PREFETCH",
     "PipelineEvent",
     "PipelineKernel",
@@ -103,6 +110,7 @@ __all__ = [
     "PrefetchDropped",
     "PrefetchWasted",
     "QueuePressure",
+    "READ_BOUNDARY",
     "ReadHit",
     "ReadMiss",
     "ReadObserved",

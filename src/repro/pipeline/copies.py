@@ -1,0 +1,87 @@
+"""Copy accounting for the zero-copy hot path (DESIGN.md §3k).
+
+The pipeline budgets exactly which data copies the hot path is allowed
+to make, and counts every one of them.  The sites:
+
+``ingest``
+    User buffer → pooled chunk buffer in ``Chunk.append``.  The single
+    copy the aggregated write path pays per byte; it is also the
+    aliasing snapshot point — the caller may mutate its buffer the
+    moment ``pwrite`` returns.
+``read_boundary``
+    Cached ``memoryview`` slice(s) → the ``bytes`` object handed across
+    the POSIX-shim boundary on a cache-served read.  Internal movement
+    between cache and caller is views; the join at the shim is the one
+    copy.
+``fetch``
+    Backend → pooled cache buffer when the readahead core fetches a
+    chunk (prefetch or demand).  Filling the cache is a copy by
+    definition; serving from it afterwards is not.
+
+Emission happens in shared kernel code (``FilePipeline.note_write`` /
+``note_read`` and ``ReadaheadCore.fetch_done``), so the ledger — and
+therefore ``stats()["mem"]`` — is bit-identical across the functional
+and timing planes by construction.  Backend-internal materializations
+(e.g. ``MemBackend.pread`` returning ``bytes``) are a property of the
+backend boundary, documented on :class:`~repro.backends.base.Backend`,
+and deliberately *not* counted: they differ per backend and would break
+cross-plane parity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["CopyLedger", "COPY_SITES", "INGEST", "READ_BOUNDARY", "FETCH"]
+
+INGEST = "ingest"
+READ_BOUNDARY = "read_boundary"
+FETCH = "fetch"
+
+#: Every site the pipeline may report, in snapshot order.  Pre-seeding
+#: the ledger with all of them keeps the ``by_site`` schema identical
+#: across planes and workloads (a site that never fired still appears,
+#: at zero).
+COPY_SITES = (INGEST, READ_BOUNDARY, FETCH)
+
+
+class CopyLedger:
+    """Counters for the budgeted copy sites.
+
+    Not thread-safe on its own — :class:`~repro.pipeline.stats.
+    PipelineStats` mutates it under its event lock.
+    """
+
+    __slots__ = ("copies", "bytes_copied", "by_site")
+
+    def __init__(self) -> None:
+        self.copies = 0
+        self.bytes_copied = 0
+        self.by_site: Dict[str, Dict[str, int]] = {
+            site: {"copies": 0, "bytes": 0} for site in COPY_SITES
+        }
+
+    def record(self, site: str, length: int) -> None:
+        """Count one copy of ``length`` bytes at ``site``.
+
+        Unknown sites are admitted (they grow ``by_site``) so the
+        ledger never drops data, but every in-tree emitter uses a
+        :data:`COPY_SITES` constant.
+        """
+        self.copies += 1
+        self.bytes_copied += length
+        bucket = self.by_site.get(site)
+        if bucket is None:
+            bucket = self.by_site.setdefault(site, {"copies": 0, "bytes": 0})
+        bucket["copies"] += 1
+        bucket["bytes"] += length
+
+    def snapshot(self) -> dict:
+        """The ``stats()["mem"]`` section."""
+        return {
+            "bytes_copied": self.bytes_copied,
+            "copies": self.copies,
+            "by_site": {
+                site: dict(counts) for site, counts in self.by_site.items()
+            },
+        }

@@ -45,6 +45,7 @@ __all__ = [
     "PoolPressure",
     "QueuePressure",
     "ReadObserved",
+    "CopyObserved",
     "ReadHit",
     "ReadMiss",
     "ChunkPrefetched",
@@ -286,6 +287,27 @@ class ReadObserved(PipelineEvent):
     start: float
     duration: float
     tenant: str = "default"
+
+
+@dataclass(frozen=True)
+class CopyObserved(PipelineEvent):
+    """The pipeline materialized ``length`` bytes: one of the budgeted
+    data copies on the hot path (DESIGN.md §3k).
+
+    ``site`` names the call-site class — ``"ingest"`` (user buffer →
+    pooled chunk buffer, the single copy the write path is allowed),
+    ``"read_boundary"`` (cached view(s) → the ``bytes`` handed across
+    the POSIX-shim boundary) or ``"fetch"`` (backend → pooled cache
+    buffer on a readahead/demand fetch).  Backend-*internal*
+    materializations (e.g. a passthrough ``pread``) are a property of
+    the backend, not the pipeline, and are documented at the
+    :class:`~repro.backends.base.Backend` interface instead of counted
+    here — both planes therefore emit identical copy streams."""
+
+    path: str
+    site: str
+    length: int
+    t: float = 0.0
 
 
 @dataclass(frozen=True)

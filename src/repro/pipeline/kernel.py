@@ -31,6 +31,7 @@ import time
 from typing import Any, Callable, Iterable
 
 from ..errors import BackendIOError, FileStateError
+from .copies import INGEST, READ_BOUNDARY
 from .delta import DeltaTracker
 from .events import (
     BatchBroken,
@@ -38,6 +39,7 @@ from .events import (
     ChunkRetried,
     ChunkSealed,
     ChunkWritten,
+    CopyObserved,
     ErrorLatched,
     FileClosed,
     FileDrained,
@@ -135,10 +137,24 @@ class FilePipeline:
         write_through: bool = False,
         degraded: bool = False,
     ) -> None:
-        """One application write() finished its synchronous part."""
+        """One application write() finished its synchronous part.
+
+        An aggregated write paid exactly one copy — user buffer into
+        the pooled chunk buffer at ingest (the aliasing snapshot
+        point), so it is accounted here rather than at each
+        ``Chunk.append`` call.  Write-through bypasses aggregation and
+        hands the caller's view straight to the backend: no pipeline
+        copy.
+        """
         now = self.clock()
         if start is None:
             start = now
+        if not write_through and length > 0:
+            self._emit(
+                CopyObserved(
+                    path=self.path, site=INGEST, length=length, t=now
+                )
+            )
         self._emit(
             WriteObserved(
                 path=self.path,
@@ -153,13 +169,31 @@ class FilePipeline:
         )
 
     def note_read(
-        self, offset: int, length: int, start: float | None = None
+        self,
+        offset: int,
+        length: int,
+        start: float | None = None,
+        copied: int = 0,
     ) -> None:
         """One application read()/pread() was served (any read path —
-        passthrough, degraded or cached)."""
+        passthrough, degraded or cached).
+
+        ``copied`` is the pipeline-level byte count materialized at the
+        POSIX-shim boundary: the bytes joined out of cached views on a
+        cache-served read.  Passthrough reads pass 0 — the backend's
+        return value crosses the shim untouched (any materialization
+        inside the backend is its own boundary property, documented on
+        :class:`~repro.backends.base.Backend`).
+        """
         now = self.clock()
         if start is None:
             start = now
+        if copied > 0:
+            self._emit(
+                CopyObserved(
+                    path=self.path, site=READ_BOUNDARY, length=copied, t=now
+                )
+            )
         self._emit(
             ReadObserved(
                 path=self.path,

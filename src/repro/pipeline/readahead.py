@@ -40,8 +40,10 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Callable, List, Optional, Tuple
 
+from .copies import FETCH
 from .events import (
     ChunkPrefetched,
+    CopyObserved,
     PrefetchDropped,
     PrefetchWasted,
     ReadHit,
@@ -310,7 +312,17 @@ class ReadaheadCore:
     def fetch_done(self, entry: CacheEntry, payload: Any, length: int) -> bool:
         """An issued fetch delivered.  Returns False when the entry was
         evicted in flight — the caller then releases ``payload`` itself
-        (the drop was accounted at eviction time)."""
+        (the drop was accounted at eviction time).
+
+        The backend→pooled-buffer copy happened whether or not the entry
+        survived its flight, so the ``fetch`` copy is accounted before
+        the eviction check (failed fetches moved no bytes and go through
+        :meth:`fetch_failed` instead, which accounts nothing)."""
+        self._emit(
+            CopyObserved(
+                path=self.path, site=FETCH, length=length, t=self._clock()
+            )
+        )
         if entry.evicted:
             return False
         entry.ready = True

@@ -14,6 +14,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Iterable
 
+from .copies import CopyLedger
 from .events import (
     AdmissionWait,
     BackendDegraded,
@@ -24,6 +25,7 @@ from .events import (
     ChunkRetried,
     ChunkSealed,
     ChunkWritten,
+    CopyObserved,
     DeltaGenerationCommitted,
     DeltaRestored,
     ErrorLatched,
@@ -231,6 +233,8 @@ class PipelineStats(PipelineObserver):
         self.delta_restores = 0
         self.delta_reassembly_reads = 0
         self.delta_reassembly_bytes = 0
+        # -- copy accounting (DESIGN.md §3k; the stats()["mem"] section)
+        self.copies = CopyLedger()
         # -- files
         self.open_files = 0
         # -- drain waits (close/fsync/unmount) and pool shutdown
@@ -358,6 +362,8 @@ class PipelineStats(PipelineObserver):
                 t = self._tenant(event.tenant)
                 t["reads"] += 1
                 t["bytes_read"] += event.length
+            elif isinstance(event, CopyObserved):
+                self.copies.record(event.site, event.length)
             elif isinstance(event, ReadHit):
                 self.read_hits += 1
             elif isinstance(event, ReadMiss):
@@ -503,6 +509,7 @@ class PipelineStats(PipelineObserver):
                         )
                     },
                 },
+                "mem": self.copies.snapshot(),
                 "delta": {
                     "generations": self.delta_generations,
                     "dirty_chunks": self.delta_dirty_chunks,

@@ -364,17 +364,24 @@ class DRRScheduler:
         fifo mode the global band is scanned, exactly the pre-tenant
         behaviour (``chain`` requires same-file continuity, so a batch
         cannot cross tenants there either).
+
+        The scan mutates the sub-queue in place: matches pop off the
+        front, skipped items rotate to the back and rotate home once the
+        scan ends.  No per-call deque is rebuilt — in the common case
+        (the batch is a prefix of the queue, as contiguous chunks arrive
+        in order) the gather allocates nothing but the returned list.
         """
         batch: list[Any] = []
         if limit <= 0:
             return batch
         if not self.fair:
-            if not self._fifo_high:
-                return batch
-            remaining: Deque[tuple[str, Any]] = deque()
-            while self._fifo_high and len(batch) < limit:
-                cand_tenant, candidate = self._fifo_high.popleft()
+            q = self._fifo_high
+            scanned = skipped = 0
+            to_scan = len(q)
+            while scanned < to_scan and len(batch) < limit:
+                cand_tenant, candidate = q[0]
                 if chain(tail, candidate):
+                    q.popleft()
                     batch.append(candidate)
                     tail = candidate
                     self._fifo_depth[cand_tenant] -= 1
@@ -383,23 +390,33 @@ class DRRScheduler:
                         self.service_counts.get(cand_tenant, 0) + 1
                     )
                 else:
-                    remaining.append((cand_tenant, candidate))
-            remaining.extend(self._fifo_high)
-            self._fifo_high = remaining
+                    q.rotate(-1)
+                    skipped += 1
+                scanned += 1
+            if skipped:
+                # Skipped items sit at the back in original order, after
+                # any unexamined ones; one right-rotate restores the
+                # band's relative order (every skip predates every
+                # unexamined item).
+                q.rotate(skipped)
             return batch
         q = self._high.get(tenant)
         if not q:
             return batch
-        kept: Deque[Any] = deque()
-        while q and len(batch) < limit:
-            candidate = q.popleft()
+        scanned = skipped = 0
+        to_scan = len(q)
+        while scanned < to_scan and len(batch) < limit:
+            candidate = q[0]
             if chain(tail, candidate):
+                q.popleft()
                 batch.append(candidate)
                 tail = candidate
             else:
-                kept.append(candidate)
-        kept.extend(q)
-        self._high[tenant] = kept
+                q.rotate(-1)
+                skipped += 1
+            scanned += 1
+        if skipped:
+            q.rotate(skipped)
         if batch:
             self._high_len -= len(batch)
             self.service_counts[tenant] = (
@@ -408,7 +425,7 @@ class DRRScheduler:
             # Charge the gather against the quantum (may go negative; the
             # tenant then waits extra rounds before its next service).
             self._deficit[tenant] = self._deficit.get(tenant, 0) - len(batch)
-        if not kept and tenant in self._ring:
+        if not q and tenant in self._ring:
             self._ring.remove(tenant)
             self._deficit[tenant] = 0
         return batch

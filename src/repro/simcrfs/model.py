@@ -534,7 +534,11 @@ class SimCRFS:
                 yield self.sim.timeout(self.hw.fuse_request_overhead)
                 if request >= PAGE:
                     yield self.membus.transfer(request)
-        f.pipeline.note_read(offset, nbytes, start=t0)
+        # The cached serve's boundary materialization: the request
+        # clipped at file_size — what the functional plane's join
+        # produces (len of the returned bytes).
+        copied = end - offset if nbytes > 0 and end > offset else 0
+        f.pipeline.note_read(offset, nbytes, start=t0, copied=copied)
         f.read_pos += nbytes
 
     def seek(self, f: SimCRFSFile, pos: int) -> None:

@@ -1,0 +1,139 @@
+"""Property suite for buffer-type round-trips at the backend boundary.
+
+The zero-copy refactor pushes ``memoryview``s through the whole data
+path, so the Backend contract must hold for *every* buffer flavour a
+caller can hand over: ``bytes``, ``bytearray``, and ``memoryview`` —
+including views carved at a non-zero offset out of a larger buffer,
+which is exactly what the pipeline produces (chunk payloads, coalesced
+writeback iovecs).  For each flavour, on every backend:
+
+* ``pwrite`` then ``pread`` returns byte-identical data;
+* ``pread_into`` fills a caller buffer with the same bytes;
+* the aliasing contract holds — mutating the source ``bytearray``
+  immediately after ``pwrite`` returns never changes what was stored.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backends import LocalDirBackend, MemBackend, TieredBackend
+
+pytestmark = pytest.mark.property
+
+#: Small enough for Hypothesis throughput, large enough to cross the
+#: boundary-handling paths (sparse gaps, overlapping rewrites).
+MAX_LEN = 2048
+MAX_OFF = 4096
+
+_payloads = st.binary(min_size=1, max_size=MAX_LEN)
+_offsets = st.integers(min_value=0, max_value=MAX_OFF)
+_flavours = st.sampled_from(["bytes", "bytearray", "view", "sliced_view"])
+
+
+def as_flavour(payload: bytes, flavour: str):
+    """``payload`` wrapped as the requested buffer type.
+
+    ``sliced_view`` embeds the payload at a non-zero offset of a larger
+    buffer and returns the interior slice — the backend must honour the
+    view's bounds, not the underlying object's.
+    """
+    if flavour == "bytes":
+        return payload
+    if flavour == "bytearray":
+        return bytearray(payload)
+    if flavour == "view":
+        return memoryview(bytearray(payload))
+    framed = bytearray(b"\xaa" * 16) + bytearray(payload) + bytearray(b"\xbb" * 16)
+    return memoryview(framed)[16 : 16 + len(payload)]
+
+
+def make_backend(kind: str, tmp_path):
+    if kind == "mem":
+        return MemBackend()
+    if kind == "localdir":
+        return LocalDirBackend(str(tmp_path / "root"))
+    return TieredBackend([MemBackend(), MemBackend()])
+
+
+def close_backend(backend):
+    if isinstance(backend, TieredBackend):
+        backend.shutdown()
+
+
+# Parametrized via the mark (not a fixture): Hypothesis re-runs the
+# test body per generated example, and a function-scoped fixture would
+# not be re-created between examples — the tests below therefore build
+# and tear down their backend inside the body.
+@pytest.mark.parametrize("backend_kind", ["mem", "localdir", "tiered"])
+class TestBufferRoundTrip:
+    @given(
+        writes=st.lists(
+            st.tuples(_payloads, _offsets, _flavours), min_size=1, max_size=8
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pwrite_pread_identity_for_every_flavour(
+        self, backend_kind, tmp_path_factory, writes
+    ):
+        backend = make_backend(backend_kind, tmp_path_factory.mktemp("rt"))
+        try:
+            fd = backend.open("/f")
+            shadow = bytearray()
+            for payload, offset, flavour in writes:
+                if offset > len(shadow):
+                    shadow.extend(b"\x00" * (offset - len(shadow)))
+                shadow[offset : offset + len(payload)] = payload
+                assert (
+                    backend.pwrite(fd, as_flavour(payload, flavour), offset)
+                    == len(payload)
+                )
+            assert backend.file_size(fd) == len(shadow)
+            assert backend.pread(fd, len(shadow), 0) == bytes(shadow)
+            buf = bytearray(len(shadow))
+            assert backend.pread_into(fd, buf, 0) == len(shadow)
+            assert buf == shadow
+            backend.close(fd)
+        finally:
+            close_backend(backend)
+
+    @given(payload=_payloads, offset=_offsets, flavour=_flavours)
+    @settings(max_examples=30, deadline=None)
+    def test_mutating_the_source_after_pwrite_is_harmless(
+        self, backend_kind, tmp_path_factory, payload, offset, flavour
+    ):
+        if flavour == "bytes":
+            flavour = "bytearray"  # bytes is immutable; nothing to mutate
+        backend = make_backend(backend_kind, tmp_path_factory.mktemp("alias"))
+        try:
+            fd = backend.open("/f")
+            src = as_flavour(payload, flavour)
+            backend.pwrite(fd, src, offset)
+            mutable = src.obj if isinstance(src, memoryview) else src
+            for i in range(len(mutable)):
+                mutable[i] = (mutable[i] + 1) % 256
+            assert backend.pread(fd, len(payload), offset) == payload
+            backend.close(fd)
+        finally:
+            close_backend(backend)
+
+    @given(payload=_payloads, offset=_offsets)
+    @settings(max_examples=30, deadline=None)
+    def test_pwritev_of_sliced_views_round_trips(
+        self, backend_kind, tmp_path_factory, payload, offset
+    ):
+        # The coalesced-writeback shape: one vectored write of interior
+        # slices, back-to-back from ``offset``.
+        backend = make_backend(backend_kind, tmp_path_factory.mktemp("vec"))
+        try:
+            fd = backend.open("/f")
+            cut = len(payload) // 2
+            views = [
+                as_flavour(payload[:cut], "sliced_view"),
+                as_flavour(payload[cut:], "sliced_view"),
+            ]
+            views = [v for v in views if len(v)]
+            assert backend.pwritev(fd, views, offset) == len(payload)
+            assert backend.pread(fd, len(payload), offset) == payload
+            backend.close(fd)
+        finally:
+            close_backend(backend)

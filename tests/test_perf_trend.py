@@ -1,0 +1,295 @@
+"""The perf trend dashboard and the copy-metric compare extensions.
+
+Everything in :mod:`repro.perf.trend` is a pure function of loaded
+artifacts, so these tests fabricate minimal-but-valid BENCH histories
+and assert on the computed structure; the CLI tests drive
+``python -m repro.perf trend`` end-to-end through ``main``.  The
+``OPTIONAL_METRICS`` tests pin the compatibility contract: copy
+metrics gate only when both artifacts carry them, so historical
+BENCHes that predate the ledger still compare cleanly.
+"""
+
+import copy
+import json
+
+from repro.perf.cli import check_baseline, main as perf_main
+from repro.perf.compare import OPTIONAL_METRICS, POLICIES, compare_artifacts
+from repro.perf.schema import (
+    REQUIRED_METRICS,
+    build_artifact,
+    dump_artifact,
+    load_artifact,
+)
+from repro.perf.trend import (
+    CHECK_TOLERANCE,
+    STALE_AFTER,
+    TREND_METRICS,
+    compute_trend,
+    render_trend,
+    sparkline,
+)
+
+SEED = 2011
+
+
+def fake_metrics(goodput=100.0, **over):
+    m = {
+        "bytes_in": 8 << 20,
+        "writes": 128,
+        "elapsed_s": 0.02,
+        "goodput_mib_s": goodput,
+        "write_latency_p50_s": 1e-5,
+        "write_latency_p95_s": 2e-5,
+        "chunk_write_p50_s": 1e-4,
+        "chunk_write_p95_s": 2e-4,
+        "chunks_queued": 8,
+        "chunks_written": 8,
+        "drain_waits": 1,
+        "drain_time_s": 1e-4,
+        "stats": {},
+    }
+    m.update(over)
+    return m
+
+
+def fake_artifact(created, scenarios):
+    return build_artifact(
+        {"sim": scenarios}, seed=SEED, fast=True, created=created
+    )
+
+
+def history(*goodputs):
+    """One single-scenario artifact per goodput, oldest first."""
+    return [
+        (
+            f"BENCH_{i:02d}.json",
+            fake_artifact(
+                f"2026-08-0{i + 1}T00:00:00Z", {"seq": fake_metrics(g)}
+            ),
+        )
+        for i, g in enumerate(goodputs)
+    ]
+
+
+# -- sparkline ----------------------------------------------------------------
+
+
+class TestSparkline:
+    def test_monotonic_ramp_spans_the_glyphs(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+    def test_constant_series_is_flat(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_gaps_render_as_dots(self):
+        assert sparkline([1.0, None, 2.0]) == "▁·█"
+
+    def test_all_gaps_is_empty(self):
+        assert sparkline([None, None]) == ""
+
+
+# -- compute_trend ------------------------------------------------------------
+
+
+class TestComputeTrend:
+    def test_series_and_deltas(self):
+        trend = compute_trend(history(100.0, 110.0, 121.0))
+        row = trend["table"]["seq"]["goodput_mib_s"]
+        assert row["values"] == [100.0, 110.0, 121.0]
+        assert row["first"] == 100.0
+        assert row["last"] == 121.0
+        assert row["best"] == 121.0
+        assert abs(row["first_to_last"] - 0.21) < 1e-12
+        assert row["best_to_last"] == 0.0
+        assert trend["metrics"] == list(TREND_METRICS)
+
+    def test_best_is_min_for_time_metrics(self):
+        arts = history(100.0, 100.0)
+        arts[0][1]["planes"]["sim"]["seq"]["drain_time_s"] = 2e-4
+        arts[1][1]["planes"]["sim"]["seq"]["drain_time_s"] = 5e-4
+        row = compute_trend(arts)["table"]["seq"]["drain_time_s"]
+        assert row["best"] == 2e-4
+        assert row["best_to_last"] > 0  # head is worse than its best
+
+    def test_missing_metric_shows_a_gap_not_an_error(self):
+        arts = history(100.0, 100.0)
+        arts[1][1]["planes"]["sim"]["seq"]["bytes_copied"] = 42
+        row = compute_trend(arts)["table"]["seq"]["bytes_copied"]
+        assert row["values"] == [None, 42]
+
+    def test_regression_is_newest_vs_previous_only(self):
+        # A historical dip (artifact 2) doesn't trip the gate; only the
+        # newest-vs-previous pair is judged.
+        trend = compute_trend(history(100.0, 50.0, 100.0, 99.0))
+        assert trend["check"]["regressions"] == []
+        trend = compute_trend(history(100.0, 100.0, 100.0, 80.0))
+        regs = trend["check"]["regressions"]
+        assert len(regs) == 1
+        assert regs[0]["scenario"] == "seq"
+        assert regs[0]["previous_artifact"] == "BENCH_02.json"
+        assert regs[0]["latest_artifact"] == "BENCH_03.json"
+        assert abs(regs[0]["change"] + 0.2) < 1e-12
+
+    def test_drop_within_tolerance_passes(self):
+        trend = compute_trend(history(100.0, 100.0 * (1 - CHECK_TOLERANCE + 0.01)))
+        assert trend["check"]["regressions"] == []
+
+    def test_single_artifact_has_no_check_pairs(self):
+        trend = compute_trend(history(100.0))
+        assert trend["check"]["regressions"] == []
+        assert trend["staleness"] is None
+
+    def test_staleness_counts_newer_benches(self):
+        arts = history(*([100.0] * (STALE_AFTER + 1)))
+        baseline = fake_artifact(
+            arts[0][1]["created"], {"seq": fake_metrics(100.0)}
+        )
+        stale = compute_trend(arts, baseline=baseline)["staleness"]
+        assert stale["benches_newer"] == STALE_AFTER
+        assert stale["stale"] is True
+        fresh_baseline = fake_artifact(
+            arts[-1][1]["created"], {"seq": fake_metrics(100.0)}
+        )
+        stale = compute_trend(arts, baseline=fresh_baseline)["staleness"]
+        assert stale["benches_newer"] == 0
+        assert stale["stale"] is False
+
+
+class TestRenderTrend:
+    def test_renders_sparkline_table_and_verdict(self):
+        out = render_trend(compute_trend(history(100.0, 110.0)))
+        assert "Perf trend dashboard" in out
+        assert "goodput_mib_s" in out
+        assert "▁" in out and "█" in out
+        assert "check: newest BENCH within" in out
+
+    def test_renders_regression_and_staleness_lines(self):
+        arts = history(*([100.0] * STALE_AFTER), 50.0)
+        baseline = fake_artifact("2026-08-01T00:00:00Z", {"seq": fake_metrics()})
+        out = render_trend(compute_trend(arts, baseline=baseline))
+        assert "REGRESSION: seq goodput_mib_s" in out
+        assert "WARNING: baseline" in out
+        assert "update-baseline" in out
+
+
+# -- the trend CLI ------------------------------------------------------------
+
+
+class TestTrendCLI:
+    def _write_history(self, tmp_path, *goodputs):
+        for name, art in history(*goodputs):
+            dump_artifact(art, tmp_path / name)
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        self._write_history(tmp_path, 100.0, 110.0)
+        rc = perf_main(["trend", "--dir", str(tmp_path), "--json"])
+        assert rc == 0
+        trend = json.loads(capsys.readouterr().out)
+        assert trend["artifacts"] == ["BENCH_00.json", "BENCH_01.json"]
+        assert trend["table"]["seq"]["goodput_mib_s"]["last"] == 110.0
+
+    def test_check_gates_a_goodput_regression(self, tmp_path, capsys):
+        self._write_history(tmp_path, 100.0, 80.0)
+        assert perf_main(["trend", "--dir", str(tmp_path), "--check"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_check_passes_a_steady_history(self, tmp_path, capsys):
+        self._write_history(tmp_path, 100.0, 98.0)
+        assert perf_main(["trend", "--dir", str(tmp_path), "--check"]) == 0
+        capsys.readouterr()
+
+    def test_without_check_a_regression_is_advisory(self, tmp_path, capsys):
+        self._write_history(tmp_path, 100.0, 80.0)
+        assert perf_main(["trend", "--dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+
+    def test_empty_dir_exits_nonzero(self, tmp_path, capsys):
+        assert perf_main(["trend", "--dir", str(tmp_path)]) == 1
+        assert "no BENCH_" in capsys.readouterr().err
+
+    def test_committed_history_renders_clean(self, capsys):
+        # The repo's own BENCH history must always render — this is the
+        # CI perf job's `trend --check` against the committed artifacts.
+        assert perf_main(["trend", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "Perf trend dashboard" in out
+        assert "zero_copy" in out
+
+
+# -- optional copy metrics in compare -----------------------------------------
+
+
+class TestOptionalCopyMetrics:
+    def test_optional_metrics_are_disjoint_from_required(self):
+        assert not set(OPTIONAL_METRICS) & set(REQUIRED_METRICS)
+        assert not set(OPTIONAL_METRICS) & set(POLICIES)
+
+    def _pair(self):
+        base = fake_artifact(
+            "2026-08-01T00:00:00Z", {"seq": fake_metrics(100.0)}
+        )
+        new = copy.deepcopy(base)
+        return new, base
+
+    def test_absent_on_either_side_is_not_judged(self):
+        new, base = self._pair()
+        new["planes"]["sim"]["seq"]["bytes_copied"] = 999  # only in new
+        assert compare_artifacts(new, base).ok
+        new, base = self._pair()
+        base["planes"]["sim"]["seq"]["bytes_copied"] = 999  # only in base
+        assert compare_artifacts(new, base).ok
+
+    def test_drift_when_both_present_is_a_regression(self):
+        new, base = self._pair()
+        base["planes"]["sim"]["seq"]["bytes_copied"] = 1000
+        new["planes"]["sim"]["seq"]["bytes_copied"] = 1001
+        report = compare_artifacts(new, base)
+        assert not report.ok
+        assert [(d.scenario, d.metric) for d in report.regressions] == [
+            ("seq", "bytes_copied")
+        ]
+
+    def test_equal_copy_metrics_pass(self):
+        new, base = self._pair()
+        for art in (new, base):
+            art["planes"]["sim"]["seq"]["bytes_copied"] = 4096
+            art["planes"]["sim"]["seq"]["copies"] = 7
+        assert compare_artifacts(new, base).ok
+
+
+# -- check-baseline: the zero_copy pins ---------------------------------------
+
+
+class TestCheckBaselineZeroCopyPins:
+    def _baseline(self):
+        return copy.deepcopy(load_artifact("benchmarks/baselines/baseline.json"))
+
+    def test_committed_baseline_pins_zero_copy(self):
+        baseline = self._baseline()
+        assert check_baseline(baseline) == []
+        zc = baseline["planes"]["sim"]["zero_copy"]
+        assert zc["stats"]["mem"]["bytes_copied"] == zc["bytes_in"]
+
+    def test_extra_copies_are_reported(self):
+        baseline = self._baseline()
+        baseline["planes"]["sim"]["zero_copy"]["stats"]["mem"][
+            "bytes_copied"
+        ] += 1
+        problems = check_baseline(baseline)
+        assert any("exactly one" in p for p in problems)
+
+    def test_read_side_copies_in_a_write_only_scenario_are_reported(self):
+        baseline = self._baseline()
+        mem = baseline["planes"]["sim"]["zero_copy"]["stats"]["mem"]
+        mem["by_site"]["read_boundary"]["bytes"] = 512
+        problems = check_baseline(baseline)
+        assert any("read_boundary" in p for p in problems)
+
+    def test_missing_copy_metric_is_reported(self):
+        baseline = self._baseline()
+        del baseline["planes"]["sim"]["zero_copy"]["copy_ratio"]
+        problems = check_baseline(baseline)
+        assert any("copy_ratio" in p for p in problems)

@@ -246,11 +246,11 @@ class TestShutdownSafety:
         started = threading.Event()
 
         class SlowReads(MemBackend):
-            def pread(self, handle, size, offset):
+            def pread_into(self, handle, buf, offset):
                 if offset >= CHUNK:  # only prefetches (demand is chunk 0)
                     started.set()
                     assert release.wait(timeout=20)
-                return super().pread(handle, size, offset)
+                return super().pread_into(handle, buf, offset)
 
         cfg = CRFSConfig(
             chunk_size=CHUNK, pool_size=2 * CHUNK, io_threads=1,
